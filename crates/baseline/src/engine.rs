@@ -1,0 +1,491 @@
+//! Baseline storage: heap pages behind a global buffer mapping table,
+//! out-of-place tuple versions, globally locked indexes, a proc array and
+//! a commit log — the conventional architecture of §2/§9.
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use phoebe_common::error::{PhoebeError, Result};
+use phoebe_common::ids::RowId;
+use phoebe_storage::schema::{Schema, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tuples per heap page.
+pub const HEAP_PAGE_CAP: usize = 64;
+
+/// A heap tuple with PostgreSQL-style version stamps.
+#[derive(Debug, Clone)]
+pub struct HeapTuple {
+    /// Creating transaction.
+    pub xmin: u64,
+    /// Deleting/locking transaction (0 = live).
+    pub xmax: u64,
+    /// Forward pointer to the superseding version's ctid (0 = newest) —
+    /// PostgreSQL's t_ctid chain.
+    pub next: u64,
+    pub data: Vec<Value>,
+}
+
+/// One heap page.
+#[derive(Default)]
+pub struct HeapPage {
+    pub tuples: Vec<HeapTuple>,
+}
+
+/// Tuple address: heap page number + slot ("ctid").
+#[inline]
+pub fn ctid(page: u64, slot: u64) -> RowId {
+    RowId((page << 16) | slot)
+}
+
+#[inline]
+pub fn ctid_parts(row: RowId) -> (u64, u64) {
+    (row.raw() >> 16, row.raw() & 0xffff)
+}
+
+/// A baseline table: pages are *only* reachable through the database's
+/// global buffer mapping table, reproducing the shared hash-map hot spot.
+pub struct BaselineTable {
+    pub id: u32,
+    pub name: String,
+    pub schema: Schema,
+    pub page_count: AtomicU64,
+    /// Insert target (rightmost page).
+    insert_page: Mutex<u64>,
+}
+
+/// A baseline secondary index: one global lock around a `BTreeMap`, as in
+/// engines that latch whole index levels coarsely.
+pub struct BaselineIndex {
+    pub name: String,
+    pub table: u32,
+    pub key_cols: Vec<usize>,
+    pub unique: bool,
+    entries: Mutex<BTreeMap<Vec<u8>, Vec<RowId>>>,
+}
+
+impl BaselineIndex {
+    pub fn key_for(&self, schema: &Schema, tuple: &[Value]) -> Vec<u8> {
+        let mut b = phoebe_core::KeyBuilder::new();
+        for &c in &self.key_cols {
+            let width = match schema.col_type(c) {
+                phoebe_storage::schema::ColType::Str(m) => m as usize,
+                _ => 0,
+            };
+            b.push_value(&tuple[c], width);
+        }
+        b.finish()
+    }
+
+    pub fn insert(&self, key: Vec<u8>, row: RowId) -> Result<()> {
+        self.insert_checked(key, row, |_| false)
+    }
+
+    /// Insert with heap-visibility-aware uniqueness: entries for which
+    /// `is_dead` returns true (aborted writer, vacuumed version) do not
+    /// block the insert and are pruned — PostgreSQL's index uniqueness
+    /// check consults the heap the same way.
+    pub fn insert_checked(
+        &self,
+        key: Vec<u8>,
+        row: RowId,
+        is_dead: impl Fn(RowId) -> bool,
+    ) -> Result<()> {
+        let mut e = self.entries.lock();
+        let bucket = e.entry(key).or_default();
+        if self.unique {
+            bucket.retain(|r| !is_dead(*r));
+            if !bucket.is_empty() {
+                return Err(PhoebeError::DuplicateKey {
+                    index: phoebe_common::ids::TableId(self.table),
+                });
+            }
+        }
+        bucket.push(row);
+        Ok(())
+    }
+
+    pub fn remove(&self, key: &[u8], row: RowId) {
+        let mut e = self.entries.lock();
+        if let Some(bucket) = e.get_mut(key) {
+            bucket.retain(|r| *r != row);
+            if bucket.is_empty() {
+                e.remove(key);
+            }
+        }
+    }
+
+    /// All ctids whose key starts with `prefix`, in key order.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<RowId> {
+        let e = self.entries.lock();
+        e.range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect()
+    }
+
+    pub fn get(&self, key: &[u8]) -> Vec<RowId> {
+        self.entries.lock().get(key).cloned().unwrap_or_default()
+    }
+}
+
+/// State of a transaction in the commit log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XactState {
+    InProgress,
+    Committed,
+    Aborted,
+}
+
+/// Per-transaction wait entry in the global lock table.
+pub struct XactLock {
+    pub done: Mutex<bool>,
+    pub cv: Condvar,
+}
+
+/// A PostgreSQL-style snapshot: the result of scanning the proc array.
+#[derive(Debug, Clone)]
+pub struct PgSnapshot {
+    /// Everything below this committed or aborted.
+    pub xmin: u64,
+    /// First unassigned xid at snapshot time.
+    pub xmax: u64,
+    /// Transactions in progress at snapshot time.
+    pub active: HashSet<u64>,
+}
+
+impl PgSnapshot {
+    /// Was `xid` committed *and* visible in this snapshot?
+    pub fn sees(&self, xid: u64, db: &BaselineDb) -> bool {
+        if xid == 0 || xid >= self.xmax || self.active.contains(&xid) {
+            return false;
+        }
+        db.xact_state(xid) == XactState::Committed
+    }
+}
+
+/// The baseline database.
+pub struct BaselineDb {
+    tables: RwLock<Vec<Arc<BaselineTable>>>,
+    indexes: RwLock<Vec<Arc<BaselineIndex>>>,
+    /// The global buffer mapping table: (table, page) → heap page. Every
+    /// tuple access takes this mutex — the paper's shared-hash-map hot
+    /// spot (§5.3).
+    buffer_map: Mutex<HashMap<(u32, u64), Arc<Mutex<HeapPage>>>>,
+    /// The proc array: active xids, scanned under a mutex per snapshot.
+    proc_array: Mutex<HashSet<u64>>,
+    /// Commit log (pg_xact).
+    clog: Mutex<HashMap<u64, XactState>>,
+    /// Global lock table for transaction waits.
+    lock_table: Mutex<HashMap<u64, Arc<XactLock>>>,
+    next_xid: AtomicU64,
+    pub wal: Arc<crate::wal::SerialWal>,
+    pub metrics: Arc<phoebe_common::metrics::Metrics>,
+}
+
+impl BaselineDb {
+    pub fn open(dir: &std::path::Path, group_commit_us: u64) -> Result<Arc<Self>> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Arc::new(BaselineDb {
+            tables: RwLock::new(Vec::new()),
+            indexes: RwLock::new(Vec::new()),
+            buffer_map: Mutex::new(HashMap::new()),
+            proc_array: Mutex::new(HashSet::new()),
+            clog: Mutex::new(HashMap::new()),
+            lock_table: Mutex::new(HashMap::new()),
+            next_xid: AtomicU64::new(1),
+            wal: crate::wal::SerialWal::create(&dir.join("baseline_wal.log"), group_commit_us)?,
+            metrics: Arc::new(phoebe_common::metrics::Metrics::new(1)),
+        }))
+    }
+
+    pub fn create_table(&self, name: &str, schema: Schema) -> Arc<BaselineTable> {
+        let mut tables = self.tables.write();
+        let t = Arc::new(BaselineTable {
+            id: tables.len() as u32,
+            name: name.to_owned(),
+            schema,
+            page_count: AtomicU64::new(0),
+            insert_page: Mutex::new(0),
+        });
+        tables.push(Arc::clone(&t));
+        t
+    }
+
+    pub fn create_index(
+        &self,
+        table: &Arc<BaselineTable>,
+        name: &str,
+        key_cols: Vec<usize>,
+        unique: bool,
+    ) -> Arc<BaselineIndex> {
+        let idx = Arc::new(BaselineIndex {
+            name: name.to_owned(),
+            table: table.id,
+            key_cols,
+            unique,
+            entries: Mutex::new(BTreeMap::new()),
+        });
+        self.indexes.write().push(Arc::clone(&idx));
+        idx
+    }
+
+    pub fn table(&self, name: &str) -> Option<Arc<BaselineTable>> {
+        self.tables.read().iter().find(|t| t.name == name).cloned()
+    }
+
+    pub fn index(&self, name: &str) -> Option<Arc<BaselineIndex>> {
+        self.indexes.read().iter().find(|i| i.name == name).cloned()
+    }
+
+    pub fn indexes_of(&self, table: u32) -> Vec<Arc<BaselineIndex>> {
+        self.indexes.read().iter().filter(|i| i.table == table).cloned().collect()
+    }
+
+    /// Fetch a heap page through the global buffer mapping table.
+    pub fn page(&self, table: &BaselineTable, page_no: u64) -> Arc<Mutex<HeapPage>> {
+        let mut map = self.buffer_map.lock();
+        Arc::clone(
+            map.entry((table.id, page_no))
+                .or_insert_with(|| Arc::new(Mutex::new(HeapPage::default()))),
+        )
+    }
+
+    /// Heap-insert a tuple version; returns its ctid.
+    pub fn heap_insert(&self, table: &BaselineTable, tuple: HeapTuple) -> RowId {
+        loop {
+            let page_no = *table.insert_page.lock();
+            let page = self.page(table, page_no);
+            let mut guard = page.lock();
+            if guard.tuples.len() < HEAP_PAGE_CAP {
+                let slot = guard.tuples.len() as u64;
+                guard.tuples.push(tuple);
+                table.page_count.fetch_max(page_no + 1, Ordering::Relaxed);
+                return ctid(page_no, slot);
+            }
+            drop(guard);
+            let mut ip = table.insert_page.lock();
+            if *ip == page_no {
+                *ip += 1;
+            }
+        }
+    }
+
+    // --- transaction bookkeeping -------------------------------------
+
+    /// Assign an xid, register it in the proc array and the lock table.
+    pub fn begin_xact(&self) -> (u64, Arc<XactLock>) {
+        let xid = self.next_xid.fetch_add(1, Ordering::SeqCst);
+        self.proc_array.lock().insert(xid);
+        self.clog.lock().insert(xid, XactState::InProgress);
+        let lock = Arc::new(XactLock { done: Mutex::new(false), cv: Condvar::new() });
+        self.lock_table.lock().insert(xid, Arc::clone(&lock));
+        (xid, lock)
+    }
+
+    /// Resolve a transaction and wake its waiters.
+    pub fn end_xact(&self, xid: u64, lock: &Arc<XactLock>, state: XactState) {
+        self.clog.lock().insert(xid, state);
+        self.proc_array.lock().remove(&xid);
+        {
+            let mut done = lock.done.lock();
+            *done = true;
+            lock.cv.notify_all();
+        }
+        self.lock_table.lock().remove(&xid);
+    }
+
+    pub fn xact_state(&self, xid: u64) -> XactState {
+        self.clog.lock().get(&xid).copied().unwrap_or(XactState::Aborted)
+    }
+
+    /// Block until `xid` finishes (the global-lock-table wait).
+    pub fn wait_for_xact(&self, xid: u64, timeout: std::time::Duration) -> Result<XactState> {
+        let entry = self.lock_table.lock().get(&xid).cloned();
+        if let Some(entry) = entry {
+            let mut done = entry.done.lock();
+            while !*done {
+                if entry.cv.wait_for(&mut done, timeout).timed_out() {
+                    return Err(PhoebeError::LockTimeout {
+                        waiting_for: phoebe_common::ids::Xid::from_start_ts(xid),
+                    });
+                }
+            }
+        }
+        Ok(self.xact_state(xid))
+    }
+
+    /// The O(n) snapshot: lock and scan the proc array (§6.1's foil).
+    pub fn snapshot(&self) -> PgSnapshot {
+        let active = self.proc_array.lock().clone();
+        let xmax = self.next_xid.load(Ordering::SeqCst);
+        let xmin = active.iter().min().copied().unwrap_or(xmax);
+        PgSnapshot { xmin, xmax, active }
+    }
+
+    /// VACUUM-lite: drop dead tuple versions no live snapshot can see and
+    /// path-compress update chains (HOT-pruning stand-in) so reads do not
+    /// walk arbitrarily long version chains.
+    pub fn vacuum(&self) -> usize {
+        let oldest = {
+            let active = self.proc_array.lock();
+            active.iter().min().copied().unwrap_or(self.next_xid.load(Ordering::SeqCst))
+        };
+        let mut removed = 0;
+        let pages: Vec<(u32, u64, Arc<Mutex<HeapPage>>)> = {
+            let map = self.buffer_map.lock();
+            map.iter().map(|((t, p), page)| (*t, *p, Arc::clone(page))).collect()
+        };
+        let table_of = |id: u32| self.tables.read().get(id as usize).cloned();
+        for (tid, _pno, page) in &pages {
+            let n = page.lock().tuples.len();
+            for slot in 0..n {
+                let (dead, next) = {
+                    let p = page.lock();
+                    let t = &p.tuples[slot];
+                    let dead = t.xmax != 0
+                        && t.xmax < oldest
+                        && self.xact_state(t.xmax) == XactState::Committed;
+                    (dead && !t.data.is_empty(), t.next)
+                };
+                if !dead {
+                    continue;
+                }
+                // Path compression: follow the chain past versions that are
+                // themselves dead-below-horizon, then short-circuit.
+                let mut hop = next;
+                let table = table_of(*tid);
+                while hop != 0 {
+                    let Some(table) = table.as_ref() else { break };
+                    let (hp, hs) = ctid_parts(RowId(hop));
+                    let hop_page = self.page(table, hp);
+                    let hg = hop_page.lock();
+                    let Some(ht) = hg.tuples.get(hs as usize) else { break };
+                    let hop_dead = ht.xmax != 0
+                        && ht.xmax < oldest
+                        && self.xact_state(ht.xmax) == XactState::Committed;
+                    if hop_dead && ht.next != 0 {
+                        hop = ht.next;
+                    } else {
+                        break;
+                    }
+                }
+                let mut p = page.lock();
+                let t = &mut p.tuples[slot];
+                if hop != t.next {
+                    t.next = hop;
+                }
+                t.data = Vec::new(); // tombstone the dead version's payload
+                removed += 1;
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoebe_storage::schema::ColType;
+
+    fn db() -> Arc<BaselineDb> {
+        BaselineDb::open(&phoebe_common::KernelConfig::for_tests().data_dir, 50).unwrap()
+    }
+
+    #[test]
+    fn heap_insert_spills_to_new_pages() {
+        let db = db();
+        let t = db.create_table("t", Schema::new(vec![("v", ColType::I64)]));
+        let mut rids = Vec::new();
+        for i in 0..(HEAP_PAGE_CAP * 3) {
+            rids.push(db.heap_insert(
+                &t,
+                HeapTuple { xmin: 1, xmax: 0, next: 0, data: vec![Value::I64(i as i64)] },
+            ));
+        }
+        assert!(t.page_count.load(Ordering::Relaxed) >= 2);
+        let (p, s) = ctid_parts(rids[HEAP_PAGE_CAP]);
+        assert_eq!((p, s), (1, 0), "second page starts fresh");
+    }
+
+    #[test]
+    fn snapshot_scans_proc_array() {
+        let db = db();
+        let (x1, l1) = db.begin_xact();
+        let (x2, l2) = db.begin_xact();
+        let snap = db.snapshot();
+        assert!(snap.active.contains(&x1) && snap.active.contains(&x2));
+        assert_eq!(snap.xmin, x1);
+        db.end_xact(x1, &l1, XactState::Committed);
+        db.end_xact(x2, &l2, XactState::Aborted);
+        let snap2 = db.snapshot();
+        assert!(snap2.active.is_empty());
+        assert!(snap2.sees(x1, &db));
+        assert!(!snap2.sees(x2, &db), "aborted xid never visible");
+    }
+
+    #[test]
+    fn inflight_xids_are_invisible_even_after_commit_mid_snapshot() {
+        let db = db();
+        let (x1, l1) = db.begin_xact();
+        let snap = db.snapshot(); // x1 active here
+        db.end_xact(x1, &l1, XactState::Committed);
+        assert!(!snap.sees(x1, &db), "snapshot pins the active set");
+        assert!(db.snapshot().sees(x1, &db));
+    }
+
+    #[test]
+    fn wait_for_xact_blocks_until_resolution() {
+        let db = db();
+        let (xid, lock) = db.begin_xact();
+        let db2 = Arc::clone(&db);
+        let waiter = std::thread::spawn(move || {
+            db2.wait_for_xact(xid, std::time::Duration::from_secs(5)).unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        db.end_xact(xid, &lock, XactState::Committed);
+        assert_eq!(waiter.join().unwrap(), XactState::Committed);
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let db = db();
+        let t = db.create_table("t", Schema::new(vec![("v", ColType::I64)]));
+        let idx = db.create_index(&t, "pk", vec![0], true);
+        idx.insert(vec![1], ctid(0, 0)).unwrap();
+        assert!(idx.insert(vec![1], ctid(0, 1)).is_err());
+        idx.remove(&[1], ctid(0, 0));
+        assert!(idx.insert(vec![1], ctid(0, 1)).is_ok());
+    }
+
+    #[test]
+    fn index_prefix_scan_returns_key_order() {
+        let db = db();
+        let t = db.create_table("t", Schema::new(vec![("v", ColType::I64)]));
+        let idx = db.create_index(&t, "i", vec![0], false);
+        for i in [3u8, 1, 2] {
+            idx.insert(vec![7, i], ctid(0, i as u64)).unwrap();
+        }
+        idx.insert(vec![8, 0], ctid(0, 9)).unwrap();
+        let hits = idx.scan_prefix(&[7]);
+        assert_eq!(hits, vec![ctid(0, 1), ctid(0, 2), ctid(0, 3)]);
+    }
+
+    #[test]
+    fn vacuum_reclaims_dead_versions() {
+        let db = db();
+        let t = db.create_table("t", Schema::new(vec![("v", ColType::I64)]));
+        let (x1, l1) = db.begin_xact();
+        let rid = db.heap_insert(&t, HeapTuple { xmin: x1, xmax: 0, next: 0, data: vec![Value::I64(1)] });
+        db.end_xact(x1, &l1, XactState::Committed);
+        // Delete by a later committed xact.
+        let (x2, l2) = db.begin_xact();
+        let (p, s) = ctid_parts(rid);
+        db.page(&t, p).lock().tuples[s as usize].xmax = x2;
+        db.end_xact(x2, &l2, XactState::Committed);
+        // Another begin pushes the oldest-active horizon past x2.
+        let (x3, l3) = db.begin_xact();
+        assert_eq!(db.vacuum(), 1);
+        db.end_xact(x3, &l3, XactState::Aborted);
+    }
+}

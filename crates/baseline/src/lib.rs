@@ -1,0 +1,27 @@
+//! A faithful miniature of the *traditional* RDBMS architecture PhoebeDB
+//! is compared against (Exp 6, 8, 9 in §9) — PostgreSQL's design points,
+//! deliberately including its scalability bottlenecks:
+//!
+//! * **O(n) snapshots**: every snapshot scans a mutex-protected proc array
+//!   of active transactions (vs. Phoebe's single-timestamp snapshot).
+//! * **Global buffer mapping table**: every page access goes through one
+//!   mutex-protected hash map (vs. pointer swizzling).
+//! * **Global lock table**: transaction waits rendezvous in a single
+//!   mutex-protected hash map (vs. decentralized ID locks).
+//! * **Out-of-place MVCC**: updates append a new tuple version with
+//!   xmin/xmax stamps and leave the old one for VACUUM-style cleanup (vs.
+//!   in-place updates + in-memory UNDO).
+//! * **Serialized WAL flushing**: one log, one flusher, commits queue on a
+//!   single durability horizon (vs. per-slot writers with RFA).
+//! * **Thread-per-transaction** execution (vs. the co-routine pool).
+//!
+//! The point is architectural parity of *work per transaction* with the
+//! bottlenecks the paper attributes to conventional engines, so the
+//! Phoebe-vs-baseline ratio measures design, not implementation polish.
+
+pub mod engine;
+pub mod txn;
+pub mod wal;
+
+pub use engine::{BaselineDb, BaselineIndex, BaselineTable};
+pub use txn::{BaselineTxn, Isolation};

@@ -1,0 +1,177 @@
+//! The baseline's serialized WAL (§8's foil): one global buffer, one
+//! flusher, one fsync stream. Every commit waits on the same durability
+//! horizon, so commit latency couples unrelated transactions — exactly the
+//! bottleneck Phoebe's per-slot writers with RFA remove.
+
+use parking_lot::{Condvar, Mutex};
+use phoebe_common::error::Result;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct WalInner {
+    buf: Vec<u8>,
+    appended: u64,
+}
+
+/// The single serialized log.
+pub struct SerialWal {
+    inner: Mutex<WalInner>,
+    flushed: AtomicU64,
+    flushed_cv: Condvar,
+    flushed_mu: Mutex<()>,
+    file: Mutex<File>,
+    bytes_flushed: AtomicU64,
+    /// Artificial device bandwidth cap in bytes/sec (0 = uncapped). Used
+    /// by Exp 9 to reproduce O-DB's I/O-bound behaviour.
+    pub bandwidth_cap: AtomicU64,
+    shutdown: Arc<AtomicBool>,
+    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl SerialWal {
+    pub fn create(path: &Path, group_commit_us: u64) -> Result<Arc<Self>> {
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(path)?;
+        let wal = Arc::new(SerialWal {
+            inner: Mutex::new(WalInner { buf: Vec::with_capacity(64 * 1024), appended: 0 }),
+            flushed: AtomicU64::new(0),
+            flushed_cv: Condvar::new(),
+            flushed_mu: Mutex::new(()),
+            file: Mutex::new(file),
+            bytes_flushed: AtomicU64::new(0),
+            bandwidth_cap: AtomicU64::new(0),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            flusher: Mutex::new(None),
+        });
+        let w = Arc::clone(&wal);
+        *wal.flusher.lock() = Some(
+            std::thread::Builder::new()
+                .name("baseline-wal-flusher".into())
+                .spawn(move || {
+                    while !w.shutdown.load(Ordering::Acquire) {
+                        let _ = w.flush_once();
+                        std::thread::sleep(Duration::from_micros(group_commit_us));
+                    }
+                    let _ = w.flush_once();
+                })
+                .expect("spawn baseline flusher"),
+        );
+        Ok(wal)
+    }
+
+    /// Append a record; returns the log offset a commit must wait for.
+    pub fn append(&self, record: &[u8]) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.buf.extend_from_slice(&(record.len() as u32).to_le_bytes());
+        inner.buf.extend_from_slice(record);
+        inner.appended += 4 + record.len() as u64;
+        inner.appended
+    }
+
+    /// One serialized flush round (write + fsync under the single stream).
+    pub fn flush_once(&self) -> Result<u64> {
+        let (data, upto) = {
+            let mut inner = self.inner.lock();
+            if inner.buf.is_empty() {
+                return Ok(0);
+            }
+            (std::mem::take(&mut inner.buf), inner.appended)
+        };
+        {
+            let mut f = self.file.lock();
+            f.write_all(&data)?;
+            f.sync_data()?;
+        }
+        // Exp 9's device-bandwidth throttle.
+        let cap = self.bandwidth_cap.load(Ordering::Relaxed);
+        if cap > 0 {
+            let secs = data.len() as f64 / cap as f64;
+            std::thread::sleep(Duration::from_secs_f64(secs));
+        }
+        self.bytes_flushed.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.flushed.fetch_max(upto, Ordering::AcqRel);
+        let _g = self.flushed_mu.lock();
+        self.flushed_cv.notify_all();
+        Ok(data.len() as u64)
+    }
+
+    /// Commit wait: block until the log is durable up to `offset`.
+    pub fn wait_durable(&self, offset: u64) {
+        let mut g = self.flushed_mu.lock();
+        while self.flushed.load(Ordering::Acquire) < offset {
+            self.flushed_cv.wait_for(&mut g, Duration::from_millis(1));
+        }
+    }
+
+    pub fn bytes_flushed(&self) -> u64 {
+        self.bytes_flushed.load(Ordering::Relaxed)
+    }
+
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.flusher.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SerialWal {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wal() -> Arc<SerialWal> {
+        let dir = phoebe_common::KernelConfig::for_tests().data_dir;
+        std::fs::create_dir_all(&dir).unwrap();
+        SerialWal::create(&dir.join("w.log"), 50).unwrap()
+    }
+
+    #[test]
+    fn commit_wait_returns_after_flush() {
+        let w = wal();
+        let off = w.append(b"commit record");
+        w.wait_durable(off);
+        assert!(w.bytes_flushed() >= off);
+        w.shutdown();
+    }
+
+    #[test]
+    fn many_appenders_serialize_through_one_stream() {
+        let w = wal();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let off = w.append(b"rec");
+                        w.wait_durable(off);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(w.bytes_flushed(), 8 * 50 * (4 + 3));
+        w.shutdown();
+    }
+
+    #[test]
+    fn bandwidth_cap_slows_flushing() {
+        let w = wal();
+        w.bandwidth_cap.store(10_000, Ordering::Relaxed); // 10 KB/s
+        let start = std::time::Instant::now();
+        let off = w.append(&vec![0u8; 1000]);
+        w.wait_durable(off);
+        assert!(start.elapsed() >= Duration::from_millis(80), "throttle must bite");
+        w.shutdown();
+    }
+}

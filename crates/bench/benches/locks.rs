@@ -1,0 +1,47 @@
+//! Micro-benchmarks: hybrid latch modes and decentralized transaction-ID
+//! locks vs the baseline's global lock table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phoebe_common::ids::Xid;
+use phoebe_storage::HybridLatch;
+use phoebe_txn::locks::{TxnHandle, TxnOutcome};
+
+fn bench_locks(c: &mut Criterion) {
+    let latch = HybridLatch::new([0u64; 8]);
+    c.bench_function("latch/optimistic_read", |b| {
+        b.iter(|| latch.optimistic(|v| v[3]).unwrap())
+    });
+    c.bench_function("latch/shared_read", |b| b.iter(|| *latch.read()));
+    c.bench_function("latch/exclusive_cycle", |b| {
+        b.iter(|| {
+            let mut g = latch.write();
+            g[3] += 1;
+        })
+    });
+
+    c.bench_function("txnlock/create_resolve", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let h = TxnHandle::new(Xid::from_start_ts(i));
+            h.finish(TxnOutcome::Committed(i));
+            h.outcome()
+        })
+    });
+
+    let bdb =
+        phoebe_baseline::BaselineDb::open(&phoebe_bench::fresh_dir("bench-locks"), 1000).unwrap();
+    c.bench_function("txnlock/baseline_global_table_cycle", |b| {
+        b.iter(|| {
+            let (xid, lock) = bdb.begin_xact();
+            bdb.end_xact(xid, &lock, phoebe_baseline::engine::XactState::Committed);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_locks
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Micro-benchmarks: PAX leaf access and the frozen-block codec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phoebe_common::ids::RowId;
+use phoebe_storage::pax::{PaxLayout, PaxLeaf};
+use phoebe_storage::schema::{ColType, Schema, Value};
+use phoebe_storage::tier::codec;
+
+fn bench_pax(c: &mut Criterion) {
+    let schema = Schema::new(vec![
+        ("a", ColType::I64),
+        ("b", ColType::I32),
+        ("c", ColType::F64),
+        ("d", ColType::Str(16)),
+    ]);
+    let layout = PaxLayout::for_schema(&schema);
+    let mut leaf = PaxLeaf::new();
+    let tuple =
+        vec![Value::I64(1), Value::I32(2), Value::F64(3.0), Value::Str("hello".into())];
+    for i in 0..layout.capacity {
+        leaf.append(&layout, RowId(i as u64), &tuple);
+    }
+    c.bench_function("pax/find_binary_search", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 97) % layout.capacity as u64;
+            leaf.find(RowId(i))
+        })
+    });
+    c.bench_function("pax/read_single_column", |b| {
+        b.iter(|| leaf.read_col(&layout, 100, 0))
+    });
+    c.bench_function("pax/read_full_row", |b| b.iter(|| leaf.read_row(&layout, 100)));
+    c.bench_function("pax/write_col_in_place", |b| {
+        b.iter(|| leaf.write_col(&layout, 100, 1, &Value::I32(9)))
+    });
+
+    let types = schema.types().to_vec();
+    let ids: Vec<RowId> = (0..1000).map(RowId).collect();
+    let rows: Vec<Vec<Value>> = (0..1000)
+        .map(|i| {
+            vec![
+                Value::I64(i),
+                Value::I32(i as i32),
+                Value::F64(i as f64),
+                Value::Str("frozen".into()),
+            ]
+        })
+        .collect();
+    c.bench_function("codec/encode_block_1k_rows", |b| {
+        b.iter(|| codec::encode_block(&types, &ids, &rows))
+    });
+    let blob = codec::encode_block(&types, &ids, &rows);
+    c.bench_function("codec/decode_block_1k_rows", |b| {
+        b.iter(|| codec::decode_block(&blob).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_pax
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmarks: WAL append, group flush, RFA stamping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phoebe_common::ids::{RowId, TableId, Xid};
+use phoebe_common::metrics::Metrics;
+use phoebe_storage::schema::Value;
+use phoebe_wal::writer::RfaState;
+use phoebe_wal::{RecordBody, WalHub};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_wal(c: &mut Criterion) {
+    let hub = WalHub::new(
+        &phoebe_bench::fresh_dir("bench-wal"),
+        8,
+        2,
+        Duration::from_micros(200),
+        true,
+        Arc::new(Metrics::new(1)),
+    )
+    .unwrap();
+    let tuple: Vec<Value> = vec![Value::I64(1), Value::Str("payload".into())];
+    let mut i = 0u64;
+    c.bench_function("wal/append_insert_record", |b| {
+        b.iter(|| {
+            i += 1;
+            hub.log_op(
+                (i % 8) as usize,
+                Xid::from_start_ts(i),
+                1,
+                RecordBody::Insert { table: TableId(1), row: RowId(i), tuple: tuple.clone() },
+            )
+        })
+    });
+    c.bench_function("wal/stamp_write_same_slot", |b| {
+        let mut rfa = RfaState::default();
+        b.iter(|| hub.stamp_write(&mut rfa, 0, Some(0), 0))
+    });
+    c.bench_function("wal/stamp_write_cross_slot", |b| {
+        b.iter(|| {
+            let mut rfa = RfaState::default();
+            hub.stamp_write(&mut rfa, 1, Some(1), 0)
+        })
+    });
+    c.bench_function("wal/flush_all_1k_records", |b| {
+        b.iter(|| {
+            for k in 0..1000u64 {
+                hub.log_op((k % 8) as usize, Xid::from_start_ts(k), 1, RecordBody::Commit { cts: k });
+            }
+            hub.flush_all().unwrap()
+        })
+    });
+    hub.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_wal
+}
+criterion_main!(benches);

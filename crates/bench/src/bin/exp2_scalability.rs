@@ -1,0 +1,40 @@
+//! Exp 2 / Figure 8: scalability with the worker count.
+//!
+//! Paper: near-linear scaling up to the 52 physical cores, degraded
+//! per-worker efficiency beyond (hyperthreads), total still rising. On
+//! this container the "physical core" budget is what the OS reports; the
+//! shape to observe is tpm rising and tpm/worker falling past the core
+//! count.
+
+use phoebe_bench::*;
+use phoebe_tpcc::run_phoebe;
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_workers: usize = env_or("PHOEBE_MAX_WORKERS", (cores * 4).max(4));
+    let mut workers = 1usize;
+    let mut points = Vec::new();
+    while workers <= max_workers {
+        points.push(workers);
+        workers *= 2;
+    }
+    let wh = env_or("PHOEBE_WAREHOUSES", 4u32);
+    let mut rows = Vec::new();
+    for &n in &points {
+        let engine = loaded_engine("exp2", n, 32, 4096, wh, phoebe_tpcc::TpccScale::mini());
+        let cfg = driver_cfg(wh, n * 8, false);
+        let stats = run_phoebe(&engine, &cfg);
+        rows.push(vec![
+            n.to_string(),
+            f(stats.tpm_total()),
+            f(stats.tpm_total() / n as f64),
+        ]);
+        engine.db.shutdown();
+    }
+    print_table(
+        &format!("Exp 2 (Fig 8): scalability, {wh} warehouses, {cores} cores on this host"),
+        &["workers", "tpm", "tpm/worker"],
+        &rows,
+    );
+    println!("paper shape: near-linear to physical cores, per-worker efficiency drops beyond");
+}

@@ -1,0 +1,54 @@
+//! Exp 6 / Figure 11: co-routine model vs thread model at equal
+//! concurrency.
+//!
+//! Paper: 100 workers x 32 task slots (co-routines) vs 3200 worker threads
+//! x 1 slot, affinity off; the co-routine model wins clearly. Here the
+//! same two shapes at container scale: W workers x S slots vs W*S workers
+//! x 1 slot.
+
+use phoebe_bench::*;
+use phoebe_tpcc::run_phoebe;
+
+fn main() {
+    let wh: u32 = env_or("PHOEBE_WAREHOUSES", 2);
+    let workers: usize = env_or("PHOEBE_WORKERS", 2);
+    let slots: usize = env_or("PHOEBE_SLOTS", 32);
+    let concurrency = workers * slots;
+    let mut rows = Vec::new();
+
+    // Co-routine model: few workers, many task slots.
+    let engine = loaded_engine("exp6-coro", workers, slots, 4096, wh, phoebe_tpcc::TpccScale::mini());
+    let mut cfg = driver_cfg(wh, concurrency, false);
+    cfg.affinity = false;
+    let coro = run_phoebe(&engine, &cfg);
+    rows.push(vec![
+        "co-routine".into(),
+        format!("{workers} x {slots}"),
+        f(coro.tpm_total()),
+        f(coro.tpmc()),
+    ]);
+    engine.db.shutdown();
+
+    // Thread model: one OS thread (worker) per task, 1 slot each.
+    let engine = loaded_engine("exp6-thread", concurrency, 1, 4096, wh, phoebe_tpcc::TpccScale::mini());
+    let mut cfg = driver_cfg(wh, concurrency, false);
+    cfg.affinity = false;
+    let thread = run_phoebe(&engine, &cfg);
+    rows.push(vec![
+        "thread".into(),
+        format!("{concurrency} x 1"),
+        f(thread.tpm_total()),
+        f(thread.tpmc()),
+    ]);
+    engine.db.shutdown();
+
+    print_table(
+        &format!("Exp 6 (Fig 11): co-routine vs thread model, concurrency {concurrency}"),
+        &["model", "workers x slots", "tpm", "tpmC"],
+        &rows,
+    );
+    println!(
+        "co-routine / thread tpm ratio: {:.2}x (paper: co-routines clearly ahead)",
+        coro.tpm_total() / thread.tpm_total().max(1e-9)
+    );
+}

@@ -1,0 +1,231 @@
+//! Strongly typed identifiers shared across the kernel.
+//!
+//! The most interesting type is [`Xid`], which reproduces the paper's
+//! transaction-identifier layout (§6.1): a 64-bit value whose most
+//! significant bit is always set, whose middle 62 bits carry the start
+//! timestamp drawn from the global logical clock, and whose least
+//! significant bit is reserved for future use. Because the MSB of an XID is
+//! always 1 while commit timestamps are plain 62-bit values (MSB 0), a
+//! single `u64` field such as an UNDO log's `ets` can hold *either* an XID
+//! (transaction still in flight) *or* a commit timestamp, distinguished by
+//! the sign bit alone. That property is what makes the paper's visibility
+//! check (Algorithm 1) a couple of integer comparisons.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A logical timestamp drawn from the 62-bit global clock (§6.1).
+///
+/// Timestamps order both transaction starts (snapshots) and commits. The
+/// top two bits are always zero so a timestamp can never be confused with
+/// an [`Xid`].
+pub type Timestamp = u64;
+
+/// Maximum representable 62-bit timestamp.
+pub const MAX_TIMESTAMP: Timestamp = (1u64 << 62) - 1;
+
+/// A transaction identifier with the paper's bit layout (§6.1):
+/// `MSB=1 | 62-bit start timestamp | 1 reserved bit`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Xid(u64);
+
+impl Xid {
+    const FLAG: u64 = 1u64 << 63;
+
+    /// Build an XID from a start timestamp taken from the global clock.
+    #[inline]
+    pub fn from_start_ts(start_ts: Timestamp) -> Self {
+        debug_assert!(start_ts <= MAX_TIMESTAMP, "timestamp exceeds 62 bits");
+        Xid(Self::FLAG | (start_ts << 1))
+    }
+
+    /// The raw 64-bit representation (MSB set).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a raw value previously produced by [`Xid::raw`].
+    ///
+    /// Returns `None` if the value does not carry the XID flag bit, i.e. it
+    /// is a plain commit timestamp.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Option<Self> {
+        (raw & Self::FLAG != 0).then_some(Xid(raw))
+    }
+
+    /// The 62-bit start timestamp embedded in this XID.
+    #[inline]
+    pub fn start_ts(self) -> Timestamp {
+        (self.0 & !Self::FLAG) >> 1
+    }
+
+    /// True if `raw` (an `ets`/`sts` field) holds an XID rather than a
+    /// commit timestamp — the single-bit test Algorithm 1 relies on.
+    #[inline]
+    pub fn is_xid(raw: u64) -> bool {
+        raw & Self::FLAG != 0
+    }
+}
+
+impl fmt::Debug for Xid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Xid({})", self.start_ts())
+    }
+}
+
+impl fmt::Display for Xid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.start_ts())
+    }
+}
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw inner value.
+            #[inline]
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// The internally maintained, monotonically increasing row identifier
+    /// used as the table B-Tree key (§5.1). Row ids are never reused, which
+    /// is what lets the frozen layer be described by a single
+    /// `max_frozen_row_id` watermark.
+    RowId, u64, "r"
+);
+
+id_type!(
+    /// Identifier of an on-disk page slot in the Data Page File (§5.2).
+    PageId, u64, "p"
+);
+
+id_type!(
+    /// Identifier of a relation (table or secondary index). Each relation is
+    /// one B-Tree (§5.1).
+    TableId, u32, "t"
+);
+
+id_type!(
+    /// Index of a worker thread in the co-routine pool (§7.1).
+    WorkerId, u16, "w"
+);
+
+id_type!(
+    /// Global sequence number on WAL records (§8): monotonically increasing
+    /// but *not* unique; bumped on cross-page modifications and used to
+    /// order recovery across per-slot log files.
+    Gsn, u64, "g"
+);
+
+id_type!(
+    /// Log sequence number, strictly monotonic *within one WAL writer* (§8).
+    Lsn, u64, "l"
+);
+
+/// A task slot address: which worker owns it and which slot within that
+/// worker (§7.1). Task slots are the unit the paper attaches WAL writers,
+/// tuple locks, and UNDO arenas to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct SlotId {
+    pub worker: WorkerId,
+    pub slot: u16,
+}
+
+impl SlotId {
+    pub fn new(worker: WorkerId, slot: u16) -> Self {
+        SlotId { worker, slot }
+    }
+
+    /// Flatten to a dense index given a uniform `slots_per_worker`.
+    #[inline]
+    pub fn flat(self, slots_per_worker: usize) -> usize {
+        self.worker.0 as usize * slots_per_worker + self.slot as usize
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s{}", self.worker, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xid_roundtrips_start_timestamp() {
+        for ts in [0, 1, 7, 1 << 20, MAX_TIMESTAMP] {
+            let xid = Xid::from_start_ts(ts);
+            assert_eq!(xid.start_ts(), ts);
+            assert!(Xid::is_xid(xid.raw()));
+            assert_eq!(Xid::from_raw(xid.raw()), Some(xid));
+        }
+    }
+
+    #[test]
+    fn timestamps_are_never_mistaken_for_xids() {
+        for ts in [0u64, 1, 42, MAX_TIMESTAMP] {
+            assert!(!Xid::is_xid(ts));
+            assert_eq!(Xid::from_raw(ts), None);
+        }
+    }
+
+    #[test]
+    fn xid_ordering_follows_start_timestamp() {
+        let a = Xid::from_start_ts(5);
+        let b = Xid::from_start_ts(9);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn slot_id_flattens_densely() {
+        let slots_per_worker = 4;
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..3u16 {
+            for s in 0..4u16 {
+                let id = SlotId::new(WorkerId(w), s);
+                assert!(seen.insert(id.flat(slots_per_worker)));
+            }
+        }
+        assert_eq!(seen.len(), 12);
+        assert_eq!(seen.iter().max(), Some(&11));
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(RowId(7).to_string(), "r7");
+        assert_eq!(SlotId::new(WorkerId(2), 3).to_string(), "w2s3");
+        assert_eq!(Xid::from_start_ts(10).to_string(), "x10");
+    }
+}

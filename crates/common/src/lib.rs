@@ -1,0 +1,19 @@
+//! Shared substrate for PhoebeDB-RS.
+//!
+//! This crate holds the vocabulary types used by every other crate in the
+//! workspace: strongly typed identifiers ([`ids`]), the error type
+//! ([`error`]), kernel configuration ([`config`]), and the per-component
+//! cycle accounting used to reproduce the paper's instruction-breakdown
+//! experiment ([`metrics`]).
+//!
+//! Nothing in here knows about pages, transactions, or logs; it only defines
+//! the shared language the rest of the kernel speaks.
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod metrics;
+
+pub use config::KernelConfig;
+pub use error::{PhoebeError, Result};
+pub use ids::{Gsn, Lsn, PageId, RowId, SlotId, TableId, Timestamp, WorkerId, Xid};

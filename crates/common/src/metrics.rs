@@ -1,0 +1,350 @@
+//! Per-component cycle accounting and operational counters.
+//!
+//! The paper's Exp 7 (Figure 12) breaks the cost of a TPC-C transaction
+//! down into WAL, MVCC, latching, locking, buffer management, GC, and
+//! "effective computation". We reproduce that with scoped timers: every
+//! kernel subsystem wraps its hot sections in [`Metrics::timer`], and the
+//! remainder of a transaction's wall time is attributed to effective
+//! computation. Counters additionally track the I/O volumes needed for
+//! Exp 3/4 (WAL MB/s, data page read/write MB/s).
+//!
+//! To keep the accounting itself off the contended path, counters are
+//! sharded per worker. Worker threads announce themselves once via
+//! [`set_current_worker`]; all other threads fall into a shared external
+//! shard. A snapshot sums the shards.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The cost components of Figure 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Component {
+    /// De-facto transaction work: everything not claimed by the others.
+    Compute = 0,
+    /// Building, copying and flushing WAL records (§8).
+    Wal = 1,
+    /// UNDO creation, version-chain traversal, visibility checks (§6.2).
+    Mvcc = 2,
+    /// Page latch acquisition, including optimistic restarts (§7.2).
+    Latch = 3,
+    /// Tuple / transaction-ID / table lock management (§7.2).
+    Lock = 4,
+    /// Buffer manager: frame allocation, swizzling, page swaps (§5.3).
+    Buffer = 5,
+    /// Garbage collection of UNDO logs, twin tables, deleted tuples (§7.3).
+    Gc = 6,
+}
+
+/// All components, in display order for the breakdown figure.
+pub const COMPONENTS: [Component; 7] = [
+    Component::Compute,
+    Component::Wal,
+    Component::Mvcc,
+    Component::Latch,
+    Component::Lock,
+    Component::Buffer,
+    Component::Gc,
+];
+
+impl Component {
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Compute => "effective computation",
+            Component::Wal => "WAL",
+            Component::Mvcc => "MVCC",
+            Component::Latch => "latching",
+            Component::Lock => "locking",
+            Component::Buffer => "buffer manager",
+            Component::Gc => "GC",
+        }
+    }
+}
+
+const NCOMP: usize = 7;
+
+/// Operational counters used by the throughput/I/O experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    Commits = 0,
+    Aborts = 1,
+    /// Committed TPC-C NewOrder transactions (the tpmC numerator).
+    NewOrders = 2,
+    /// Pages read from the Data Page File into Main Storage.
+    PageReads = 3,
+    /// Pages written (evicted/checkpointed) to the Data Page File.
+    PageWrites = 4,
+    /// Bytes appended to WAL buffers.
+    WalBytes = 5,
+    /// Physical WAL flush operations completed.
+    WalFlushes = 6,
+    /// Bytes physically flushed to WAL files.
+    WalFlushedBytes = 7,
+    /// UNDO logs reclaimed by GC.
+    UndoReclaimed = 8,
+    /// Commits that RFA allowed to skip waiting on remote WAL writers.
+    RfaEarlyCommits = 9,
+    /// Commits that had to wait for a remote (cross-slot) flush.
+    RemoteFlushWaits = 10,
+    /// Optimistic latch validation failures that forced a restart.
+    LatchRestarts = 11,
+    /// Leaf pages compressed into frozen data blocks.
+    PagesFrozen = 12,
+    /// Frozen rows warmed back into hot storage.
+    RowsWarmed = 13,
+}
+
+const NCTR: usize = 14;
+
+/// All counters with stable names (report order).
+pub const COUNTERS: [(Counter, &str); NCTR] = [
+    (Counter::Commits, "commits"),
+    (Counter::Aborts, "aborts"),
+    (Counter::NewOrders, "new_orders"),
+    (Counter::PageReads, "page_reads"),
+    (Counter::PageWrites, "page_writes"),
+    (Counter::WalBytes, "wal_bytes"),
+    (Counter::WalFlushes, "wal_flushes"),
+    (Counter::WalFlushedBytes, "wal_flushed_bytes"),
+    (Counter::UndoReclaimed, "undo_reclaimed"),
+    (Counter::RfaEarlyCommits, "rfa_early_commits"),
+    (Counter::RemoteFlushWaits, "remote_flush_waits"),
+    (Counter::LatchRestarts, "latch_restarts"),
+    (Counter::PagesFrozen, "pages_frozen"),
+    (Counter::RowsWarmed, "rows_warmed"),
+];
+
+#[derive(Default)]
+struct Shard {
+    comp_ns: [AtomicU64; NCOMP],
+    comp_ops: [AtomicU64; NCOMP],
+    counters: [AtomicU64; NCTR],
+}
+
+thread_local! {
+    static CURRENT_WORKER: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Mark the calling thread as worker `id` for metric sharding. Called once
+/// by the runtime when a worker thread starts.
+pub fn set_current_worker(id: usize) {
+    CURRENT_WORKER.with(|c| c.set(id));
+}
+
+/// The worker index of the calling thread, if it is a pool worker.
+pub fn current_worker() -> Option<usize> {
+    let v = CURRENT_WORKER.with(|c| c.get());
+    (v != usize::MAX).then_some(v)
+}
+
+/// Sharded metrics registry; one instance per kernel.
+pub struct Metrics {
+    shards: Box<[Shard]>,
+}
+
+impl Metrics {
+    /// Create a registry for `workers` pool threads (plus one shard for
+    /// everything else: loaders, background threads, tests).
+    pub fn new(workers: usize) -> Self {
+        let mut shards = Vec::with_capacity(workers + 1);
+        shards.resize_with(workers + 1, Shard::default);
+        Metrics { shards: shards.into_boxed_slice() }
+    }
+
+    #[inline]
+    fn shard(&self) -> &Shard {
+        let idx = CURRENT_WORKER.with(|c| c.get());
+        let last = self.shards.len() - 1;
+        &self.shards[if idx < last { idx } else { last }]
+    }
+
+    /// Start a scoped timer attributing elapsed time to `component`.
+    #[inline]
+    pub fn timer(&self, component: Component) -> ScopedTimer<'_> {
+        ScopedTimer { metrics: self, component, start: Instant::now() }
+    }
+
+    /// Record `ns` nanoseconds and one operation against `component`.
+    #[inline]
+    pub fn record(&self, component: Component, ns: u64) {
+        let s = self.shard();
+        s.comp_ns[component as usize].fetch_add(ns, Ordering::Relaxed);
+        s.comp_ops[component as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bump a counter by `n`.
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        self.shard().counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Bump a counter by one.
+    #[inline]
+    pub fn incr(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Sum all shards into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for s in self.shards.iter() {
+            for i in 0..NCOMP {
+                snap.comp_ns[i] += s.comp_ns[i].load(Ordering::Relaxed);
+                snap.comp_ops[i] += s.comp_ops[i].load(Ordering::Relaxed);
+            }
+            for i in 0..NCTR {
+                snap.counters[i] += s.counters[i].load(Ordering::Relaxed);
+            }
+        }
+        snap
+    }
+}
+
+/// RAII guard produced by [`Metrics::timer`].
+pub struct ScopedTimer<'a> {
+    metrics: &'a Metrics,
+    component: Component,
+    start: Instant,
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos() as u64;
+        self.metrics.record(self.component, ns);
+    }
+}
+
+/// A summed, point-in-time view of a [`Metrics`] registry.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    comp_ns: [u64; NCOMP],
+    comp_ops: [u64; NCOMP],
+    counters: [u64; NCTR],
+}
+
+impl MetricsSnapshot {
+    pub fn component_ns(&self, c: Component) -> u64 {
+        self.comp_ns[c as usize]
+    }
+
+    pub fn component_ops(&self, c: Component) -> u64 {
+        self.comp_ops[c as usize]
+    }
+
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// `self - earlier`, element-wise (for interval reporting).
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for i in 0..NCOMP {
+            out.comp_ns[i] = self.comp_ns[i].saturating_sub(earlier.comp_ns[i]);
+            out.comp_ops[i] = self.comp_ops[i].saturating_sub(earlier.comp_ops[i]);
+        }
+        for i in 0..NCTR {
+            out.counters[i] = self.counters[i].saturating_sub(earlier.counters[i]);
+        }
+        out
+    }
+
+    /// Component shares of total accounted time, as Figure 12 reports.
+    /// `total_busy_ns` should be the transactions' total wall time; the part
+    /// not claimed by any instrumented component is booked as Compute.
+    pub fn breakdown(&self, total_busy_ns: u64) -> Vec<(Component, f64)> {
+        let instrumented: u64 =
+            COMPONENTS.iter().skip(1).map(|&c| self.component_ns(c)).sum();
+        let total = total_busy_ns.max(instrumented);
+        let compute = total - instrumented;
+        let mut out = Vec::with_capacity(NCOMP);
+        out.push((Component::Compute, compute as f64 / total.max(1) as f64));
+        for &c in COMPONENTS.iter().skip(1) {
+            out.push((c, self.component_ns(c) as f64 / total.max(1) as f64));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_attributes_time_to_component() {
+        let m = Metrics::new(1);
+        {
+            let _t = m.timer(Component::Wal);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let s = m.snapshot();
+        assert!(s.component_ns(Component::Wal) >= 1_000_000);
+        assert_eq!(s.component_ops(Component::Wal), 1);
+        assert_eq!(s.component_ns(Component::Gc), 0);
+    }
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let m = std::sync::Arc::new(Metrics::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|w| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    set_current_worker(w);
+                    for _ in 0..100 {
+                        m.incr(Counter::Commits);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        m.add(Counter::Commits, 5); // external shard
+        assert_eq!(m.snapshot().counter(Counter::Commits), 205);
+    }
+
+    #[test]
+    fn delta_subtracts_elementwise() {
+        let m = Metrics::new(1);
+        m.add(Counter::WalBytes, 100);
+        let a = m.snapshot();
+        m.add(Counter::WalBytes, 50);
+        let b = m.snapshot();
+        assert_eq!(b.delta_since(&a).counter(Counter::WalBytes), 50);
+    }
+
+    #[test]
+    fn breakdown_sums_to_one_and_books_remainder_as_compute() {
+        let m = Metrics::new(1);
+        m.record(Component::Wal, 300);
+        m.record(Component::Mvcc, 200);
+        let shares = m.snapshot().breakdown(1_000);
+        let total: f64 = shares.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let compute = shares
+            .iter()
+            .find(|(c, _)| *c == Component::Compute)
+            .unwrap()
+            .1;
+        assert!((compute - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_handles_overcounted_busy_time() {
+        let m = Metrics::new(1);
+        m.record(Component::Wal, 2_000);
+        // busy time below instrumented time must not underflow
+        let shares = m.snapshot().breakdown(1_000);
+        assert!(shares.iter().all(|(_, f)| *f >= 0.0));
+    }
+
+    #[test]
+    fn external_threads_use_last_shard() {
+        set_current_worker(usize::MAX); // ensure unset semantics on this thread
+        let m = Metrics::new(3);
+        m.incr(Counter::Aborts);
+        assert_eq!(m.snapshot().counter(Counter::Aborts), 1);
+    }
+}

@@ -1,0 +1,415 @@
+//! The PhoebeDB kernel: wiring storage, transactions, WAL and the
+//! co-routine runtime into one database object (§4, Figure 1).
+
+use crate::catalog::{IndexDef, IndexEntry, TableEntry};
+use crate::txn_api::Transaction;
+use parking_lot::{Mutex, RwLock};
+use phoebe_common::error::{PhoebeError, Result};
+use phoebe_common::ids::{TableId, Timestamp};
+use phoebe_common::metrics::{Component, Counter, Metrics};
+use phoebe_common::KernelConfig;
+use phoebe_runtime::{Runtime, RuntimeConfig, WorkerHook};
+use phoebe_storage::schema::{ColType, Schema};
+use phoebe_storage::{BTree, BufferPool, FrozenStore, TreeKind};
+use phoebe_txn::locks::IsolationLevel;
+use phoebe_txn::{ActiveTxnTable, GcEngine, GcStats, TwinRegistry, UndoArena, UndoLog, UndoOp};
+use phoebe_wal::{recover_dir, RecordBody, WalHub};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// Extra task-slot identities reserved for threads outside the co-routine
+/// pool (loaders, tests, maintenance). They get their own UNDO arenas and
+/// WAL writers so the slot-serial invariants hold for them too.
+pub const EXTERNAL_SLOTS: usize = 8;
+
+/// The database kernel.
+pub struct Database {
+    pub cfg: KernelConfig,
+    pub metrics: Arc<Metrics>,
+    pub clock: phoebe_txn::GlobalClock,
+    pub pool: Arc<BufferPool>,
+    pub wal: Arc<WalHub>,
+    pub twins: Arc<TwinRegistry>,
+    pub active: ActiveTxnTable,
+    arenas: Vec<Arc<UndoArena>>,
+    pub tuple_locks: Vec<phoebe_txn::locks::TupleLockSlot>,
+    gc: GcEngine,
+    catalog: RwLock<Vec<Arc<TableEntry>>>,
+    by_name: RwLock<HashMap<String, usize>>,
+    next_table_id: AtomicU32,
+    external_free: Mutex<Vec<usize>>,
+    txns_since_gc: Vec<AtomicU64>,
+    runtime: RwLock<Option<Arc<Runtime>>>,
+}
+
+struct HubBarrier(Arc<WalHub>);
+
+impl phoebe_storage::WalBarrier for HubBarrier {
+    fn ensure_durable(&self, gsn: u64) {
+        self.0.ensure_durable_gsn_blocking(gsn);
+    }
+}
+
+/// Per-worker background duties (§7.1, Figure 6): page swaps when the
+/// partition's free frames fall below the watermark, and GC after every
+/// `gc_every_txns` transactions — run on the worker that owns the data.
+struct KernelHook {
+    db: Weak<Database>,
+}
+
+impl WorkerHook for KernelHook {
+    fn tick(&self, worker: usize) {
+        let Some(db) = self.db.upgrade() else {
+            return;
+        };
+        // Page-swap duty.
+        let fpp = db.pool.total_frames() / db.pool.partition_count();
+        let watermark = ((fpp as f64) * db.cfg.free_frame_watermark) as usize;
+        if db.pool.free_frames(worker) < watermark {
+            let _t = db.metrics.timer(Component::Buffer);
+            db.pool.stage_cooling(worker, 8);
+            for _ in 0..8 {
+                if db.pool.free_frames(worker) >= watermark {
+                    break;
+                }
+                if !db.pool.evict_one(worker).unwrap_or(false) {
+                    break;
+                }
+            }
+        }
+        // GC duty for this worker's slots.
+        let due = db.txns_since_gc[worker].load(Ordering::Relaxed) >= db.cfg.gc_every_txns;
+        if due {
+            db.txns_since_gc[worker].store(0, Ordering::Relaxed);
+            let _t = db.metrics.timer(Component::Gc);
+            let min_active = db.active.min_active_start(db.clock.current());
+            let spw = db.cfg.slots_per_worker;
+            for slot in worker * spw..(worker + 1) * spw {
+                db.collect_slot(slot, min_active);
+            }
+        }
+    }
+}
+
+impl Database {
+    /// Open a kernel: build the buffer pool, WAL hub, runtime and GC, and
+    /// wire the cross-layer hooks (write barrier, worker duties).
+    pub fn open(cfg: KernelConfig) -> Result<Arc<Self>> {
+        std::fs::create_dir_all(&cfg.data_dir)?;
+        let metrics = Arc::new(Metrics::new(cfg.workers));
+        let pool = BufferPool::new(
+            cfg.buffer_frames,
+            cfg.workers,
+            &cfg.data_dir,
+            Arc::clone(&metrics),
+        )?;
+        let total_slots = cfg.total_slots() + EXTERNAL_SLOTS;
+        let wal = WalHub::new(
+            &cfg.data_dir.join("wal"),
+            total_slots,
+            2,
+            Duration::from_micros(cfg.wal_group_commit_us),
+            cfg.wal_sync,
+            Arc::clone(&metrics),
+        )?;
+        pool.set_wal_barrier(Arc::new(HubBarrier(Arc::clone(&wal))));
+        let arenas: Vec<_> = (0..total_slots).map(|_| Arc::new(UndoArena::new())).collect();
+        let twins = Arc::new(TwinRegistry::new());
+        let gc = GcEngine::new(arenas.clone(), Arc::clone(&twins));
+        let db = Arc::new(Database {
+            active: ActiveTxnTable::new(total_slots),
+            tuple_locks: (0..total_slots).map(|_| Default::default()).collect(),
+            arenas,
+            twins,
+            gc,
+            catalog: RwLock::new(Vec::new()),
+            by_name: RwLock::new(HashMap::new()),
+            next_table_id: AtomicU32::new(1),
+            external_free: Mutex::new(
+                (cfg.total_slots()..total_slots).rev().collect(),
+            ),
+            txns_since_gc: (0..cfg.workers).map(|_| AtomicU64::new(0)).collect(),
+            runtime: RwLock::new(None),
+            clock: phoebe_txn::GlobalClock::new(),
+            metrics,
+            pool,
+            wal,
+            cfg,
+        });
+        // Start the co-routine pool and install the worker duties.
+        let rt = Runtime::new(RuntimeConfig::new(db.cfg.workers, db.cfg.slots_per_worker));
+        rt.set_hook(Arc::new(KernelHook { db: Arc::downgrade(&db) }));
+        *db.runtime.write() = Some(rt);
+        Ok(db)
+    }
+
+    /// The co-routine runtime (spawn transactions through this).
+    pub fn runtime(&self) -> Arc<Runtime> {
+        self.runtime.read().clone().expect("runtime running")
+    }
+
+    /// Flush WAL, stop the runtime and background machinery.
+    pub fn shutdown(&self) {
+        if let Some(rt) = self.runtime.write().take() {
+            rt.shutdown();
+        }
+        let _ = self.wal.flush_all();
+        self.wal.shutdown();
+    }
+
+    pub(crate) fn arena(&self, slot: usize) -> &Arc<UndoArena> {
+        &self.arenas[slot]
+    }
+
+    /// Total task slots including the external pool.
+    pub fn total_slots(&self) -> usize {
+        self.arenas.len()
+    }
+
+    pub(crate) fn checkout_external_slot(&self) -> usize {
+        self.external_free
+            .lock()
+            .pop()
+            .expect("external slot pool exhausted: too many concurrent non-pool transactions")
+    }
+
+    pub(crate) fn return_external_slot(&self, slot: usize) {
+        self.external_free.lock().push(slot);
+    }
+
+    pub(crate) fn note_txn_done(&self) {
+        if let Some(w) = phoebe_common::metrics::current_worker() {
+            if w < self.txns_since_gc.len() {
+                self.txns_since_gc[w].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Catalog
+    // ------------------------------------------------------------------
+
+    /// Create a table. Table ids are assigned in creation order, which is
+    /// what ties WAL records back to relations at recovery.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<Arc<TableEntry>> {
+        let id = TableId(self.next_table_id.fetch_add(1, Ordering::Relaxed));
+        let tree = BTree::create(
+            Arc::clone(&self.pool),
+            id,
+            TreeKind::Table,
+            Arc::clone(&self.metrics),
+        )?;
+        let types: Vec<ColType> = schema.types().to_vec();
+        let frozen = FrozenStore::create(
+            &self.cfg.data_dir.join(format!("frozen_{}.db", id.raw())),
+            types,
+        )?;
+        let entry = Arc::new(TableEntry::new(id, name.to_owned(), schema, tree, frozen));
+        let mut cat = self.catalog.write();
+        let idx = cat.len();
+        cat.push(Arc::clone(&entry));
+        self.by_name.write().insert(name.to_owned(), idx);
+        Ok(entry)
+    }
+
+    /// Create a secondary index over `key_cols` of `table`.
+    pub fn create_index(
+        &self,
+        table: &Arc<TableEntry>,
+        name: &str,
+        key_cols: Vec<usize>,
+        unique: bool,
+    ) -> Result<Arc<IndexEntry>> {
+        let id = TableId(self.next_table_id.fetch_add(1, Ordering::Relaxed));
+        let tree = BTree::create(
+            Arc::clone(&self.pool),
+            id,
+            TreeKind::Index,
+            Arc::clone(&self.metrics),
+        )?;
+        let entry = Arc::new(IndexEntry {
+            id,
+            def: IndexDef { name: name.to_owned(), key_cols, unique },
+            tree,
+        });
+        table.indexes.write().push(Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Look a table up by name.
+    pub fn table(&self, name: &str) -> Result<Arc<TableEntry>> {
+        let by_name = self.by_name.read();
+        let idx = *by_name
+            .get(name)
+            .ok_or_else(|| PhoebeError::internal(format!("no table named '{name}'")))?;
+        Ok(Arc::clone(&self.catalog.read()[idx]))
+    }
+
+    /// Look a table up by id (WAL replay, GC callbacks).
+    pub fn table_by_id(&self, id: TableId) -> Result<Arc<TableEntry>> {
+        self.catalog
+            .read()
+            .iter()
+            .find(|t| t.id == id)
+            .cloned()
+            .ok_or(PhoebeError::NoSuchTable(id))
+    }
+
+    pub fn tables(&self) -> Vec<Arc<TableEntry>> {
+        self.catalog.read().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction at `iso`. Inside the co-routine pool the current
+    /// task slot is used; external threads check out a reserved slot.
+    pub fn begin(self: &Arc<Self>, iso: IsolationLevel) -> Transaction {
+        Transaction::start(Arc::clone(self), iso)
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection (§7.3)
+    // ------------------------------------------------------------------
+
+    /// Reclaim one slot's UNDO arena, physically deleting tuples whose
+    /// deletion became globally visible.
+    pub fn collect_slot(&self, slot: usize, min_active: Timestamp) -> GcStats {
+        let stats = self.gc.collect_slot(slot, min_active, |log| {
+            self.physically_delete(log);
+        });
+        if stats.undo_reclaimed > 0 {
+            self.metrics.add(Counter::UndoReclaimed, stats.undo_reclaimed as u64);
+        }
+        stats
+    }
+
+    /// Full GC round across all slots + twin-table reclamation.
+    pub fn collect_all(&self) -> GcStats {
+        let min_active = self.active.min_active_start(self.clock.current());
+        let stats = self.gc.collect_all(min_active, |log| {
+            self.physically_delete(log);
+        });
+        self.metrics.add(Counter::UndoReclaimed, stats.undo_reclaimed as u64);
+        stats
+    }
+
+    /// Physically remove a deleted tuple (and its index entries) once its
+    /// deletion is globally visible (§7.3 "GC for deleted tuples").
+    fn physically_delete(&self, log: &Arc<UndoLog>) {
+        let Ok(table) = self.table_by_id(log.table) else {
+            return;
+        };
+        match &log.op {
+            UndoOp::Delete { row_image } => {
+                let _ = table.tree.table_modify(log.row, |leaf, idx, _, _| {
+                    leaf.mark_deleted(idx);
+                });
+                for index in table.all_indexes() {
+                    let key = index.key_for(&table.schema, row_image, log.row);
+                    let _ = index.tree.index_remove(&key);
+                }
+            }
+            UndoOp::FrozenDelete { row_image } => {
+                for index in table.all_indexes() {
+                    let key = index.key_for(&table.schema, row_image, log.row);
+                    let _ = index.tree.index_remove(&key);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery (§8)
+    // ------------------------------------------------------------------
+
+    /// Replay a WAL directory into this kernel. The catalog must already
+    /// contain the tables with the same creation order (catalog operations
+    /// are not logged — the schema is application-defined, as with the
+    /// paper's UDF-driven deployments). Returns replayed transaction count.
+    pub fn replay_wal(self: &Arc<Self>, dir: &std::path::Path) -> Result<usize> {
+        let txns = recover_dir(dir)?;
+        let n = txns.len();
+        for txn in txns {
+            for op in txn.ops {
+                match op {
+                    RecordBody::Insert { table, row, tuple } => {
+                        let t = self.table_by_id(table)?;
+                        t.bump_row_id(row);
+                        t.tree.table_append(&t.layout, row, &tuple, |_, _, _, _| {})?;
+                        for index in t.all_indexes() {
+                            let key = index.key_for(&t.schema, &tuple, row);
+                            index.tree.index_insert(&key, row)?;
+                        }
+                    }
+                    RecordBody::Update { table, row, delta } => {
+                        let t = self.table_by_id(table)?;
+                        t.tree.table_modify(row, |leaf, idx, _, _| {
+                            for (col, v) in &delta {
+                                leaf.write_col(&t.layout, idx, *col as usize, v);
+                            }
+                        })?;
+                    }
+                    RecordBody::Delete { table, row } => {
+                        let t = self.table_by_id(table)?;
+                        // Frozen rows: tombstone; hot rows: physical remove.
+                        if row.raw() <= t.frozen.max_frozen_row_id() {
+                            t.frozen.mark_deleted(row);
+                            continue;
+                        }
+                        let image = t.tree.table_read(row, |leaf, idx, _, _| {
+                            leaf.read_row(&t.layout, idx)
+                        })?;
+                        if let Some(image) = image {
+                            t.tree.table_modify(row, |leaf, idx, _, _| {
+                                leaf.mark_deleted(idx);
+                            })?;
+                            for index in t.all_indexes() {
+                                let key = index.key_for(&t.schema, &image, row);
+                                let _ = index.tree.index_remove(&key);
+                            }
+                        }
+                    }
+                    RecordBody::Begin | RecordBody::Commit { .. } | RecordBody::Abort => {}
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Convenience for tests/diagnostics: count visible rows of a table by
+    /// scanning leaves + the frozen store.
+    pub fn approximate_row_count(&self, table: &Arc<TableEntry>) -> Result<usize> {
+        let mut n = 0usize;
+        table.tree.table_for_each_leaf(|_, leaf| {
+            n += leaf.live_rows();
+            true
+        })?;
+        table.frozen.scan(|_, _| {
+            n += 1;
+            true
+        })?;
+        Ok(n)
+    }
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        if let Some(rt) = self.runtime.write().take() {
+            rt.shutdown();
+        }
+        self.wal.shutdown();
+    }
+}
+
+/// Helper for examples and tests: a `Value` vector from mixed literals.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        vec![$(phoebe_storage::schema::Value::from($v)),*]
+    };
+}

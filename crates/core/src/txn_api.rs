@@ -1,0 +1,673 @@
+//! The transaction API (§6): PostgreSQL-compatible snapshot isolation over
+//! in-place updates with in-memory UNDO.
+//!
+//! A [`Transaction`] runs on one task slot (its co-routine's slot inside
+//! the pool, or a checked-out external slot), which determines its UNDO
+//! arena, WAL writer and tuple-lock slot. Reads never block: Algorithm 1
+//! reconstructs the visible version from the twin table's chain. Writes
+//! acquire the tuple claim under the leaf latch; a write-write conflict
+//! waits on the holder's transaction-ID lock, then retries (read
+//! committed) or aborts if the holder committed (repeatable read, §6.2).
+//!
+//! Writes to rows behind the `max_frozen_row_id` watermark are out of
+//! place (§5.2): the frozen row is tombstoned and, for updates, the new
+//! version is inserted hot under a fresh row id.
+
+use crate::catalog::{IndexEntry, TableEntry};
+use crate::db::Database;
+use phoebe_common::error::{PhoebeError, Result};
+use phoebe_common::ids::{RowId, Timestamp, Xid};
+use phoebe_common::metrics::{Component, Counter};
+use phoebe_storage::schema::Value;
+use phoebe_txn::clock::Snapshot;
+use phoebe_txn::locks::{IsolationLevel, TxnHandle, TxnOutcome};
+use phoebe_txn::visibility::{check_visibility, VisibleVersion};
+use phoebe_txn::undo::{UndoLog, UndoOp};
+use phoebe_wal::writer::RfaState;
+use phoebe_wal::RecordBody;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Outcome of one latched write attempt.
+enum WriteAttempt {
+    Done,
+    /// Another transaction holds the tuple: wait on its ID lock.
+    Wait(Arc<TxnHandle>),
+    /// Repeatable read lost a write-write race to a committed writer.
+    Conflict(Xid),
+    /// The visible version is a deletion.
+    Gone,
+    /// The twin table died under us; refetch and retry.
+    Retry,
+}
+
+/// An open transaction. Obtain via [`Database::begin`]; finish with
+/// [`Transaction::commit`] or [`Transaction::abort`] (dropping an open
+/// transaction rolls it back).
+pub struct Transaction {
+    db: Arc<Database>,
+    slot: usize,
+    external: bool,
+    xid: Xid,
+    start_ts: Timestamp,
+    iso: IsolationLevel,
+    snapshot: Snapshot,
+    handle: Arc<TxnHandle>,
+    undo: Vec<Arc<UndoLog>>,
+    rfa: RfaState,
+    wal_begun: bool,
+    finished: bool,
+}
+
+impl Transaction {
+    pub(crate) fn start(db: Arc<Database>, iso: IsolationLevel) -> Transaction {
+        let (slot, external) = match phoebe_runtime::current_slot() {
+            Some(id) => (id.flat(db.cfg.slots_per_worker), false),
+            None => (db.checkout_external_slot(), true),
+        };
+        let (xid, start_ts) = db.clock.begin();
+        // O(1) snapshot acquisition (§6.1): one atomic load.
+        let snapshot = db.clock.snapshot();
+        db.active.begin(slot, start_ts);
+        let handle = TxnHandle::new(xid);
+        Transaction {
+            db,
+            slot,
+            external,
+            xid,
+            start_ts,
+            iso,
+            snapshot,
+            handle,
+            undo: Vec::new(),
+            rfa: RfaState::default(),
+            wal_begun: false,
+            finished: false,
+        }
+    }
+
+    pub fn xid(&self) -> Xid {
+        self.xid
+    }
+
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    pub fn isolation(&self) -> IsolationLevel {
+        self.iso
+    }
+
+    /// The snapshot governing the next statement: fixed for repeatable
+    /// read, refreshed per statement for read committed (§6.1).
+    fn stmt_snapshot(&mut self) -> Snapshot {
+        if self.iso == IsolationLevel::ReadCommitted {
+            self.snapshot = self.db.clock.snapshot();
+        }
+        self.snapshot
+    }
+
+    fn ensure_wal_begin(&mut self) {
+        if !self.wal_begun {
+            let gsn = self.db.wal.current_gsn();
+            self.db.wal.log_op(self.slot, self.xid, gsn, RecordBody::Begin);
+            self.wal_begun = true;
+        }
+    }
+
+    fn lock_timeout(&self) -> Duration {
+        Duration::from_millis(self.db.cfg.lock_timeout_ms)
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Read the visible version of `row`, or `None` if no version is
+    /// visible in this snapshot.
+    pub fn read(&mut self, table: &Arc<TableEntry>, row: RowId) -> Result<Option<Vec<Value>>> {
+        let snapshot = self.stmt_snapshot();
+        // Frozen rows are globally visible by construction (§5.2).
+        if row.raw() <= table.frozen.max_frozen_row_id() {
+            return table.frozen.get(row);
+        }
+        let pair = table.tree.table_read(row, |leaf, idx, first, _| {
+            let tuple = leaf.read_row(&table.layout, idx);
+            let head = self.db.twins.get((table.id, first)).and_then(|t| t.head(row));
+            (tuple, head)
+        })?;
+        let Some((tuple, head)) = pair else {
+            return Ok(None);
+        };
+        let _t = self.db.metrics.timer(Component::Mvcc);
+        Ok(match check_visibility(&tuple, head.as_ref(), self.xid, snapshot) {
+            VisibleVersion::Current => Some(tuple),
+            VisibleVersion::Rebuilt(t) => Some(t),
+            VisibleVersion::Invisible => None,
+        })
+    }
+
+    /// Point lookup through a unique index, returning the row id and the
+    /// visible tuple.
+    pub fn lookup_unique(
+        &mut self,
+        table: &Arc<TableEntry>,
+        index: &Arc<IndexEntry>,
+        key: &[Value],
+    ) -> Result<Option<(RowId, Vec<Value>)>> {
+        debug_assert!(index.def.unique, "lookup_unique on a non-unique index");
+        let encoded = index.prefix_for(&table.schema, key);
+        let Some(row) = index.tree.index_get(&encoded)? else {
+            return Ok(None);
+        };
+        Ok(self.read(table, row)?.map(|t| (row, t)))
+    }
+
+    /// Collect up to `limit` visible rows whose index key starts with
+    /// `prefix`, in key order.
+    pub fn scan_index(
+        &mut self,
+        table: &Arc<TableEntry>,
+        index: &Arc<IndexEntry>,
+        prefix: &[Value],
+        limit: usize,
+    ) -> Result<Vec<(RowId, Vec<Value>)>> {
+        let (low, high) = index.range_for(&table.schema, prefix);
+        let mut candidates = Vec::new();
+        index.tree.index_range(&low, &high, |_, row| {
+            candidates.push(row);
+            true
+        })?;
+        let mut out = Vec::with_capacity(limit.min(candidates.len()));
+        for row in candidates {
+            if let Some(t) = self.read(table, row)? {
+                out.push((row, t));
+                if out.len() >= limit {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Insert a tuple; returns its fresh row id.
+    ///
+    /// The row id is drawn inside the rightmost leaf's latch (allocation
+    /// order = append order, the monotonic-key invariant of §5.1), with the
+    /// twin entry installed before the tuple becomes readable. Index
+    /// entries follow; a unique violation compensates the append.
+    pub async fn insert(&mut self, table: &Arc<TableEntry>, tuple: Vec<Value>) -> Result<RowId> {
+        table.schema.check(table.id, &tuple)?;
+        self.ensure_wal_begin();
+        let db = Arc::clone(&self.db);
+        let (xid, start_ts, slot) = (self.xid, self.start_ts, self.slot);
+        let handle = Arc::clone(&self.handle);
+        let rfa = &mut self.rfa;
+        let mut new_log = None;
+        let alloc = || table.next_row_id();
+        let (row, _fid, _first) = table.tree.table_append_alloc(
+            &table.layout,
+            &alloc,
+            &tuple,
+            |_leaf, _idx, first, fid| {
+                // Twin entry installed while the tuple is still invisible
+                // to readers (we hold the leaf exclusively).
+                let row = _leaf.row_id_at(_idx);
+                let log = UndoLog::new(
+                    table.id,
+                    row,
+                    first,
+                    UndoOp::Insert,
+                    Arc::clone(&handle),
+                    None,
+                );
+                loop {
+                    let twin = db.twins.get_or_create((table.id, first));
+                    if twin.set_head(row, Arc::clone(&log), start_ts) {
+                        break;
+                    }
+                }
+                // WAL + RFA stamping (§8).
+                let meta = &db.pool.frame(fid).meta;
+                let page_gsn = meta.page_gsn.load(Ordering::Relaxed);
+                let lw = meta.last_writer_slot.load(Ordering::Relaxed);
+                let last_writer = (lw != u64::MAX).then_some(lw as usize);
+                let gsn = db.wal.stamp_write(rfa, page_gsn, last_writer, slot);
+                db.wal.log_op(
+                    slot,
+                    xid,
+                    gsn,
+                    RecordBody::Insert { table: table.id, row, tuple: tuple.clone() },
+                );
+                meta.page_gsn.fetch_max(gsn, Ordering::Relaxed);
+                meta.last_writer_slot.store(slot as u64, Ordering::Relaxed);
+                new_log = Some(log);
+            },
+        )?;
+        let log = new_log.expect("append ran the callback");
+        // Index maintenance; a unique violation compensates the append so
+        // the transaction can continue (statement-level atomicity).
+        let indexes = table.all_indexes();
+        let mut added: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut failure = None;
+        for (i, index) in indexes.iter().enumerate() {
+            let key = index.key_for(&table.schema, &tuple, row);
+            match index.tree.index_insert(&key, row) {
+                Ok(()) => added.push((i, key)),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = failure {
+            for (i, key) in added {
+                let _ = indexes[i].tree.index_remove(&key);
+            }
+            // Physically retract the tuple and compensate in the WAL so
+            // replay nets out.
+            let _ = table.tree.table_modify(row, |leaf, idx, _, _| {
+                leaf.mark_deleted(idx);
+            });
+            if let Some(twin) = self.db.twins.get((table.id, log.page_key)) {
+                twin.pop_head_if(row, &log);
+            }
+            log.invalidate();
+            let gsn = self.db.wal.current_gsn();
+            self.db.wal.log_op(
+                self.slot,
+                self.xid,
+                gsn,
+                RecordBody::Delete { table: table.id, row },
+            );
+            return Err(e);
+        }
+        self.db.arena(self.slot).push(Arc::clone(&log));
+        self.undo.push(log);
+        Ok(row)
+    }
+
+    /// Update columns of `row` in place with a precomputed delta. Returns
+    /// the row id holding the new version — different from `row` only when
+    /// a frozen row moved back to hot storage (§5.2).
+    pub async fn update(
+        &mut self,
+        table: &Arc<TableEntry>,
+        row: RowId,
+        delta: &[(usize, Value)],
+    ) -> Result<RowId> {
+        self.update_rmw(table, row, &|_| delta.to_vec()).await.map(|(r, _)| r)
+    }
+
+    /// Atomic read-modify-write: `f` computes the delta from the row's
+    /// current (conflict-resolved) version *under the leaf latch*, so
+    /// counter increments like `d_next_o_id` never lose updates. Returns
+    /// the new version's row id and the row `f` observed.
+    pub async fn update_rmw(
+        &mut self,
+        table: &Arc<TableEntry>,
+        row: RowId,
+        f: &(dyn Fn(&[Value]) -> Vec<(usize, Value)> + Sync),
+    ) -> Result<(RowId, Vec<Value>)> {
+        if row.raw() <= table.frozen.max_frozen_row_id() {
+            return self.write_frozen_rmw(table, row, Some(f)).await;
+        }
+        self.ensure_wal_begin();
+        loop {
+            let snapshot = self.stmt_snapshot();
+            let mut new_log = None;
+            let mut observed: Option<Vec<Value>> = None;
+            let observed_ref = &mut observed;
+            let attempt = self.latched_write(table, row, snapshot, |leaf, idx, layout| {
+                let current = leaf.read_row(layout, idx);
+                let delta = f(&current);
+                let before = delta
+                    .iter()
+                    .map(|(c, _)| (*c, current[*c].clone()))
+                    .collect();
+                let body = RecordBody::Update {
+                    table: table.id,
+                    row,
+                    delta: delta.iter().map(|(c, v)| (*c as u16, v.clone())).collect(),
+                };
+                *observed_ref = Some(current);
+                (UndoOp::Update { delta: before }, body, delta)
+            }, &mut new_log)?;
+            match attempt {
+                None => return Err(PhoebeError::RowNotFound { table: table.id, row }),
+                Some(WriteAttempt::Done) => {
+                    let log = new_log.expect("write produced a log");
+                    self.db.arena(self.slot).push(Arc::clone(&log));
+                    self.undo.push(log);
+                    return Ok((row, observed.expect("observed row")));
+                }
+                Some(WriteAttempt::Retry) => continue,
+                Some(WriteAttempt::Gone) => {
+                    return Err(PhoebeError::RowNotFound { table: table.id, row })
+                }
+                Some(WriteAttempt::Conflict(holder)) => {
+                    return Err(PhoebeError::WriteConflict { table: table.id, row, holder })
+                }
+                Some(WriteAttempt::Wait(holder)) => {
+                    self.wait_on_writer(table, row, holder).await?;
+                    // Read committed: retry against the newest version.
+                }
+            }
+        }
+    }
+
+    /// Delete `row` (logical: the tuple stays until GC makes the deletion
+    /// globally visible, §7.3).
+    pub async fn delete(&mut self, table: &Arc<TableEntry>, row: RowId) -> Result<()> {
+        if row.raw() <= table.frozen.max_frozen_row_id() {
+            self.write_frozen_rmw(table, row, None).await?;
+            return Ok(());
+        }
+        self.ensure_wal_begin();
+        loop {
+            let snapshot = self.stmt_snapshot();
+            let mut new_log = None;
+            let attempt = self.latched_write(table, row, snapshot, |leaf, idx, layout| {
+                let image = leaf.read_row(layout, idx);
+                (
+                    UndoOp::Delete { row_image: image },
+                    RecordBody::Delete { table: table.id, row },
+                    Vec::new(),
+                )
+            }, &mut new_log)?;
+            match attempt {
+                None => return Err(PhoebeError::RowNotFound { table: table.id, row }),
+                Some(WriteAttempt::Done) => {
+                    let log = new_log.expect("write produced a log");
+                    self.db.arena(self.slot).push(Arc::clone(&log));
+                    self.undo.push(log);
+                    return Ok(());
+                }
+                Some(WriteAttempt::Retry) => continue,
+                Some(WriteAttempt::Gone) => {
+                    return Err(PhoebeError::RowNotFound { table: table.id, row })
+                }
+                Some(WriteAttempt::Conflict(holder)) => {
+                    return Err(PhoebeError::WriteConflict { table: table.id, row, holder })
+                }
+                Some(WriteAttempt::Wait(holder)) => {
+                    self.wait_on_writer(table, row, holder).await?;
+                }
+            }
+        }
+    }
+
+    /// The shared latched write path: conflict check, UNDO creation, twin
+    /// install, WAL/RFA stamping, optional in-place column writes.
+    fn latched_write(
+        &mut self,
+        table: &Arc<TableEntry>,
+        row: RowId,
+        snapshot: Snapshot,
+        build: impl FnOnce(
+            &phoebe_storage::PaxLeaf,
+            usize,
+            &phoebe_storage::PaxLayout,
+        ) -> (UndoOp, RecordBody, Vec<(usize, Value)>),
+        new_log: &mut Option<Arc<UndoLog>>,
+    ) -> Result<Option<WriteAttempt>> {
+        let db = Arc::clone(&self.db);
+        let (xid, start_ts, slot, iso) = (self.xid, self.start_ts, self.slot, self.iso);
+        let handle = Arc::clone(&self.handle);
+        let rfa = &mut self.rfa;
+        table.tree.table_modify(row, |leaf, idx, first, fid| {
+            // Lock-management work (Figure 12 "locking"): the ets
+            // handshake, tuple-lock claim and outcome dispatch.
+            let lock_timer = db.metrics.timer(Component::Lock);
+            let twin = db.twins.get_or_create((table.id, first));
+            let head = twin.head(row).filter(|h| h.is_valid());
+            // Write-write handshake on the chain head's ets (§6.2).
+            if let Some(h) = &head {
+                let ets = h.ets();
+                if Xid::is_xid(ets) && ets != xid.raw() {
+                    match h.writer.outcome() {
+                        None | Some(TxnOutcome::Aborted) => {
+                            // In flight (or aborted but not yet rolled
+                            // back): wait on the holder's ID lock.
+                            return WriteAttempt::Wait(Arc::clone(&h.writer));
+                        }
+                        Some(TxnOutcome::Committed(cts)) => {
+                            if iso == IsolationLevel::RepeatableRead && !snapshot.sees(cts) {
+                                return WriteAttempt::Conflict(h.writer.xid);
+                            }
+                            if matches!(h.op, UndoOp::Delete { .. }) {
+                                return WriteAttempt::Gone;
+                            }
+                        }
+                    }
+                } else if !Xid::is_xid(ets) {
+                    if iso == IsolationLevel::RepeatableRead && !snapshot.sees(ets) {
+                        return WriteAttempt::Conflict(h.writer.xid);
+                    }
+                    if matches!(h.op, UndoOp::Delete { .. }) {
+                        return WriteAttempt::Gone;
+                    }
+                } else if matches!(h.op, UndoOp::Delete { .. }) {
+                    // Our own earlier delete of this row.
+                    return WriteAttempt::Gone;
+                }
+            }
+            // Tuple lock: claimed for the operation, released right after
+            // (§7.2); grant accounting lives in the twin table.
+            db.tuple_locks[slot].claim(table.id, row);
+            twin.record_lock_grant();
+            drop(lock_timer);
+            let _mvcc = db.metrics.timer(Component::Mvcc);
+            let (op, wal_body, apply) = build(leaf, idx, &table.layout);
+            let log =
+                UndoLog::new(table.id, row, first, op, Arc::clone(&handle), head.clone());
+            if !twin.set_head(row, Arc::clone(&log), start_ts) {
+                db.tuple_locks[slot].release();
+                return WriteAttempt::Retry;
+            }
+            drop(_mvcc);
+            // WAL + RFA (§8).
+            let meta = &db.pool.frame(fid).meta;
+            let page_gsn = meta.page_gsn.load(Ordering::Relaxed);
+            let lw = meta.last_writer_slot.load(Ordering::Relaxed);
+            let last_writer = (lw != u64::MAX).then_some(lw as usize);
+            let gsn = db.wal.stamp_write(rfa, page_gsn, last_writer, slot);
+            db.wal.log_op(slot, xid, gsn, wal_body);
+            meta.page_gsn.fetch_max(gsn, Ordering::Relaxed);
+            meta.last_writer_slot.store(slot as u64, Ordering::Relaxed);
+            // In-place update (§5.2).
+            for (c, v) in &apply {
+                leaf.write_col(&table.layout, idx, *c, v);
+            }
+            db.tuple_locks[slot].release();
+            *new_log = Some(log);
+            WriteAttempt::Done
+        })
+    }
+
+    /// Wait on a conflicting writer's transaction-ID lock, applying the
+    /// isolation level's outcome rules (§6.2).
+    async fn wait_on_writer(
+        &mut self,
+        table: &Arc<TableEntry>,
+        row: RowId,
+        holder: Arc<TxnHandle>,
+    ) -> Result<()> {
+        // The sleep itself is idle time, not lock-management instructions;
+        // only the occurrence is accounted (Figure 12 semantics).
+        self.db.metrics.record(Component::Lock, 0);
+        let outcome = holder.wait(self.lock_timeout()).await?;
+        match (self.iso, outcome) {
+            (IsolationLevel::RepeatableRead, TxnOutcome::Committed(_)) => {
+                Err(PhoebeError::WriteConflict { table: table.id, row, holder: holder.xid })
+            }
+            _ => Ok(()), // aborted, or read committed: retry
+        }
+    }
+
+    /// Out-of-place write against a frozen row (§5.2): tombstone it and,
+    /// for updates, re-insert the new version hot under a fresh row id.
+    async fn write_frozen_rmw(
+        &mut self,
+        table: &Arc<TableEntry>,
+        row: RowId,
+        f: Option<&(dyn Fn(&[Value]) -> Vec<(usize, Value)> + Sync)>,
+    ) -> Result<(RowId, Vec<Value>)> {
+        self.ensure_wal_begin();
+        let Some(image) = table.frozen.get(row)? else {
+            return Err(PhoebeError::RowNotFound { table: table.id, row });
+        };
+        table.frozen.mark_deleted(row);
+        let log = UndoLog::new(
+            table.id,
+            row,
+            RowId(0),
+            UndoOp::FrozenDelete { row_image: image.clone() },
+            Arc::clone(&self.handle),
+            None,
+        );
+        let gsn = self.db.wal.current_gsn();
+        self.db.wal.log_op(
+            self.slot,
+            self.xid,
+            gsn,
+            RecordBody::Delete { table: table.id, row },
+        );
+        self.rfa.max_gsn = self.rfa.max_gsn.max(gsn);
+        self.db.arena(self.slot).push(Arc::clone(&log));
+        self.undo.push(log);
+        match f {
+            Some(f) => {
+                let delta = f(&image);
+                let mut new_tuple = image.clone();
+                for (c, v) in &delta {
+                    new_tuple[*c] = v.clone();
+                }
+                let new_row = self.insert(table, new_tuple).await?;
+                Ok((new_row, image))
+            }
+            None => Ok((row, image)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Finish
+    // ------------------------------------------------------------------
+
+    /// Commit. Returns the commit timestamp. Waits for WAL durability per
+    /// the RFA rules when `wal_sync` is on (§8).
+    pub async fn commit(mut self) -> Result<Timestamp> {
+        debug_assert!(!self.finished);
+        if self.undo.is_empty() && !self.wal_begun {
+            // Read-only: nothing to stamp or flush.
+            self.finish_common(TxnOutcome::Committed(self.start_ts));
+            self.db.metrics.incr(Counter::Commits);
+            return Ok(self.start_ts);
+        }
+        let cts = self.db.clock.commit_ts();
+        // Publish the outcome first: readers that catch an unstamped ets
+        // learn the cts through the handle (mid-commit bridge).
+        self.handle.finish(TxnOutcome::Committed(cts));
+        // Single scan over the grouped UNDO logs (§6.2).
+        {
+            let _t = self.db.metrics.timer(Component::Mvcc);
+            for log in &self.undo {
+                log.stamp_commit(cts);
+            }
+        }
+        let wal_result = self.db.wal.commit(self.slot, self.xid, cts, &self.rfa).await;
+        self.finish_slot_state();
+        self.db.metrics.incr(Counter::Commits);
+        wal_result.map(|_| cts)
+    }
+
+    /// Roll back: restore before images, unlink our chain heads, log the
+    /// abort. Synchronous — rollback never waits on anyone.
+    pub fn abort(mut self) {
+        self.rollback();
+    }
+
+    fn rollback(&mut self) {
+        if self.finished {
+            return;
+        }
+        for log in self.undo.iter().rev() {
+            let Ok(table) = self.db.table_by_id(log.table) else {
+                continue;
+            };
+            match &log.op {
+                UndoOp::Update { delta } => {
+                    let delta = delta.clone();
+                    let _ = table.tree.table_modify(log.row, |leaf, idx, _, _| {
+                        for (c, v) in &delta {
+                            leaf.write_col(&table.layout, idx, *c, v);
+                        }
+                    });
+                }
+                UndoOp::Insert => {
+                    // Remove the tuple and its index entries.
+                    let image = table
+                        .tree
+                        .table_read(log.row, |leaf, idx, _, _| leaf.read_row(&table.layout, idx))
+                        .ok()
+                        .flatten();
+                    let _ = table.tree.table_modify(log.row, |leaf, idx, _, _| {
+                        leaf.mark_deleted(idx);
+                    });
+                    if let Some(image) = image {
+                        for index in table.all_indexes() {
+                            let key = index.key_for(&table.schema, &image, log.row);
+                            let _ = index.tree.index_remove(&key);
+                        }
+                    }
+                }
+                UndoOp::Delete { .. } => {
+                    // Logical delete: nothing physical happened yet.
+                }
+                UndoOp::FrozenDelete { .. } => {
+                    table.frozen.unmark_deleted(log.row);
+                }
+            }
+            if let Some(twin) = self.db.twins.get((log.table, log.page_key)) {
+                twin.pop_head_if(log.row, log);
+            }
+            log.invalidate();
+        }
+        if self.wal_begun {
+            let gsn = self.db.wal.current_gsn();
+            self.db.wal.log_op(self.slot, self.xid, gsn, RecordBody::Abort);
+        }
+        self.finish_common(TxnOutcome::Aborted);
+        self.db.metrics.incr(Counter::Aborts);
+    }
+
+    fn finish_common(&mut self, outcome: TxnOutcome) {
+        self.handle.finish(outcome);
+        self.finish_slot_state();
+    }
+
+    fn finish_slot_state(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.db.active.end(self.slot);
+        self.db.note_txn_done();
+        if self.external {
+            self.db.return_external_slot(self.slot);
+        }
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.rollback();
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! Kernel-level integration tests: the full MVCC transaction path over the
+//! tiered storage engine, exercised both from external threads and from
+//! co-routines in the pool.
+
+use phoebe_common::KernelConfig;
+use phoebe_core::{Database, IsolationLevel, TableEntry};
+use phoebe_runtime::block_on;
+use phoebe_storage::schema::{ColType, Schema, Value};
+use std::sync::Arc;
+
+fn open_db() -> Arc<Database> {
+    Database::open(KernelConfig::for_tests()).unwrap()
+}
+
+fn accounts_schema() -> Schema {
+    Schema::new(vec![
+        ("id", ColType::I64),
+        ("owner", ColType::Str(16)),
+        ("balance", ColType::I64),
+    ])
+}
+
+fn make_accounts(db: &Arc<Database>) -> Arc<TableEntry> {
+    let t = db.create_table("accounts", accounts_schema()).unwrap();
+    db.create_index(&t, "accounts_pk", vec![0], true).unwrap();
+    t
+}
+
+fn row(id: i64, owner: &str, balance: i64) -> Vec<Value> {
+    vec![Value::I64(id), Value::Str(owner.into()), Value::I64(balance)]
+}
+
+#[test]
+fn insert_commit_read_roundtrip() {
+    let db = open_db();
+    let t = make_accounts(&db);
+    let rid = block_on(async {
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        let rid = tx.insert(&t, row(1, "alice", 100)).await.unwrap();
+        tx.commit().await.unwrap();
+        rid
+    });
+    let mut tx = db.begin(IsolationLevel::ReadCommitted);
+    let got = tx.read(&t, rid).unwrap().unwrap();
+    assert_eq!(got, row(1, "alice", 100));
+    block_on(tx.commit()).unwrap();
+    db.shutdown();
+}
+
+#[test]
+fn uncommitted_writes_are_invisible_and_own_writes_visible() {
+    let db = open_db();
+    let t = make_accounts(&db);
+    let rid = block_on(async {
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        let rid = tx.insert(&t, row(1, "alice", 100)).await.unwrap();
+        tx.commit().await.unwrap();
+        rid
+    });
+    block_on(async {
+        let mut writer = db.begin(IsolationLevel::ReadCommitted);
+        writer.update(&t, rid, &[(2, Value::I64(999))]).await.unwrap();
+        // Writer sees its own write.
+        assert_eq!(writer.read(&t, rid).unwrap().unwrap()[2], Value::I64(999));
+        // A fresh reader still sees the committed version.
+        let mut reader = db.begin(IsolationLevel::ReadCommitted);
+        assert_eq!(reader.read(&t, rid).unwrap().unwrap()[2], Value::I64(100));
+        reader.commit().await.unwrap();
+        writer.commit().await.unwrap();
+        // Now it is visible.
+        let mut reader2 = db.begin(IsolationLevel::ReadCommitted);
+        assert_eq!(reader2.read(&t, rid).unwrap().unwrap()[2], Value::I64(999));
+        reader2.commit().await.unwrap();
+    });
+    db.shutdown();
+}
+
+#[test]
+fn repeatable_read_keeps_its_snapshot_read_committed_refreshes() {
+    let db = open_db();
+    let t = make_accounts(&db);
+    let rid = block_on(async {
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        let rid = tx.insert(&t, row(1, "alice", 100)).await.unwrap();
+        tx.commit().await.unwrap();
+        rid
+    });
+    block_on(async {
+        let mut rr = db.begin(IsolationLevel::RepeatableRead);
+        let mut rc = db.begin(IsolationLevel::ReadCommitted);
+        assert_eq!(rr.read(&t, rid).unwrap().unwrap()[2], Value::I64(100));
+        assert_eq!(rc.read(&t, rid).unwrap().unwrap()[2], Value::I64(100));
+        // A third transaction bumps the balance and commits.
+        let mut w = db.begin(IsolationLevel::ReadCommitted);
+        w.update(&t, rid, &[(2, Value::I64(150))]).await.unwrap();
+        w.commit().await.unwrap();
+        // RR still sees the old version; RC sees the new one.
+        assert_eq!(rr.read(&t, rid).unwrap().unwrap()[2], Value::I64(100));
+        assert_eq!(rc.read(&t, rid).unwrap().unwrap()[2], Value::I64(150));
+        rr.commit().await.unwrap();
+        rc.commit().await.unwrap();
+    });
+    db.shutdown();
+}
+
+#[test]
+fn abort_rolls_back_updates_inserts_and_index_entries() {
+    let db = open_db();
+    let t = make_accounts(&db);
+    let pk = t.index("accounts_pk").unwrap();
+    let rid = block_on(async {
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        let rid = tx.insert(&t, row(1, "alice", 100)).await.unwrap();
+        tx.commit().await.unwrap();
+        rid
+    });
+    block_on(async {
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        tx.update(&t, rid, &[(2, Value::I64(0))]).await.unwrap();
+        let rid2 = tx.insert(&t, row(2, "bob", 50)).await.unwrap();
+        assert!(tx.read(&t, rid2).unwrap().is_some());
+        tx.abort();
+        let mut check = db.begin(IsolationLevel::ReadCommitted);
+        assert_eq!(check.read(&t, rid).unwrap().unwrap()[2], Value::I64(100));
+        assert!(check.read(&t, rid2).unwrap().is_none(), "inserted row gone");
+        assert!(
+            check.lookup_unique(&t, &pk, &[Value::I64(2)]).unwrap().is_none(),
+            "index entry rolled back"
+        );
+        check.commit().await.unwrap();
+    });
+    db.shutdown();
+}
+
+#[test]
+fn delete_hides_row_then_gc_removes_it_physically() {
+    let db = open_db();
+    let t = make_accounts(&db);
+    let pk = t.index("accounts_pk").unwrap();
+    let rid = block_on(async {
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        let rid = tx.insert(&t, row(7, "gone", 1)).await.unwrap();
+        tx.commit().await.unwrap();
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        tx.delete(&t, rid).await.unwrap();
+        tx.commit().await.unwrap();
+        rid
+    });
+    let mut check = db.begin(IsolationLevel::ReadCommitted);
+    assert!(check.read(&t, rid).unwrap().is_none());
+    block_on(check.commit()).unwrap();
+    // GC: the deletion is globally visible, so the tuple and its index
+    // entry are physically removed.
+    let stats = db.collect_all();
+    assert!(stats.tuples_deleted >= 1, "GC must remove the deleted tuple");
+    let visible = t
+        .tree
+        .table_read(rid, |_, _, _, _| ())
+        .unwrap();
+    assert!(visible.is_none(), "tuple physically gone from the leaf");
+    let mut check = db.begin(IsolationLevel::ReadCommitted);
+    assert!(check.lookup_unique(&t, &pk, &[Value::I64(7)]).unwrap().is_none());
+    block_on(check.commit()).unwrap();
+    db.shutdown();
+}
+
+#[test]
+fn unique_index_rejects_duplicates_atomically() {
+    let db = open_db();
+    let t = make_accounts(&db);
+    block_on(async {
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        tx.insert(&t, row(1, "alice", 100)).await.unwrap();
+        tx.commit().await.unwrap();
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        let err = tx.insert(&t, row(1, "impostor", 0)).await.unwrap_err();
+        assert!(matches!(err, phoebe_common::PhoebeError::DuplicateKey { .. }));
+        tx.abort();
+    });
+    db.shutdown();
+}
+
+#[test]
+fn write_write_conflict_aborts_repeatable_read() {
+    let db = open_db();
+    let t = make_accounts(&db);
+    let rid = block_on(async {
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        let rid = tx.insert(&t, row(1, "alice", 100)).await.unwrap();
+        tx.commit().await.unwrap();
+        rid
+    });
+    block_on(async {
+        // RR transaction takes its snapshot now.
+        let mut rr = db.begin(IsolationLevel::RepeatableRead);
+        let _ = rr.read(&t, rid).unwrap();
+        // A second transaction updates and commits.
+        let mut w = db.begin(IsolationLevel::ReadCommitted);
+        w.update(&t, rid, &[(2, Value::I64(1))]).await.unwrap();
+        w.commit().await.unwrap();
+        // The RR write must fail with a write conflict.
+        let err = rr.update(&t, rid, &[(2, Value::I64(2))]).await.unwrap_err();
+        assert!(err.is_retryable());
+        rr.abort();
+    });
+    db.shutdown();
+}
+
+#[test]
+fn read_committed_waits_and_retries_against_inflight_writer() {
+    let db = open_db();
+    let t = make_accounts(&db);
+    let rid = block_on(async {
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        let rid = tx.insert(&t, row(1, "alice", 100)).await.unwrap();
+        tx.commit().await.unwrap();
+        rid
+    });
+    // Writer A holds the tuple from an external thread; writer B (in a
+    // second thread) must wait until A commits, then apply on top.
+    let db_a = db.clone();
+    let t_a = t.clone();
+    let a = std::thread::spawn(move || {
+        block_on(async {
+            let mut tx = db_a.begin(IsolationLevel::ReadCommitted);
+            tx.update(&t_a, rid, &[(2, Value::I64(200))]).await.unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            tx.commit().await.unwrap();
+        });
+    });
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let db_b = db.clone();
+    let t_b = t.clone();
+    let b = std::thread::spawn(move || {
+        block_on(async {
+            let mut tx = db_b.begin(IsolationLevel::ReadCommitted);
+            tx.update(&t_b, rid, &[(2, Value::I64(300))]).await.unwrap();
+            tx.commit().await.unwrap();
+        });
+    });
+    a.join().unwrap();
+    b.join().unwrap();
+    let mut check = db.begin(IsolationLevel::ReadCommitted);
+    assert_eq!(check.read(&t, rid).unwrap().unwrap()[2], Value::I64(300));
+    block_on(check.commit()).unwrap();
+    db.shutdown();
+}
+
+#[test]
+fn concurrent_transfers_preserve_total_balance() {
+    let db = open_db();
+    let t = make_accounts(&db);
+    const ACCOUNTS: i64 = 10;
+    const PER: i64 = 1_000;
+    let rids: Vec<_> = block_on(async {
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        let mut rids = Vec::new();
+        for i in 0..ACCOUNTS {
+            rids.push(tx.insert(&t, row(i, "acct", PER)).await.unwrap());
+        }
+        tx.commit().await.unwrap();
+        rids
+    });
+    let rt = db.runtime();
+    let handles: Vec<_> = (0..64u64)
+        .map(|i| {
+            let db = db.clone();
+            let t = t.clone();
+            let rids = rids.clone();
+            rt.spawn(async move {
+                let from = rids[(i % ACCOUNTS as u64) as usize];
+                let to = rids[((i + 3) % ACCOUNTS as u64) as usize];
+                if from == to {
+                    return;
+                }
+                loop {
+                    // Atomic read-modify-write: precomputing the new
+                    // balance from a separate read would lose updates
+                    // under read committed (two writers reading the same
+                    // base) — the reason update_rmw exists.
+                    let mut tx = db.begin(IsolationLevel::ReadCommitted);
+                    let r1 = tx
+                        .update_rmw(&t, from, &|cur| {
+                            vec![(2, Value::I64(cur[2].as_i64() - 1))]
+                        })
+                        .await;
+                    let r2 = tx
+                        .update_rmw(&t, to, &|cur| {
+                            vec![(2, Value::I64(cur[2].as_i64() + 1))]
+                        })
+                        .await;
+                    match (r1, r2) {
+                        (Ok(_), Ok(_)) => {
+                            tx.commit().await.unwrap();
+                            return;
+                        }
+                        _ => {
+                            tx.abort();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    let total: i64 = block_on(async {
+        let mut tx = db.begin(IsolationLevel::RepeatableRead);
+        let mut sum = 0;
+        for rid in &rids {
+            sum += tx.read(&t, *rid).unwrap().unwrap()[2].as_i64();
+        }
+        tx.commit().await.unwrap();
+        sum
+    });
+    assert_eq!(total, ACCOUNTS * PER, "money must be conserved");
+    db.shutdown();
+}
+
+#[test]
+fn index_scans_respect_visibility() {
+    let db = open_db();
+    let t = db
+        .create_table(
+            "orders",
+            Schema::new(vec![
+                ("customer", ColType::I32),
+                ("amount", ColType::I64),
+            ]),
+        )
+        .unwrap();
+    let by_cust = db.create_index(&t, "orders_by_customer", vec![0], false).unwrap();
+    block_on(async {
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        for i in 0..20 {
+            tx.insert(&t, vec![Value::I32(i % 4), Value::I64(i as i64)]).await.unwrap();
+        }
+        tx.commit().await.unwrap();
+        // An uncommitted insert for customer 1 must not appear to others.
+        let mut pending = db.begin(IsolationLevel::ReadCommitted);
+        pending.insert(&t, vec![Value::I32(1), Value::I64(999)]).await.unwrap();
+        let mut reader = db.begin(IsolationLevel::ReadCommitted);
+        let rows = reader.scan_index(&t, &by_cust, &[Value::I32(1)], 100).unwrap();
+        assert_eq!(rows.len(), 5, "customers 1 has 5 committed orders");
+        assert!(rows.iter().all(|(_, r)| r[0] == Value::I32(1)));
+        reader.commit().await.unwrap();
+        pending.abort();
+    });
+    db.shutdown();
+}
+
+#[test]
+fn freeze_then_read_from_block_store_then_warm() {
+    let mut cfg = KernelConfig::for_tests();
+    cfg.freeze_access_threshold = u64::MAX; // everything qualifies as cold
+    cfg.freeze_batch_pages = 4;
+    cfg.warm_read_threshold = 3;
+    let db = Database::open(cfg).unwrap();
+    let t = db.create_table("events", Schema::new(vec![("v", ColType::I64)])).unwrap();
+    // Enough rows to fill several leaves.
+    let n: usize = 4000;
+    block_on(async {
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        for i in 0..n {
+            tx.insert(&t, vec![Value::I64(i as i64)]).await.unwrap();
+        }
+        tx.commit().await.unwrap();
+    });
+    let stats = db.freeze_table(&t).unwrap();
+    assert!(stats.rows_frozen > 0, "cold full leaves must freeze");
+    assert!(stats.new_watermark > 0);
+    // Reads of frozen rows come from the Data Block File and stay correct.
+    let mut tx = db.begin(IsolationLevel::ReadCommitted);
+    let frozen_rid = phoebe_common::ids::RowId(1);
+    assert_eq!(tx.read(&t, frozen_rid).unwrap().unwrap()[0], Value::I64(0));
+    for _ in 0..5 {
+        let _ = tx.read(&t, frozen_rid).unwrap();
+    }
+    block_on(tx.commit()).unwrap();
+    // The block got hot: warming moves rows back with fresh row ids.
+    let warm = db.warm_table(&t).unwrap();
+    assert!(warm.blocks_warmed >= 1);
+    assert!(warm.rows_warmed > 0);
+    // Old row id now resolves to nothing; data lives under new ids.
+    let mut tx = db.begin(IsolationLevel::ReadCommitted);
+    assert!(tx.read(&t, frozen_rid).unwrap().is_none());
+    block_on(tx.commit()).unwrap();
+    let count = db.approximate_row_count(&t).unwrap();
+    assert_eq!(count, n, "no rows lost across freeze/warm");
+    db.shutdown();
+}
+
+#[test]
+fn frozen_rows_update_out_of_place() {
+    let mut cfg = KernelConfig::for_tests();
+    cfg.freeze_access_threshold = u64::MAX;
+    cfg.freeze_batch_pages = 2;
+    let db = Database::open(cfg).unwrap();
+    let t = db.create_table("log", Schema::new(vec![("v", ColType::I64)])).unwrap();
+    block_on(async {
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        for i in 0..2500 {
+            tx.insert(&t, vec![Value::I64(i)]).await.unwrap();
+        }
+        tx.commit().await.unwrap();
+    });
+    let stats = db.freeze_table(&t).unwrap();
+    assert!(stats.rows_frozen > 0);
+    let old = phoebe_common::ids::RowId(2);
+    block_on(async {
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        let new_rid = tx.update(&t, old, &[(0, Value::I64(-5))]).await.unwrap();
+        assert_ne!(new_rid, old, "frozen update re-inserts hot");
+        tx.commit().await.unwrap();
+        let mut check = db.begin(IsolationLevel::ReadCommitted);
+        assert!(check.read(&t, old).unwrap().is_none(), "tombstoned");
+        assert_eq!(check.read(&t, new_rid).unwrap().unwrap()[0], Value::I64(-5));
+        check.commit().await.unwrap();
+    });
+    db.shutdown();
+}
+
+#[test]
+fn wal_replay_rebuilds_committed_state() {
+    let cfg = KernelConfig::for_tests();
+    let wal_dir = cfg.data_dir.join("wal");
+    let (rid_keep, rid_dead) = {
+        let db = Database::open(cfg.clone()).unwrap();
+        let t = make_accounts(&db);
+        let out = block_on(async {
+            let mut tx = db.begin(IsolationLevel::ReadCommitted);
+            let keep = tx.insert(&t, row(1, "alice", 100)).await.unwrap();
+            tx.commit().await.unwrap();
+            let mut tx = db.begin(IsolationLevel::ReadCommitted);
+            tx.update(&t, keep, &[(2, Value::I64(175))]).await.unwrap();
+            tx.commit().await.unwrap();
+            // This one aborts: must not reappear after replay.
+            let mut tx = db.begin(IsolationLevel::ReadCommitted);
+            let dead = tx.insert(&t, row(2, "ghost", 1)).await.unwrap();
+            tx.abort();
+            (keep, dead)
+        });
+        db.shutdown();
+        out
+    };
+    // "Restart": fresh kernel over a fresh data dir, same WAL directory.
+    let mut cfg2 = KernelConfig::for_tests();
+    cfg2.data_dir = cfg.data_dir.join("recovered");
+    let db2 = Database::open(cfg2).unwrap();
+    let t2 = make_accounts(&db2);
+    let replayed = db2.replay_wal(&wal_dir).unwrap();
+    assert!(replayed >= 2);
+    let mut tx = db2.begin(IsolationLevel::ReadCommitted);
+    let got = tx.read(&t2, rid_keep).unwrap().unwrap();
+    assert_eq!(got, row(1, "alice", 175), "insert + update replayed");
+    assert!(tx.read(&t2, rid_dead).unwrap().is_none(), "aborted txn absent");
+    block_on(tx.commit()).unwrap();
+    db2.shutdown();
+}
+
+#[test]
+fn snapshot_acquisition_is_single_timestamp() {
+    let db = open_db();
+    // O(1) property smoke check: snapshot cost must not grow with the
+    // number of (idle) slots; we simply assert the snapshot is the clock's
+    // latest issued timestamp.
+    let s1 = db.clock.snapshot();
+    let _ = db.clock.tick();
+    let s2 = db.clock.snapshot();
+    assert!(s2 > s1);
+    db.shutdown();
+}
+
+#[test]
+fn metrics_report_commits_and_wal_traffic() {
+    let db = open_db();
+    let t = make_accounts(&db);
+    block_on(async {
+        for i in 0..10 {
+            let mut tx = db.begin(IsolationLevel::ReadCommitted);
+            tx.insert(&t, row(i, "m", i)).await.unwrap();
+            tx.commit().await.unwrap();
+        }
+    });
+    let snap = db.metrics.snapshot();
+    use phoebe_common::metrics::Counter;
+    assert_eq!(snap.counter(Counter::Commits), 10);
+    assert!(snap.counter(Counter::WalBytes) > 0);
+    assert!(
+        snap.counter(Counter::RfaEarlyCommits) >= 9,
+        "single-slot writes must commit via the RFA fast path"
+    );
+    db.shutdown();
+}

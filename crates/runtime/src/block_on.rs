@@ -1,0 +1,94 @@
+//! A minimal single-future executor for tests and external callers.
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+struct ThreadWaker {
+    thread: std::thread::Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+/// Drive `future` to completion on the calling thread.
+///
+/// This is the escape hatch for code outside the co-routine pool (tests,
+/// examples, loaders). Like the pool's workers it is level-triggered: if a
+/// poll returns `Pending` without a wake, it re-polls after a short park, so
+/// condition-checking futures always make progress.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let mut future = pin!(future);
+    let tw = Arc::new(ThreadWaker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(tw.clone());
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => {
+                if !tw.notified.swap(false, Ordering::AcqRel) {
+                    std::thread::park_timeout(Duration::from_micros(100));
+                    tw.notified.store(false, Ordering::Release);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_returns_value() {
+        assert_eq!(block_on(async { 7 }), 7);
+    }
+
+    #[test]
+    fn block_on_drives_pending_futures() {
+        struct CountDown(u32);
+        impl Future for CountDown {
+            type Output = u32;
+            fn poll(
+                mut self: std::pin::Pin<&mut Self>,
+                cx: &mut Context<'_>,
+            ) -> Poll<u32> {
+                if self.0 == 0 {
+                    Poll::Ready(0)
+                } else {
+                    self.0 -= 1;
+                    cx.waker().wake_by_ref();
+                    Poll::Pending
+                }
+            }
+        }
+        assert_eq!(block_on(CountDown(50)), 0);
+    }
+
+    #[test]
+    fn block_on_survives_wakes_from_other_threads() {
+        let n = Arc::new(crate::Notify::new());
+        let n2 = n.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            n2.notify_all();
+        });
+        block_on(n.notified());
+        t.join().unwrap();
+    }
+}

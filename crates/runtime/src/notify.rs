@@ -1,0 +1,117 @@
+//! A wait/notify primitive for co-routines.
+//!
+//! Used wherever one transaction must sleep until another signals — most
+//! importantly the transaction-ID lock (§7.2): waiters on a finishing
+//! transaction "remain in a sleeping state until B completes and wakes
+//! [them] up", and all shared waiters are released simultaneously.
+//!
+//! The implementation is generation-counted: `notified()` snapshots the
+//! generation, and completes once the generation has advanced, so a
+//! notification that races ahead of the waiter's first poll is never lost.
+
+use parking_lot::Mutex;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::task::{Context, Poll, Waker};
+
+/// A multi-waiter notification cell.
+#[derive(Default)]
+pub struct Notify {
+    generation: AtomicU64,
+    waiters: Mutex<Vec<Waker>>,
+}
+
+impl Notify {
+    pub fn new() -> Self {
+        Notify::default()
+    }
+
+    /// Wake every current waiter. Waiters that subscribe after this call
+    /// wait for the *next* notification.
+    pub fn notify_all(&self) {
+        self.generation.fetch_add(1, Ordering::Release);
+        let waiters = std::mem::take(&mut *self.waiters.lock());
+        for w in waiters {
+            w.wake();
+        }
+    }
+
+    /// A future that completes at the next [`Notify::notify_all`] after its
+    /// creation.
+    pub fn notified(&self) -> Notified<'_> {
+        Notified { notify: self, seen: self.generation.load(Ordering::Acquire) }
+    }
+
+    /// Number of notifications issued so far (diagnostics/tests).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+pub struct Notified<'a> {
+    notify: &'a Notify,
+    seen: u64,
+}
+
+impl Future for Notified<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.notify.generation.load(Ordering::Acquire) != self.seen {
+            return Poll::Ready(());
+        }
+        let mut waiters = self.notify.waiters.lock();
+        // Re-check under the lock: notify_all may have fired in between.
+        if self.notify.generation.load(Ordering::Acquire) != self.seen {
+            return Poll::Ready(());
+        }
+        waiters.push(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_on;
+    use std::sync::Arc;
+
+    #[test]
+    fn notified_after_notify_completes_immediately_if_generation_moved() {
+        let n = Notify::new();
+        let fut = n.notified();
+        n.notify_all();
+        block_on(fut);
+    }
+
+    #[test]
+    fn notified_created_after_notify_waits_for_next() {
+        let n = Arc::new(Notify::new());
+        n.notify_all();
+        let n2 = n.clone();
+        let waiter = std::thread::spawn(move || block_on(n2.notified()));
+        // Give the waiter time to subscribe, then release it.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        n.notify_all();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn notify_all_releases_every_waiter_simultaneously() {
+        let n = Arc::new(Notify::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let n = n.clone();
+                std::thread::spawn(move || block_on(n.notified()))
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        n.notify_all();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.generation(), 1);
+    }
+}

@@ -1,0 +1,522 @@
+//! The worker pool and pull-based scheduler (§7.1).
+
+use crate::task::{enter_slot, waker_for, Completer, JoinHandle, Task, WakeState};
+use crate::yield_point::{take_last_urgency, Urgency};
+use crossbeam::deque::{Injector, Steal};
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::panic::AssertUnwindSafe;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+/// Pool shape. `workers × slots_per_worker` bounds transaction concurrency,
+/// exactly as §7.1 describes ("the configured number of worker threads and
+/// the task slots determine transaction concurrency").
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    pub workers: usize,
+    pub slots_per_worker: usize,
+    /// How long an idle worker parks before a forced re-poll round.
+    pub park_timeout: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            slots_per_worker: 32,
+            park_timeout: Duration::from_micros(100),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    pub fn new(workers: usize, slots_per_worker: usize) -> Self {
+        RuntimeConfig { workers, slots_per_worker, ..RuntimeConfig::default() }
+    }
+}
+
+/// Per-worker duties run between scheduling rounds. The kernel installs a
+/// hook that performs the paper's dedicated-slot work: page swaps when free
+/// frames drop below the watermark, and UNDO GC every N transactions
+/// (§7.1, Figure 6).
+pub trait WorkerHook: Send + Sync + 'static {
+    fn tick(&self, worker: usize);
+}
+
+/// Scheduler statistics (observability + tests).
+#[derive(Debug, Default, Clone)]
+pub struct RuntimeStats {
+    pub tasks_completed: u64,
+    pub polls: u64,
+    pub parks: u64,
+    pub tasks_pulled_global: u64,
+    pub tasks_pulled_local: u64,
+    pub urgent_pull_stalls: u64,
+}
+
+#[derive(Default)]
+struct WorkerStats {
+    tasks_completed: AtomicU64,
+    polls: AtomicU64,
+    parks: AtomicU64,
+    pulled_global: AtomicU64,
+    pulled_local: AtomicU64,
+    urgent_pull_stalls: AtomicU64,
+}
+
+struct Shared {
+    cfg: RuntimeConfig,
+    injector: Injector<Task>,
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    worker_threads: RwLock<Vec<std::thread::Thread>>,
+    hook: RwLock<Option<Arc<dyn WorkerHook>>>,
+    shutdown: AtomicBool,
+    stats: Vec<WorkerStats>,
+}
+
+impl Shared {
+    fn unpark_all(&self) {
+        for t in self.worker_threads.read().iter() {
+            t.unpark();
+        }
+    }
+
+    fn unpark_one(&self, worker: usize) {
+        if let Some(t) = self.worker_threads.read().get(worker) {
+            t.unpark();
+        }
+    }
+}
+
+/// The co-routine pool runtime. Spawned futures are transactions; they are
+/// seated in task slots and run to completion on one worker.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Runtime {
+    pub fn new(cfg: RuntimeConfig) -> Arc<Self> {
+        assert!(cfg.workers > 0, "need at least one worker");
+        assert!(cfg.slots_per_worker > 0, "need at least one task slot");
+        let shared = Arc::new(Shared {
+            locals: (0..cfg.workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            worker_threads: RwLock::new(Vec::with_capacity(cfg.workers)),
+            injector: Injector::new(),
+            hook: RwLock::new(None),
+            shutdown: AtomicBool::new(false),
+            stats: (0..cfg.workers).map(|_| WorkerStats::default()).collect(),
+            cfg,
+        });
+        let rt = Arc::new(Runtime { shared: shared.clone(), threads: Mutex::new(Vec::new()) });
+        let mut threads = rt.threads.lock();
+        for w in 0..shared.cfg.workers {
+            let sh = shared.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("phoebe-worker-{w}"))
+                .spawn(move || worker_main(sh, w))
+                .expect("spawn worker thread");
+            threads.push(handle);
+        }
+        // Wait until every worker has registered its Thread handle so that
+        // early spawns can unpark them.
+        while shared.worker_threads.read().len() < shared.cfg.workers {
+            std::thread::yield_now();
+        }
+        drop(threads);
+        rt
+    }
+
+    /// Convenience constructor matching a kernel configuration.
+    pub fn with_shape(workers: usize, slots_per_worker: usize) -> Arc<Self> {
+        Runtime::new(RuntimeConfig::new(workers, slots_per_worker))
+    }
+
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.shared.cfg
+    }
+
+    /// Install the per-worker background duty hook (page swaps, GC).
+    pub fn set_hook(&self, hook: Arc<dyn WorkerHook>) {
+        *self.shared.hook.write() = Some(hook);
+    }
+
+    /// Submit a transaction co-routine to the global task queue.
+    pub fn spawn<F, T>(&self, future: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + Send + 'static,
+        T: Send + 'static,
+    {
+        self.spawn_inner(future, None)
+    }
+
+    /// Submit a co-routine bound to a specific worker — workload affinity
+    /// (§9): with affinity on, each warehouse's transactions run on a home
+    /// worker, eliminating cross-worker contention on its pages.
+    pub fn spawn_on<F, T>(&self, worker: usize, future: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + Send + 'static,
+        T: Send + 'static,
+    {
+        self.spawn_inner(future, Some(worker % self.shared.cfg.workers))
+    }
+
+    fn spawn_inner<F, T>(&self, future: F, affinity: Option<usize>) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + Send + 'static,
+        T: Send + 'static,
+    {
+        assert!(
+            !self.shared.shutdown.load(Ordering::Acquire),
+            "spawn on a shut-down runtime"
+        );
+        let (handle, completer) = JoinHandle::pair();
+        let wrapped = CompletionFuture { inner: Box::pin(future), completer: Some(completer) };
+        let task = Task { future: Box::pin(wrapped) };
+        match affinity {
+            Some(w) => {
+                self.shared.locals[w].lock().push_back(task);
+                self.shared.unpark_one(w);
+            }
+            None => {
+                self.shared.injector.push(task);
+                self.shared.unpark_all();
+            }
+        }
+        handle
+    }
+
+    /// Aggregate scheduler statistics across workers.
+    pub fn stats(&self) -> RuntimeStats {
+        let mut out = RuntimeStats::default();
+        for s in &self.shared.stats {
+            out.tasks_completed += s.tasks_completed.load(Ordering::Relaxed);
+            out.polls += s.polls.load(Ordering::Relaxed);
+            out.parks += s.parks.load(Ordering::Relaxed);
+            out.tasks_pulled_global += s.pulled_global.load(Ordering::Relaxed);
+            out.tasks_pulled_local += s.pulled_local.load(Ordering::Relaxed);
+            out.urgent_pull_stalls += s.urgent_pull_stalls.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Stop accepting work, drain current tasks, and join the workers.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.shared.unpark_all();
+        for h in self.threads.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Wraps a user future so its result (or panic) lands in the join handle.
+struct CompletionFuture<T> {
+    inner: Pin<Box<dyn Future<Output = T> + Send + 'static>>,
+    completer: Option<Completer<T>>,
+}
+
+impl<T: Send + 'static> Future for CompletionFuture<T> {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = &mut *self;
+        let poll = std::panic::catch_unwind(AssertUnwindSafe(|| this.inner.as_mut().poll(cx)));
+        match poll {
+            Ok(Poll::Pending) => Poll::Pending,
+            Ok(Poll::Ready(v)) => {
+                this.completer.take().expect("polled after completion").complete(Ok(v));
+                Poll::Ready(())
+            }
+            Err(panic) => {
+                this.completer.take().expect("polled after completion").complete(Err(panic));
+                Poll::Ready(())
+            }
+        }
+    }
+}
+
+/// A co-routine seated in a task slot.
+struct Seated {
+    future: Pin<Box<dyn Future<Output = ()> + Send + 'static>>,
+    wake: Arc<WakeState>,
+    waker: Waker,
+    /// Set when the task's last yield was high-urgency: the worker must not
+    /// pull new tasks until this task resolves (§7.1).
+    urgent: bool,
+}
+
+fn worker_main(shared: Arc<Shared>, worker: usize) {
+    phoebe_common::metrics::set_current_worker(worker);
+    shared.worker_threads.write().push(std::thread::current());
+    let slots_n = shared.cfg.slots_per_worker;
+    let mut slots: Vec<Option<Seated>> = (0..slots_n).map(|_| None).collect();
+    let stats = &shared.stats[worker];
+
+    loop {
+        if let Some(hook) = shared.hook.read().clone() {
+            hook.tick(worker);
+        }
+
+        // Poll every occupied slot that has been woken.
+        let mut progressed = false;
+        let mut urgent_slots = 0usize;
+        let mut occupied = 0usize;
+        for i in 0..slots_n {
+            let ready = match &slots[i] {
+                Some(seated) => seated.wake.ready.swap(false, Ordering::AcqRel),
+                None => continue,
+            };
+            occupied += 1;
+            if !ready {
+                if slots[i].as_ref().is_some_and(|s| s.urgent) {
+                    urgent_slots += 1;
+                }
+                continue;
+            }
+            progressed = true;
+            stats.polls.fetch_add(1, Ordering::Relaxed);
+            let seated = slots[i].as_mut().expect("occupied slot");
+            let _guard = enter_slot(worker, i);
+            let mut cx = Context::from_waker(&seated.waker);
+            match seated.future.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {
+                    slots[i] = None;
+                    occupied -= 1;
+                    stats.tasks_completed.fetch_add(1, Ordering::Relaxed);
+                }
+                Poll::Pending => {
+                    seated.urgent = take_last_urgency() == Urgency::High;
+                    if seated.urgent {
+                        urgent_slots += 1;
+                    }
+                }
+            }
+        }
+
+        // Pull-based scheduling: fill vacant slots from the local (affinity)
+        // queue first, then the global queue — unless a high-urgency task is
+        // pending resolution, in which case pause new-task acceptance.
+        if urgent_slots == 0 {
+            for i in 0..slots_n {
+                if slots[i].is_some() {
+                    continue;
+                }
+                let task = {
+                    let mut local = shared.locals[worker].lock();
+                    local.pop_front()
+                };
+                let (task, from_local) = match task {
+                    Some(t) => (t, true),
+                    None => match pop_global(&shared.injector) {
+                        Some(t) => (t, false),
+                        None => break,
+                    },
+                };
+                if from_local {
+                    stats.pulled_local.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    stats.pulled_global.fetch_add(1, Ordering::Relaxed);
+                }
+                let wake = WakeState::new(std::thread::current());
+                let waker = waker_for(&wake);
+                slots[i] = Some(Seated { future: task.future, wake, waker, urgent: false });
+                occupied += 1;
+                progressed = true;
+            }
+        } else {
+            stats.urgent_pull_stalls.fetch_add(1, Ordering::Relaxed);
+        }
+
+        if occupied == 0 {
+            let queues_empty =
+                shared.injector.is_empty() && shared.locals[worker].lock().is_empty();
+            if queues_empty {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                stats.parks.fetch_add(1, Ordering::Relaxed);
+                std::thread::park_timeout(shared.cfg.park_timeout);
+            }
+        } else if !progressed {
+            // Everything pending and nothing woke: park briefly, then force
+            // a re-poll round (level-triggered backstop for condition
+            // futures and lock timeouts).
+            stats.parks.fetch_add(1, Ordering::Relaxed);
+            std::thread::park_timeout(shared.cfg.park_timeout);
+            for seated in slots.iter().flatten() {
+                seated.wake.ready.store(true, Ordering::Release);
+            }
+        }
+    }
+}
+
+fn pop_global(injector: &Injector<Task>) -> Option<Task> {
+    loop {
+        match injector.steal() {
+            Steal::Success(t) => return Some(t),
+            Steal::Empty => return None,
+            Steal::Retry => continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yield_point::yield_now;
+    use crate::Notify;
+
+    #[test]
+    fn runs_a_simple_task() {
+        let rt = Runtime::with_shape(1, 2);
+        let h = rt.spawn(async { 1 + 1 });
+        assert_eq!(h.join(), 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn runs_many_tasks_across_workers() {
+        let rt = Runtime::with_shape(2, 4);
+        let handles: Vec<_> = (0..200u64)
+            .map(|i| {
+                rt.spawn(async move {
+                    yield_now(Urgency::Low).await;
+                    i * 2
+                })
+            })
+            .collect();
+        let sum: u64 = handles.into_iter().map(|h| h.join()).sum();
+        assert_eq!(sum, (0..200u64).map(|i| i * 2).sum());
+        let stats = rt.stats();
+        assert_eq!(stats.tasks_completed, 200);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn concurrency_exceeds_slot_count_via_queueing() {
+        // 1 worker × 2 slots but 50 tasks: the pull scheduler must drain all.
+        let rt = Runtime::with_shape(1, 2);
+        let n = Arc::new(Notify::new());
+        let handles: Vec<_> = (0..50)
+            .map(|_| {
+                let n = n.clone();
+                rt.spawn(async move {
+                    // Mixed yields to exercise the scheduler paths.
+                    yield_now(Urgency::High).await;
+                    let _ = n.generation();
+                    yield_now(Urgency::Low).await;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn affinity_tasks_run_on_their_worker() {
+        let rt = Runtime::with_shape(3, 2);
+        let mut handles = Vec::new();
+        for w in 0..3usize {
+            for _ in 0..10 {
+                handles.push((w, rt.spawn_on(w, async move {
+                    yield_now(Urgency::Low).await;
+                    crate::current_slot().expect("has slot").worker.raw() as usize
+                })));
+            }
+        }
+        for (expect, h) in handles {
+            assert_eq!(h.join(), expect);
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.tasks_pulled_local, 30);
+        assert_eq!(stats.tasks_pulled_global, 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn current_slot_is_visible_inside_tasks_only() {
+        let rt = Runtime::with_shape(1, 1);
+        assert!(crate::current_slot().is_none());
+        let h = rt.spawn(async { crate::current_slot().is_some() });
+        assert!(h.join());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn panicking_task_propagates_through_join() {
+        let rt = Runtime::with_shape(1, 1);
+        let h = rt.spawn(async { panic!("boom") });
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| h.join()));
+        assert!(err.is_err());
+        // The worker must survive the panic and run further tasks.
+        let h2 = rt.spawn(async { 5 });
+        assert_eq!(h2.join(), 5);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn tasks_blocked_on_notify_resume() {
+        let rt = Runtime::with_shape(2, 2);
+        let gate = Arc::new(Notify::new());
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let gate = gate.clone();
+                rt.spawn(async move {
+                    gate.notified().await;
+                    1u32
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        gate.notify_all();
+        let total: u32 = waiters.into_iter().map(|h| h.join()).sum();
+        assert_eq!(total, 4);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let rt = Runtime::with_shape(1, 1);
+        rt.spawn(async {}).join();
+        rt.shutdown();
+        rt.shutdown();
+        drop(rt);
+    }
+
+    #[test]
+    fn worker_hook_ticks() {
+        struct Hook(AtomicU64);
+        impl WorkerHook for Hook {
+            fn tick(&self, _worker: usize) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let rt = Runtime::with_shape(1, 1);
+        let hook = Arc::new(Hook(AtomicU64::new(0)));
+        rt.set_hook(hook.clone());
+        rt.spawn(async {
+            for _ in 0..5 {
+                yield_now(Urgency::Low).await;
+            }
+        })
+        .join();
+        assert!(hook.0.load(Ordering::Relaxed) > 0);
+        rt.shutdown();
+    }
+}

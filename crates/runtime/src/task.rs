@@ -1,0 +1,194 @@
+//! Task plumbing: the spawned co-routine, its waker, its join handle, and
+//! the thread-local slot identity that lets kernel code ask "which task
+//! slot am I running on?" without threading a context parameter through
+//! every call.
+
+use parking_lot::{Condvar, Mutex};
+use phoebe_common::ids::{SlotId, WorkerId};
+use std::cell::Cell;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{RawWaker, RawWakerVTable, Waker};
+use std::thread::Thread;
+
+/// A co-routine queued for execution.
+pub(crate) struct Task {
+    pub future: Pin<Box<dyn Future<Output = ()> + Send + 'static>>,
+}
+
+thread_local! {
+    static CURRENT_SLOT: Cell<Option<SlotId>> = const { Cell::new(None) };
+}
+
+/// The task slot the calling code is executing on, if any.
+///
+/// Inside a transaction co-routine this is always `Some`: the worker sets it
+/// before every poll. Kernel subsystems use it to pick the slot-local UNDO
+/// arena, WAL writer and tuple-lock slot (§6.2, §7.2, §8).
+pub fn current_slot() -> Option<SlotId> {
+    CURRENT_SLOT.with(|c| c.get())
+}
+
+pub(crate) struct SlotGuard(Option<SlotId>);
+
+/// Set the thread-local slot for the duration of one poll.
+pub(crate) fn enter_slot(worker: usize, slot: usize) -> SlotGuard {
+    let prev = CURRENT_SLOT
+        .with(|c| c.replace(Some(SlotId::new(WorkerId(worker as u16), slot as u16))));
+    SlotGuard(prev)
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        CURRENT_SLOT.with(|c| c.set(self.0));
+    }
+}
+
+/// Shared waker state: waking a task marks its slot ready and unparks the
+/// owning worker thread. Tasks never migrate, so the worker handle is fixed
+/// once the task is seated in a slot.
+pub(crate) struct WakeState {
+    pub ready: AtomicBool,
+    pub worker_thread: Thread,
+}
+
+impl WakeState {
+    pub fn new(worker_thread: Thread) -> Arc<Self> {
+        Arc::new(WakeState { ready: AtomicBool::new(true), worker_thread })
+    }
+
+    fn wake(self: &Arc<Self>) {
+        self.ready.store(true, Ordering::Release);
+        self.worker_thread.unpark();
+    }
+}
+
+// A hand-rolled RawWaker around Arc<WakeState>: clone bumps the refcount,
+// wake marks ready + unparks. (std's Wake trait would also work; the manual
+// vtable avoids an extra Arc level.)
+unsafe fn ws_clone(data: *const ()) -> RawWaker {
+    Arc::increment_strong_count(data as *const WakeState);
+    RawWaker::new(data, &VTABLE)
+}
+unsafe fn ws_wake(data: *const ()) {
+    let arc = Arc::from_raw(data as *const WakeState);
+    arc.wake();
+}
+unsafe fn ws_wake_by_ref(data: *const ()) {
+    let arc = std::mem::ManuallyDrop::new(Arc::from_raw(data as *const WakeState));
+    arc.wake();
+}
+unsafe fn ws_drop(data: *const ()) {
+    drop(Arc::from_raw(data as *const WakeState));
+}
+
+static VTABLE: RawWakerVTable = RawWakerVTable::new(ws_clone, ws_wake, ws_wake_by_ref, ws_drop);
+
+pub(crate) fn waker_for(state: &Arc<WakeState>) -> Waker {
+    let data = Arc::into_raw(state.clone()) as *const ();
+    // SAFETY: the vtable functions uphold RawWaker's contract over
+    // Arc<WakeState>: clone increments, wake/drop consume exactly one count.
+    unsafe { Waker::from_raw(RawWaker::new(data, &VTABLE)) }
+}
+
+struct JoinState<T> {
+    result: Mutex<Option<std::thread::Result<T>>>,
+    cv: Condvar,
+    done: AtomicBool,
+}
+
+/// Handle returned by [`crate::Runtime::spawn`]; lets the submitting thread
+/// wait for the transaction co-routine and collect its output.
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub(crate) fn pair() -> (JoinHandle<T>, Completer<T>) {
+        let state = Arc::new(JoinState {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+            done: AtomicBool::new(false),
+        });
+        (JoinHandle { state: state.clone() }, Completer { state })
+    }
+
+    /// Block the calling (non-pool) thread until the task finishes.
+    ///
+    /// Panics inside the task are propagated, mirroring `std::thread::join`.
+    pub fn join(self) -> T {
+        let mut guard = self.state.result.lock();
+        while guard.is_none() {
+            self.state.cv.wait(&mut guard);
+        }
+        match guard.take().expect("join result present") {
+            Ok(v) => v,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+
+    /// True once the task has completed (successfully or by panic).
+    pub fn is_finished(&self) -> bool {
+        self.state.done.load(Ordering::Acquire)
+    }
+}
+
+pub(crate) struct Completer<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> Completer<T> {
+    pub fn complete(self, value: std::thread::Result<T>) {
+        *self.state.result.lock() = Some(value);
+        self.state.done.store(true, Ordering::Release);
+        self.state.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_handle_transfers_value() {
+        let (h, c) = JoinHandle::pair();
+        std::thread::spawn(move || c.complete(Ok(42)));
+        assert_eq!(h.join(), 42);
+    }
+
+    #[test]
+    fn join_handle_reports_finished() {
+        let (h, c) = JoinHandle::<u32>::pair();
+        assert!(!h.is_finished());
+        c.complete(Ok(1));
+        assert!(h.is_finished());
+    }
+
+    #[test]
+    fn slot_guard_restores_previous_value() {
+        assert_eq!(current_slot(), None);
+        {
+            let _g = enter_slot(1, 2);
+            assert_eq!(current_slot(), Some(SlotId::new(WorkerId(1), 2)));
+            {
+                let _g2 = enter_slot(3, 4);
+                assert_eq!(current_slot(), Some(SlotId::new(WorkerId(3), 4)));
+            }
+            assert_eq!(current_slot(), Some(SlotId::new(WorkerId(1), 2)));
+        }
+        assert_eq!(current_slot(), None);
+    }
+
+    #[test]
+    fn waker_marks_ready_and_survives_clones() {
+        let state = WakeState::new(std::thread::current());
+        state.ready.store(false, Ordering::Release);
+        let w = waker_for(&state);
+        let w2 = w.clone();
+        drop(w);
+        w2.wake();
+        assert!(state.ready.load(Ordering::Acquire));
+    }
+}

@@ -1,0 +1,112 @@
+//! Voluntary yield points with the paper's urgency classification (§7.1).
+//!
+//! Co-routines cannot be preempted, so PhoebeDB transactions yield
+//! explicitly at wait points. The scheduler treats the two classes
+//! differently: a *high*-urgency yield (latch spin, async read in flight)
+//! tells the worker to stop accepting new transactions and drive its current
+//! tasks to resolution; a *low*-urgency yield (waiting on a tuple lock,
+//! which can take arbitrarily long) leaves the pull loop open so the worker
+//! keeps its slots utilized.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Why a co-routine is yielding; drives the pull-based scheduler's decision
+/// whether to keep accepting new tasks (§7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Urgency {
+    /// Short wait expected: latch spin, asynchronous read. The worker pauses
+    /// pulling new tasks until this task resolves.
+    High,
+    /// Potentially long wait: tuple/transaction-ID lock. Pulling continues.
+    Low,
+}
+
+thread_local! {
+    static LAST_YIELD_URGENCY: std::cell::Cell<Urgency> =
+        const { std::cell::Cell::new(Urgency::Low) };
+}
+
+/// The urgency the most recent yield on this thread declared. The worker
+/// loop reads (and resets) this right after a poll returns `Pending` to
+/// decide whether the slot blocks new-task pulls.
+pub(crate) fn take_last_urgency() -> Urgency {
+    LAST_YIELD_URGENCY.with(|c| c.replace(Urgency::Low))
+}
+
+pub(crate) fn note_urgency(u: Urgency) {
+    LAST_YIELD_URGENCY.with(|c| {
+        // High sticks until the worker consumes it: a poll may pass several
+        // yield points and the most urgent one wins.
+        if c.get() == Urgency::Low {
+            c.set(u);
+        } else if u == Urgency::High {
+            c.set(Urgency::High);
+        }
+    });
+}
+
+/// Yield once to the scheduler and resume on the next round.
+pub fn yield_now(urgency: Urgency) -> YieldNow {
+    YieldNow { yielded: false, urgency }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+    urgency: Urgency,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            note_urgency(self.urgency);
+            // Level-triggered executor: wake immediately so the next round
+            // re-polls us; the yield still gives other slots a turn.
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_on;
+
+    #[test]
+    fn yield_now_completes_after_one_pending() {
+        block_on(async {
+            yield_now(Urgency::Low).await;
+            yield_now(Urgency::High).await;
+        });
+    }
+
+    #[test]
+    fn urgency_is_sticky_until_taken() {
+        let _ = take_last_urgency();
+        note_urgency(Urgency::High);
+        note_urgency(Urgency::Low); // must not downgrade
+        assert_eq!(take_last_urgency(), Urgency::High);
+        assert_eq!(take_last_urgency(), Urgency::Low); // reset after take
+    }
+
+    #[test]
+    fn many_sequential_yields_make_progress() {
+        let n = block_on(async {
+            let mut n = 0u32;
+            for _ in 0..100 {
+                yield_now(Urgency::Low).await;
+                n += 1;
+            }
+            n
+        });
+        assert_eq!(n, 100);
+    }
+}

@@ -1,0 +1,1325 @@
+//! The swizzling B-Tree (§5.1, §5.3).
+//!
+//! Each relation is one B-Tree rooted in Main Storage. Table trees are
+//! keyed by the monotonically increasing row id (big-endian encoded so byte
+//! order equals numeric order); index trees map arbitrary byte keys to row
+//! ids. Child references are swips, so a hot traversal never consults a
+//! mapping table — the paper's replacement for the global buffer hash map.
+//!
+//! Concurrency follows the paper's hybrid lock strategy (§7.2): descents
+//! use optimistic lock coupling (read versions, validate the parent after
+//! each hop, restart on interference); leaf operations take shared or
+//! exclusive latches. Structure modifications (splits) run on a pessimistic
+//! path that holds the tree-meta latch and crabs exclusive latches with
+//! preemptive splitting, so they coexist with optimistic readers simply by
+//! bumping versions.
+//!
+//! Two invariants keep swizzling sound:
+//! * **single parent** — every swip value (hot frame id or cold page id)
+//!   appears in exactly one child slot, so eviction/loading can relocate a
+//!   page by searching the (validated) parent for the exact swip value;
+//! * **append-only table leaves** — table splits never move rows, they add
+//!   a fresh rightmost leaf; a table leaf's row-id range is immutable,
+//!   giving upper layers a stable page identity for twin tables (§6.2).
+
+use crate::buffer::{BufferPool, NO_PARENT};
+use crate::latch::{LatchVersion, ReadGuard, WriteGuard};
+use crate::node::{IndexLeaf, InnerNode, Page};
+use crate::pax::{PaxLayout, PaxLeaf};
+use crate::schema::Value;
+use crate::swip::{FrameId, Swip, SwipState};
+use phoebe_common::error::{PhoebeError, Result};
+use phoebe_common::ids::{RowId, TableId};
+use phoebe_common::metrics::{Counter, Metrics};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Which leaf kind the tree stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeKind {
+    Table,
+    Index,
+}
+
+struct TreeMeta {
+    root: Swip,
+    /// Levels in the tree; 1 ⇒ the root is a leaf.
+    height: u32,
+}
+
+/// A B-Tree over buffer frames.
+pub struct BTree {
+    pub table: TableId,
+    kind: TreeKind,
+    pool: Arc<BufferPool>,
+    meta: crate::latch::HybridLatch<TreeMeta>,
+    metrics: Arc<Metrics>,
+}
+
+/// Encode a row id as a byte-comparable table key.
+#[inline]
+pub fn row_key(row: RowId) -> [u8; 8] {
+    row.raw().to_be_bytes()
+}
+
+enum ParentRef {
+    Meta,
+    Node(FrameId),
+}
+
+impl BTree {
+    /// Create a tree whose root is a fresh empty leaf.
+    pub fn create(
+        pool: Arc<BufferPool>,
+        table: TableId,
+        kind: TreeKind,
+        metrics: Arc<Metrics>,
+    ) -> Result<Self> {
+        let root = pool.allocate()?;
+        {
+            let mut g = pool.frame(root).latch.write();
+            *g = match kind {
+                TreeKind::Table => Page::TableLeaf(PaxLeaf::new()),
+                TreeKind::Index => Page::IndexLeaf(IndexLeaf::default()),
+            };
+        }
+        pool.frame(root).meta.parent.store(NO_PARENT, Ordering::Relaxed);
+        Ok(BTree {
+            table,
+            kind,
+            pool,
+            meta: crate::latch::HybridLatch::new(TreeMeta { root: Swip::hot(root), height: 1 }),
+            metrics,
+        })
+    }
+
+    pub fn kind(&self) -> TreeKind {
+        self.kind
+    }
+
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Current tree height (levels).
+    pub fn height(&self) -> u32 {
+        self.meta.optimistic_or_shared(3, |m| m.height)
+    }
+
+    // ------------------------------------------------------------------
+    // Optimistic descent
+    // ------------------------------------------------------------------
+
+    fn validate_parent(&self, parent: &ParentRef, ver: LatchVersion) -> bool {
+        match parent {
+            ParentRef::Meta => self.meta.validate(ver),
+            ParentRef::Node(fid) => self.pool.frame(*fid).latch.validate(ver),
+        }
+    }
+
+    /// Descend to the leaf responsible for `key` and latch it.
+    ///
+    /// Returns the leaf frame, its guard (shared or exclusive per `WRITE`),
+    /// and the *next separator*: the tightest upper bound on this leaf's key
+    /// range seen on the path, which is exactly the first key of the next
+    /// leaf — the resume point for range scans.
+    fn descend<const WRITE: bool>(
+        &self,
+        key: &[u8],
+    ) -> Result<(FrameId, LeafGuard<'_>, Option<Vec<u8>>)> {
+        // Figure 12's "latching" component: traversal latch work.
+        let _t = self.metrics.timer(phoebe_common::metrics::Component::Latch);
+        'restart: loop {
+            let Some(((root, height), meta_ver)) =
+                self.meta.optimistic_versioned(|m| (m.root, m.height))
+            else {
+                std::hint::spin_loop();
+                continue 'restart;
+            };
+            let mut parent = ParentRef::Meta;
+            let mut parent_ver = meta_ver;
+            let mut cur = root;
+            let mut level = height;
+            let mut next_sep: Option<Vec<u8>> = None;
+            loop {
+                let fid = match cur.state() {
+                    SwipState::Hot(f) => f,
+                    SwipState::Cooling(f) => {
+                        // Second chance: heat through the parent, best effort.
+                        if let ParentRef::Node(pfid) = parent {
+                            self.heat(pfid, f);
+                        }
+                        f
+                    }
+                    SwipState::Cold(pid) => {
+                        let ParentRef::Node(pfid) = parent else {
+                            return Err(PhoebeError::internal("root swip went cold"));
+                        };
+                        self.fix_cold(pfid, cur, pid)?;
+                        continue 'restart;
+                    }
+                };
+                let frame = self.pool.frame(fid);
+                if level == 1 {
+                    let guard = if WRITE {
+                        LeafGuard::Write(frame.latch.write())
+                    } else {
+                        LeafGuard::Read(frame.latch.read())
+                    };
+                    if !self.validate_parent(&parent, parent_ver) {
+                        drop(guard);
+                        self.metrics.incr(Counter::LatchRestarts);
+                        continue 'restart;
+                    }
+                    return Ok((fid, guard, next_sep));
+                }
+                // Inner hop: read the child slot optimistically.
+                let Some((read, ver)) = frame.latch.optimistic_versioned(|p| match p {
+                    Page::Inner(n) => {
+                        let i = n.child_index(key);
+                        let sep =
+                            (i < n.count as usize).then(|| n.key(i).to_vec());
+                        Some((n.children[i], sep))
+                    }
+                    _ => None,
+                }) else {
+                    self.metrics.incr(Counter::LatchRestarts);
+                    std::hint::spin_loop();
+                    continue 'restart;
+                };
+                if !self.validate_parent(&parent, parent_ver) {
+                    self.metrics.incr(Counter::LatchRestarts);
+                    continue 'restart;
+                }
+                let Some((child_raw, sep)) = read else {
+                    // Frame was repurposed under us.
+                    self.metrics.incr(Counter::LatchRestarts);
+                    continue 'restart;
+                };
+                if let Some(s) = sep {
+                    next_sep = Some(s);
+                }
+                parent = ParentRef::Node(fid);
+                parent_ver = ver;
+                cur = Swip::from_raw(child_raw);
+                level -= 1;
+            }
+        }
+    }
+
+    /// Re-swizzle a cold child in (validated) parent `pfid`. The exact cold
+    /// swip value identifies the slot thanks to the single-parent invariant.
+    ///
+    /// The frame allocation and read I/O run *before* the parent latch is
+    /// taken (the caller holds nothing here), so eviction — which needs
+    /// parent latches — can always make progress.
+    fn fix_cold(&self, pfid: FrameId, cold: Swip, pid: phoebe_common::ids::PageId) -> Result<()> {
+        let fid = self.pool.load_cold(pid, pfid)?;
+        let mut pguard = self.pool.frame(pfid).latch.write();
+        let lost_race = match &mut *pguard {
+            Page::Inner(pnode) => match pnode.find_child_slot(cold.raw()) {
+                Some(slot) => {
+                    pnode.children[slot] = Swip::hot(fid).raw();
+                    false
+                }
+                None => true, // someone else already loaded it
+            },
+            _ => true, // parent relocated; restart will re-route
+        };
+        if lost_race {
+            drop(pguard);
+            // Drop the duplicate copy we loaded; forget its disk slot first
+            // so release() does not free a PageId that is still referenced.
+            self.pool.frame(fid).meta.disk_page_forget();
+            self.pool.release(fid);
+        } else {
+            self.pool.frame(pfid).meta.dirty.store(true, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Best-effort Cooling → Hot promotion through the parent.
+    fn heat(&self, pfid: FrameId, fid: FrameId) {
+        if let Some(mut pguard) = self.pool.frame(pfid).latch.try_write() {
+            if let Page::Inner(pnode) = &mut *pguard {
+                if let Some(slot) = pnode.find_child_slot(Swip::cooling(fid).raw()) {
+                    BufferPool::heat_in_parent(pnode, slot);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Table operations
+    // ------------------------------------------------------------------
+
+    /// Append a tuple under a row id drawn *inside* the rightmost leaf's
+    /// exclusive latch, so allocation order equals append order — the
+    /// invariant behind the monotonically increasing row-id key (§5.1).
+    /// Returns `(row_id, leaf frame, first row id)`; `under_latch` runs
+    /// after the append while the leaf is still latched (twin install).
+    pub fn table_append_alloc(
+        &self,
+        layout: &PaxLayout,
+        alloc: &(dyn Fn() -> RowId + Sync),
+        tuple: &[Value],
+        under_latch: impl FnOnce(&mut PaxLeaf, usize, RowId, FrameId),
+    ) -> Result<(RowId, FrameId, RowId)> {
+        debug_assert_eq!(self.kind, TreeKind::Table);
+        // Rightmost descent: longer than any 8-byte row key.
+        const MAX_KEY_SENTINEL: [u8; 9] = [0xff; 9];
+        {
+            let (fid, mut guard, _) = self.descend::<true>(&MAX_KEY_SENTINEL)?;
+            if let Page::TableLeaf(leaf) = guard.page_mut() {
+                if !leaf.is_full(layout) {
+                    let row_id = alloc();
+                    let idx = leaf.append(layout, row_id, tuple);
+                    let first = leaf.first_row_id().expect("non-empty leaf");
+                    under_latch(leaf, idx, first, fid);
+                    self.mark_dirty(fid);
+                    return Ok((row_id, fid, first));
+                }
+            } else {
+                return Err(PhoebeError::internal("table descend hit non-table leaf"));
+            }
+        }
+        self.grow_table_alloc(layout, alloc, tuple, under_latch)
+    }
+
+    /// Pessimistic variant of [`BTree::table_append_alloc`]: walk the right
+    /// spine under the meta latch, splitting full inners preemptively, and
+    /// allocate the row id once the target leaf is exclusively held.
+    fn grow_table_alloc(
+        &self,
+        layout: &PaxLayout,
+        alloc: &(dyn Fn() -> RowId + Sync),
+        tuple: &[Value],
+        under_latch: impl FnOnce(&mut PaxLeaf, usize, RowId, FrameId),
+    ) -> Result<(RowId, FrameId, RowId)> {
+        const MAX_KEY_SENTINEL: [u8; 9] = [0xff; 9];
+        let key: &[u8] = &MAX_KEY_SENTINEL;
+        let mut reserve = self.pool.reserve(6);
+        let mut meta = self.meta.write();
+        // Root-is-leaf: either append in place or grow a root above it.
+        if meta.height == 1 {
+            let root_fid = meta.root.frame().expect("root is always hot");
+            let mut root_guard = self.pool.frame(root_fid).latch.write();
+            let Page::TableLeaf(leaf) = &mut *root_guard else {
+                return Err(PhoebeError::internal("corrupt root"));
+            };
+            if !leaf.is_full(layout) {
+                let row_id = alloc();
+                let idx = leaf.append(layout, row_id, tuple);
+                let first = leaf.first_row_id().expect("non-empty leaf");
+                under_latch(leaf, idx, first, root_fid);
+                drop(root_guard);
+                self.mark_dirty(root_fid);
+                return Ok((row_id, root_fid, first));
+            }
+            drop(root_guard);
+            let new_root = reserve.take()?;
+            {
+                let mut g = self.pool.frame(new_root).latch.write();
+                let mut inner = InnerNode::default();
+                inner.children[0] = Swip::hot(root_fid).raw();
+                *g = Page::Inner(inner);
+            }
+            self.pool.frame(new_root).meta.parent.store(NO_PARENT, Ordering::Relaxed);
+            self.pool.frame(root_fid).meta.parent.store(new_root, Ordering::Relaxed);
+            self.mark_dirty(new_root);
+            meta.root = Swip::hot(new_root);
+            meta.height += 1;
+        }
+        // Crab down the right spine.
+        let mut cur = meta.root.frame().expect("root hot");
+        let mut level = meta.height;
+        let mut guard = self.pool.frame(cur).latch.write();
+        loop {
+            if let Page::Inner(n) = &*guard {
+                if n.is_full() {
+                    let parent_hint = self.pool.frame(cur).meta.parent.load(Ordering::Relaxed);
+                    let (right_fid, sep) = self.split_inner(&mut reserve, &mut guard)?;
+                    if parent_hint == NO_PARENT {
+                        let new_root = reserve.take()?;
+                        {
+                            let mut g = self.pool.frame(new_root).latch.write();
+                            let mut inner = InnerNode::default();
+                            inner.children[0] = Swip::hot(cur).raw();
+                            inner.insert_separator(0, &sep, Swip::hot(right_fid).raw());
+                            *g = Page::Inner(inner);
+                        }
+                        self.pool
+                            .frame(new_root)
+                            .meta
+                            .parent
+                            .store(NO_PARENT, Ordering::Relaxed);
+                        self.pool.frame(cur).meta.parent.store(new_root, Ordering::Relaxed);
+                        self.pool
+                            .frame(right_fid)
+                            .meta
+                            .parent
+                            .store(new_root, Ordering::Relaxed);
+                        self.mark_dirty(new_root);
+                        meta.root = Swip::hot(new_root);
+                        meta.height += 1;
+                    } else {
+                        let mut pg = self.pool.frame(parent_hint).latch.write();
+                        let Page::Inner(pn) = &mut *pg else {
+                            return Err(PhoebeError::internal("parent hint corrupt"));
+                        };
+                        let slot = pn
+                            .find_child_slot(Swip::hot(cur).raw())
+                            .ok_or_else(|| PhoebeError::internal("child slot missing"))?;
+                        pn.insert_separator(slot, &sep, Swip::hot(right_fid).raw());
+                        self.pool
+                            .frame(right_fid)
+                            .meta
+                            .parent
+                            .store(parent_hint, Ordering::Relaxed);
+                        self.mark_dirty(parent_hint);
+                    }
+                    // Rightmost descent always follows the right half.
+                    drop(guard);
+                    cur = right_fid;
+                    guard = self.pool.frame(cur).latch.write();
+                    continue;
+                }
+            }
+            match &mut *guard {
+                Page::Inner(n) => {
+                    let idx = n.child_index(key);
+                    let child = Swip::from_raw(n.children[idx]);
+                    let next = match child.state() {
+                        SwipState::Hot(f) | SwipState::Cooling(f) => f,
+                        SwipState::Cold(pid) => {
+                            let f = reserve.take()?;
+                            self.pool.read_into_frame(f, pid, cur)?;
+                            n.children[idx] = Swip::hot(f).raw();
+                            self.mark_dirty(cur);
+                            f
+                        }
+                    };
+                    if level == 2 {
+                        // The child is the rightmost leaf.
+                        let mut leaf_guard = self.pool.frame(next).latch.write();
+                        let Page::TableLeaf(leaf) = &mut *leaf_guard else {
+                            return Err(PhoebeError::internal("expected table leaf"));
+                        };
+                        if !leaf.is_full(layout) {
+                            let row_id = alloc();
+                            let idx0 = leaf.append(layout, row_id, tuple);
+                            let first = leaf.first_row_id().expect("non-empty leaf");
+                            under_latch(leaf, idx0, first, next);
+                            drop(leaf_guard);
+                            self.mark_dirty(next);
+                            return Ok((row_id, next, first));
+                        }
+                        drop(leaf_guard);
+                        // Hang a fresh rightmost leaf; the row id drawn now
+                        // is strictly greater than everything appended so
+                        // far (we hold the parent, the old leaf is full).
+                        let row_id = alloc();
+                        let new_leaf = reserve.take()?;
+                        {
+                            let mut g = self.pool.frame(new_leaf).latch.write();
+                            let mut fresh = PaxLeaf::new();
+                            let idx0 = fresh.append(layout, row_id, tuple);
+                            under_latch(&mut fresh, idx0, row_id, new_leaf);
+                            *g = Page::TableLeaf(fresh);
+                        }
+                        self.pool.frame(new_leaf).meta.parent.store(cur, Ordering::Relaxed);
+                        n.insert_separator(idx, &row_key(row_id), Swip::hot(new_leaf).raw());
+                        self.mark_dirty(cur);
+                        self.mark_dirty(new_leaf);
+                        return Ok((row_id, new_leaf, row_id));
+                    }
+                    let next_guard = self.pool.frame(next).latch.write();
+                    drop(guard);
+                    cur = next;
+                    guard = next_guard;
+                    level -= 1;
+                }
+                Page::TableLeaf(_) => {
+                    return Err(PhoebeError::internal("leaf above level 1 in table tree"));
+                }
+                _ => return Err(PhoebeError::internal("unexpected page kind in table tree")),
+            }
+        }
+    }
+
+    /// Append a tuple under `row_id` (must exceed every existing row id).
+    /// Returns the leaf frame and its first row id (the page identity the
+    /// twin table keys on). `under_latch` runs right after the append while
+    /// the leaf is still exclusively latched — MVCC uses it to install the
+    /// twin entry before the tuple becomes readable. Single-writer only
+    /// (loader/recovery); concurrent inserts go through
+    /// [`BTree::table_append_alloc`].
+    pub fn table_append(
+        &self,
+        layout: &PaxLayout,
+        row_id: RowId,
+        tuple: &[Value],
+        under_latch: impl FnOnce(&mut PaxLeaf, usize, RowId, FrameId),
+    ) -> Result<(FrameId, RowId)> {
+        debug_assert_eq!(self.kind, TreeKind::Table);
+        let key = row_key(row_id);
+        {
+            let (fid, mut guard, _) = self.descend::<true>(&key)?;
+            if let Page::TableLeaf(leaf) = guard.page_mut() {
+                if !leaf.is_full(layout) {
+                    let idx = leaf.append(layout, row_id, tuple);
+                    let first = leaf.first_row_id().expect("non-empty leaf");
+                    under_latch(leaf, idx, first, fid);
+                    self.mark_dirty(fid);
+                    return Ok((fid, first));
+                }
+            } else {
+                return Err(PhoebeError::internal("table descend hit non-table leaf"));
+            }
+        }
+        // Leaf full: grow a fresh rightmost leaf on the pessimistic path.
+        self.grow_table(layout, row_id, tuple, under_latch)
+    }
+
+    /// Read `row_id` under a shared leaf latch. `f` also receives the
+    /// leaf's first row id — the stable page identity twin tables key on.
+    pub fn table_read<R>(
+        &self,
+        row_id: RowId,
+        f: impl FnOnce(&PaxLeaf, usize, RowId, FrameId) -> R,
+    ) -> Result<Option<R>> {
+        debug_assert_eq!(self.kind, TreeKind::Table);
+        let key = row_key(row_id);
+        let (fid, guard, _) = self.descend::<false>(&key)?;
+        let Page::TableLeaf(leaf) = guard.page() else {
+            return Err(PhoebeError::internal("table descend hit non-table leaf"));
+        };
+        let out = leaf.find(row_id).map(|row| {
+            let first = leaf.first_row_id().expect("non-empty leaf");
+            f(leaf, row, first, fid)
+        });
+        if out.is_some() {
+            self.pool.touch(fid);
+        }
+        Ok(out)
+    }
+
+    /// Mutate the row under an exclusive leaf latch (in-place update path).
+    pub fn table_modify<R>(
+        &self,
+        row_id: RowId,
+        f: impl FnOnce(&mut PaxLeaf, usize, RowId, FrameId) -> R,
+    ) -> Result<Option<R>> {
+        debug_assert_eq!(self.kind, TreeKind::Table);
+        let key = row_key(row_id);
+        let (fid, mut guard, _) = self.descend::<true>(&key)?;
+        let Page::TableLeaf(leaf) = guard.page_mut() else {
+            return Err(PhoebeError::internal("table descend hit non-table leaf"));
+        };
+        let out = leaf.find(row_id).map(|row| {
+            let first = leaf.first_row_id().expect("non-empty leaf");
+            f(leaf, row, first, fid)
+        });
+        if out.is_some() {
+            self.mark_dirty(fid);
+            self.pool.touch(fid);
+        }
+        Ok(out)
+    }
+
+    /// Visit every leaf left-to-right under shared latches (one at a time).
+    /// `f` returns `false` to stop early. Used by temperature scans (§5.2).
+    pub fn table_for_each_leaf(
+        &self,
+        mut f: impl FnMut(FrameId, &PaxLeaf) -> bool,
+    ) -> Result<()> {
+        debug_assert_eq!(self.kind, TreeKind::Table);
+        let mut lo = vec![0u8; 8];
+        loop {
+            let (fid, guard, next) = self.descend::<false>(&lo)?;
+            let Page::TableLeaf(leaf) = guard.page() else {
+                return Err(PhoebeError::internal("table descend hit non-table leaf"));
+            };
+            if !f(fid, leaf) {
+                return Ok(());
+            }
+            drop(guard);
+            match next {
+                Some(s) => lo = s,
+                None => return Ok(()),
+            }
+        }
+    }
+
+    fn mark_dirty(&self, fid: FrameId) {
+        self.pool.frame(fid).meta.dirty.store(true, Ordering::Relaxed);
+    }
+
+    /// Record `gsn` as the newest WAL touching the leaf holding `fid`
+    /// (write-barrier input for Steal eviction, §8).
+    pub fn stamp_gsn(&self, fid: FrameId, gsn: u64) {
+        self.pool.frame(fid).meta.page_gsn.fetch_max(gsn, Ordering::Relaxed);
+    }
+
+    /// Pessimistic growth for table trees: walk the right spine with
+    /// exclusive crabbing, splitting full inner nodes preemptively, then
+    /// hang a fresh empty leaf for `row_id` and append into it.
+    fn grow_table(
+        &self,
+        layout: &PaxLayout,
+        row_id: RowId,
+        tuple: &[Value],
+        under_latch: impl FnOnce(&mut PaxLeaf, usize, RowId, FrameId),
+    ) -> Result<(FrameId, RowId)> {
+        let key = row_key(row_id);
+        // Pre-reserve frames before taking any latch: allocating under an
+        // exclusive latch would starve eviction of every child of that node.
+        let mut reserve = self.pool.reserve(6);
+        let mut meta = self.meta.write();
+        // Root may itself be the full leaf.
+        let root_fid = meta.root.frame().expect("root is always hot");
+        if meta.height == 1 {
+            let root_guard = self.pool.frame(root_fid).latch.write();
+            let Page::TableLeaf(leaf) = &*root_guard else {
+                return Err(PhoebeError::internal("corrupt root"));
+            };
+            if !leaf.is_full(layout) {
+                drop(root_guard);
+                drop(meta);
+                return self.table_append(layout, row_id, tuple, under_latch);
+            }
+            drop(root_guard);
+            let new_root = reserve.take()?;
+            {
+                let mut g = self.pool.frame(new_root).latch.write();
+                let mut inner = InnerNode::default();
+                inner.children[0] = Swip::hot(root_fid).raw();
+                *g = Page::Inner(inner);
+            }
+            self.pool.frame(new_root).meta.parent.store(NO_PARENT, Ordering::Relaxed);
+            self.pool.frame(root_fid).meta.parent.store(new_root, Ordering::Relaxed);
+            self.mark_dirty(new_root);
+            meta.root = Swip::hot(new_root);
+            meta.height += 1;
+        }
+
+        // Crab down the right spine.
+        let mut cur = meta.root.frame().expect("root hot");
+        let mut level = meta.height;
+        let mut guard = self.pool.frame(cur).latch.write();
+        loop {
+            // Preemptively split a full inner so a child split always fits.
+            if let Page::Inner(n) = &*guard {
+                if n.is_full() {
+                    let parent_hint = self.pool.frame(cur).meta.parent.load(Ordering::Relaxed);
+                    let (right_fid, sep) = self.split_inner(&mut reserve, &mut guard)?;
+                    if parent_hint == NO_PARENT {
+                        // cur was the root: grow a new root.
+                        let new_root = reserve.take()?;
+                        {
+                            let mut g = self.pool.frame(new_root).latch.write();
+                            let mut inner = InnerNode::default();
+                            inner.children[0] = Swip::hot(cur).raw();
+                            inner.insert_separator(0, &sep, Swip::hot(right_fid).raw());
+                            *g = Page::Inner(inner);
+                        }
+                        self.pool
+                            .frame(new_root)
+                            .meta
+                            .parent
+                            .store(NO_PARENT, Ordering::Relaxed);
+                        self.pool.frame(cur).meta.parent.store(new_root, Ordering::Relaxed);
+                        self.pool
+                            .frame(right_fid)
+                            .meta
+                            .parent
+                            .store(new_root, Ordering::Relaxed);
+                        self.mark_dirty(new_root);
+                        meta.root = Swip::hot(new_root);
+                        meta.height += 1;
+                    } else {
+                        // Parent has room (preemptive invariant).
+                        let mut pg = self.pool.frame(parent_hint).latch.write();
+                        let Page::Inner(pn) = &mut *pg else {
+                            return Err(PhoebeError::internal("parent hint corrupt"));
+                        };
+                        let slot = pn
+                            .find_child_slot(Swip::hot(cur).raw())
+                            .ok_or_else(|| PhoebeError::internal("child slot missing"))?;
+                        pn.insert_separator(slot, &sep, Swip::hot(right_fid).raw());
+                        self.pool
+                            .frame(right_fid)
+                            .meta
+                            .parent
+                            .store(parent_hint, Ordering::Relaxed);
+                        self.mark_dirty(parent_hint);
+                    }
+                    // Re-route: the key may now belong right of the split.
+                    if key.as_slice() >= sep.as_slice() {
+                        drop(guard);
+                        cur = right_fid;
+                        guard = self.pool.frame(cur).latch.write();
+                    }
+                    continue;
+                }
+            }
+            match &mut *guard {
+                Page::Inner(n) => {
+                    if level == 2 {
+                        // The child is the (full) rightmost leaf: hang a new
+                        // empty leaf for row ids >= row_id.
+                        let idx = n.child_index(&key);
+                        let child = Swip::from_raw(n.children[idx]);
+                        let full = match child.state() {
+                            SwipState::Hot(f) | SwipState::Cooling(f) => self
+                                .pool
+                                .frame(f)
+                                .latch
+                                .read()
+                                .table_leaf_full(layout),
+                            SwipState::Cold(_) => false, // must load to know
+                        };
+                        if !full {
+                            // Either not full (raced) or cold: retry fast path.
+                            drop(guard);
+                            drop(meta);
+                            return self.table_append(layout, row_id, tuple, under_latch);
+                        }
+                        let new_leaf = reserve.take()?;
+                        {
+                            let mut g = self.pool.frame(new_leaf).latch.write();
+                            let mut leaf = PaxLeaf::new();
+                            let idx0 = leaf.append(layout, row_id, tuple);
+                            under_latch(&mut leaf, idx0, row_id, new_leaf);
+                            *g = Page::TableLeaf(leaf);
+                        }
+                        self.pool.frame(new_leaf).meta.parent.store(cur, Ordering::Relaxed);
+                        n.insert_separator(idx, &key, Swip::hot(new_leaf).raw());
+                        self.mark_dirty(cur);
+                        self.mark_dirty(new_leaf);
+                        return Ok((new_leaf, row_id));
+                    }
+                    let idx = n.child_index(&key);
+                    let child = Swip::from_raw(n.children[idx]);
+                    let next = match child.state() {
+                        SwipState::Hot(f) | SwipState::Cooling(f) => f,
+                        SwipState::Cold(pid) => {
+                            let f = reserve.take()?;
+                            self.pool.read_into_frame(f, pid, cur)?;
+                            n.children[idx] = Swip::hot(f).raw();
+                            self.mark_dirty(cur);
+                            f
+                        }
+                    };
+                    let next_guard = self.pool.frame(next).latch.write();
+                    drop(guard);
+                    cur = next;
+                    guard = next_guard;
+                    level -= 1;
+                }
+                Page::TableLeaf(leaf) => {
+                    // height == 1 case resolved above; reaching a leaf here
+                    // means it has room (preemptive splits above).
+                    if leaf.is_full(layout) {
+                        return Err(PhoebeError::internal("leaf full on pessimistic path"));
+                    }
+                    let idx = leaf.append(layout, row_id, tuple);
+                    let first = leaf.first_row_id().expect("non-empty leaf");
+                    under_latch(leaf, idx, first, cur);
+                    self.mark_dirty(cur);
+                    return Ok((cur, first));
+                }
+                _ => return Err(PhoebeError::internal("unexpected page kind in table tree")),
+            }
+        }
+    }
+
+    /// Split an exclusively held inner node; returns the new right sibling's
+    /// frame and the promoted separator. Updates moved children's parent
+    /// hints.
+    fn split_inner(
+        &self,
+        reserve: &mut crate::buffer::FrameReserve,
+        guard: &mut WriteGuard<'_, Page>,
+    ) -> Result<(FrameId, Vec<u8>)> {
+        let right_fid = reserve.take()?;
+        let Page::Inner(n) = &mut **guard else {
+            return Err(PhoebeError::internal("split_inner on non-inner"));
+        };
+        let (right, sep) = n.split();
+        for i in 0..=right.count as usize {
+            if let Some(f) = Swip::from_raw(right.children[i]).frame() {
+                self.pool.frame(f).meta.parent.store(right_fid, Ordering::Relaxed);
+            }
+        }
+        {
+            let mut g = self.pool.frame(right_fid).latch.write();
+            *g = Page::Inner(right);
+        }
+        self.mark_dirty(right_fid);
+        Ok((right_fid, sep))
+    }
+
+    // ------------------------------------------------------------------
+    // Index operations
+    // ------------------------------------------------------------------
+
+    /// Insert `(key, row_id)`; `Err(DuplicateKey)` if the key exists.
+    pub fn index_insert(&self, key: &[u8], row_id: RowId) -> Result<()> {
+        debug_assert_eq!(self.kind, TreeKind::Index);
+        {
+            let (fid, mut guard, _) = self.descend::<true>(key)?;
+            if let Page::IndexLeaf(leaf) = guard.page_mut() {
+                if !leaf.is_full() {
+                    return if leaf.insert(key, row_id.raw()) {
+                        self.mark_dirty(fid);
+                        self.pool.touch(fid);
+                        Ok(())
+                    } else {
+                        Err(PhoebeError::DuplicateKey { index: self.table })
+                    };
+                }
+            } else {
+                return Err(PhoebeError::internal("index descend hit non-index leaf"));
+            }
+        }
+        self.index_insert_pessimistic(key, row_id)
+    }
+
+    /// Exact lookup.
+    pub fn index_get(&self, key: &[u8]) -> Result<Option<RowId>> {
+        debug_assert_eq!(self.kind, TreeKind::Index);
+        let (_fid, guard, _) = self.descend::<false>(key)?;
+        let Page::IndexLeaf(leaf) = guard.page() else {
+            return Err(PhoebeError::internal("index descend hit non-index leaf"));
+        };
+        Ok(leaf.get(key).map(RowId))
+    }
+
+    /// Remove `key`; returns the row id it mapped to.
+    pub fn index_remove(&self, key: &[u8]) -> Result<Option<RowId>> {
+        debug_assert_eq!(self.kind, TreeKind::Index);
+        let (fid, mut guard, _) = self.descend::<true>(key)?;
+        let Page::IndexLeaf(leaf) = guard.page_mut() else {
+            return Err(PhoebeError::internal("index descend hit non-index leaf"));
+        };
+        let out = leaf.remove(key).map(RowId);
+        if out.is_some() {
+            self.mark_dirty(fid);
+        }
+        Ok(out)
+    }
+
+    /// Visit entries with `low <= key <= high` in order; `f` returns
+    /// `false` to stop. Latches one leaf at a time; resumes across leaves
+    /// via the descent's next-separator fence key.
+    pub fn index_range(
+        &self,
+        low: &[u8],
+        high: &[u8],
+        mut f: impl FnMut(&[u8], RowId) -> bool,
+    ) -> Result<()> {
+        debug_assert_eq!(self.kind, TreeKind::Index);
+        let mut lo = low.to_vec();
+        loop {
+            let (_fid, guard, next) = self.descend::<false>(&lo)?;
+            let Page::IndexLeaf(leaf) = guard.page() else {
+                return Err(PhoebeError::internal("index descend hit non-index leaf"));
+            };
+            let start = leaf.lower_bound(&lo);
+            for i in start..leaf.count as usize {
+                let k = leaf.key(i);
+                if k > high {
+                    return Ok(());
+                }
+                if !f(k, RowId(leaf.row_ids[i])) {
+                    return Ok(());
+                }
+            }
+            drop(guard);
+            match next {
+                Some(s) if s.as_slice() <= high => lo = s,
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Pessimistic insert with preemptive splitting (index trees).
+    fn index_insert_pessimistic(&self, key: &[u8], row_id: RowId) -> Result<()> {
+        // See grow_table: frames must be reserved before latching.
+        let mut reserve = self.pool.reserve(8);
+        let mut meta = self.meta.write();
+        let root_fid = meta.root.frame().expect("root is always hot");
+        // Root leaf split.
+        if meta.height == 1 {
+            let mut root_guard = self.pool.frame(root_fid).latch.write();
+            let Page::IndexLeaf(leaf) = &mut *root_guard else {
+                return Err(PhoebeError::internal("corrupt root"));
+            };
+            if leaf.is_full() {
+                let (right, sep) = leaf.split();
+                let right_fid = reserve.take()?;
+                {
+                    let mut g = self.pool.frame(right_fid).latch.write();
+                    *g = Page::IndexLeaf(right);
+                }
+                let new_root = reserve.take()?;
+                {
+                    let mut g = self.pool.frame(new_root).latch.write();
+                    let mut inner = InnerNode::default();
+                    inner.children[0] = Swip::hot(root_fid).raw();
+                    inner.insert_separator(0, &sep, Swip::hot(right_fid).raw());
+                    *g = Page::Inner(inner);
+                }
+                self.pool.frame(new_root).meta.parent.store(NO_PARENT, Ordering::Relaxed);
+                self.pool.frame(root_fid).meta.parent.store(new_root, Ordering::Relaxed);
+                self.pool.frame(right_fid).meta.parent.store(new_root, Ordering::Relaxed);
+                self.mark_dirty(root_fid);
+                self.mark_dirty(right_fid);
+                self.mark_dirty(new_root);
+                meta.root = Swip::hot(new_root);
+                meta.height += 1;
+            }
+            drop(root_guard);
+        }
+        if meta.height == 1 {
+            // Still a leaf root (it had room after all); plain insert.
+            let mut g = self.pool.frame(meta.root.frame().expect("hot")).latch.write();
+            let Page::IndexLeaf(leaf) = &mut *g else {
+                return Err(PhoebeError::internal("corrupt root"));
+            };
+            return if leaf.insert(key, row_id.raw()) {
+                Ok(())
+            } else {
+                Err(PhoebeError::DuplicateKey { index: self.table })
+            };
+        }
+
+        // Crab down, splitting full nodes preemptively.
+        let mut cur = meta.root.frame().expect("hot");
+        let mut guard = self.pool.frame(cur).latch.write();
+        loop {
+            if let Page::Inner(n) = &*guard {
+                if n.is_full() {
+                    let parent_hint = self.pool.frame(cur).meta.parent.load(Ordering::Relaxed);
+                    let (right_fid, sep) = self.split_inner(&mut reserve, &mut guard)?;
+                    if parent_hint == NO_PARENT {
+                        let new_root = reserve.take()?;
+                        {
+                            let mut g = self.pool.frame(new_root).latch.write();
+                            let mut inner = InnerNode::default();
+                            inner.children[0] = Swip::hot(cur).raw();
+                            inner.insert_separator(0, &sep, Swip::hot(right_fid).raw());
+                            *g = Page::Inner(inner);
+                        }
+                        self.pool
+                            .frame(new_root)
+                            .meta
+                            .parent
+                            .store(NO_PARENT, Ordering::Relaxed);
+                        self.pool.frame(cur).meta.parent.store(new_root, Ordering::Relaxed);
+                        self.pool
+                            .frame(right_fid)
+                            .meta
+                            .parent
+                            .store(new_root, Ordering::Relaxed);
+                        self.mark_dirty(new_root);
+                        meta.root = Swip::hot(new_root);
+                        meta.height += 1;
+                    } else {
+                        let mut pg = self.pool.frame(parent_hint).latch.write();
+                        let Page::Inner(pn) = &mut *pg else {
+                            return Err(PhoebeError::internal("parent hint corrupt"));
+                        };
+                        let slot = pn
+                            .find_child_slot(Swip::hot(cur).raw())
+                            .ok_or_else(|| PhoebeError::internal("child slot missing"))?;
+                        pn.insert_separator(slot, &sep, Swip::hot(right_fid).raw());
+                        self.pool
+                            .frame(right_fid)
+                            .meta
+                            .parent
+                            .store(parent_hint, Ordering::Relaxed);
+                        self.mark_dirty(parent_hint);
+                    }
+                    if key >= sep.as_slice() {
+                        drop(guard);
+                        cur = right_fid;
+                        guard = self.pool.frame(cur).latch.write();
+                    }
+                    continue;
+                }
+            }
+            match &mut *guard {
+                Page::Inner(n) => {
+                    let idx = n.child_index(key);
+                    let child = Swip::from_raw(n.children[idx]);
+                    let next = match child.state() {
+                        SwipState::Hot(f) | SwipState::Cooling(f) => f,
+                        SwipState::Cold(pid) => {
+                            let f = reserve.take()?;
+                            self.pool.read_into_frame(f, pid, cur)?;
+                            n.children[idx] = Swip::hot(f).raw();
+                            self.mark_dirty(cur);
+                            f
+                        }
+                    };
+                    let mut next_guard = self.pool.frame(next).latch.write();
+                    // Split a full child leaf while we still hold its parent.
+                    if let Page::IndexLeaf(leaf) = &mut *next_guard {
+                        if leaf.is_full() {
+                            let (right, sep) = leaf.split();
+                            let right_fid = reserve.take()?;
+                            {
+                                let mut g = self.pool.frame(right_fid).latch.write();
+                                *g = Page::IndexLeaf(right);
+                            }
+                            self.pool.frame(right_fid).meta.parent.store(cur, Ordering::Relaxed);
+                            n.insert_separator(idx, &sep, Swip::hot(right_fid).raw());
+                            self.mark_dirty(cur);
+                            self.mark_dirty(next);
+                            self.mark_dirty(right_fid);
+                            if key >= sep.as_slice() {
+                                drop(next_guard);
+                                drop(guard);
+                                cur = right_fid;
+                                guard = self.pool.frame(cur).latch.write();
+                                continue;
+                            }
+                        }
+                    }
+                    drop(guard);
+                    cur = next;
+                    guard = next_guard;
+                }
+                Page::IndexLeaf(leaf) => {
+                    return if leaf.insert(key, row_id.raw()) {
+                        self.mark_dirty(cur);
+                        Ok(())
+                    } else {
+                        Err(PhoebeError::DuplicateKey { index: self.table })
+                    };
+                }
+                _ => return Err(PhoebeError::internal("unexpected page kind in index tree")),
+            }
+        }
+    }
+}
+
+/// Either-latched leaf guard.
+pub enum LeafGuard<'a> {
+    Read(ReadGuard<'a, Page>),
+    Write(WriteGuard<'a, Page>),
+}
+
+impl LeafGuard<'_> {
+    fn page(&self) -> &Page {
+        match self {
+            LeafGuard::Read(g) => g,
+            LeafGuard::Write(g) => g,
+        }
+    }
+
+    fn page_mut(&mut self) -> &mut Page {
+        match self {
+            LeafGuard::Read(_) => panic!("page_mut on a shared guard"),
+            LeafGuard::Write(g) => g,
+        }
+    }
+}
+
+trait TableLeafFull {
+    fn table_leaf_full(&self, layout: &PaxLayout) -> bool;
+}
+
+impl TableLeafFull for ReadGuard<'_, Page> {
+    fn table_leaf_full(&self, layout: &PaxLayout) -> bool {
+        matches!(&**self, Page::TableLeaf(l) if l.is_full(layout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColType, Schema};
+    use phoebe_common::KernelConfig;
+
+    fn pool(frames: usize) -> Arc<BufferPool> {
+        let cfg = KernelConfig::for_tests();
+        BufferPool::new(frames, 2, &cfg.data_dir, Arc::new(Metrics::new(2))).unwrap()
+    }
+
+    fn table_tree(frames: usize) -> (BTree, PaxLayout) {
+        let p = pool(frames);
+        let schema = Schema::new(vec![("v", ColType::I64), ("s", ColType::Str(8))]);
+        let layout = PaxLayout::for_schema(&schema);
+        let t = BTree::create(p.clone(), TableId(1), TreeKind::Table, Arc::new(Metrics::new(2)))
+            .unwrap();
+        (t, layout)
+    }
+
+    fn index_tree(frames: usize) -> BTree {
+        let p = pool(frames);
+        BTree::create(p, TableId(2), TreeKind::Index, Arc::new(Metrics::new(2))).unwrap()
+    }
+
+    fn tup(i: u64) -> Vec<Value> {
+        vec![Value::I64(i as i64), Value::Str(format!("s{}", i % 100))]
+    }
+
+    #[test]
+    fn table_append_and_point_reads() {
+        let (t, l) = table_tree(256);
+        for i in 1..=5_000u64 {
+            t.table_append(&l, RowId(i), &tup(i), |_, _, _, _| {}).unwrap();
+        }
+        assert!(t.height() >= 2, "5k rows must split the root leaf");
+        for i in (1..=5_000u64).step_by(97) {
+            let v = t
+                .table_read(RowId(i), |leaf, row, _, _| leaf.read_col(&l, row, 0))
+                .unwrap()
+                .expect("row present");
+            assert_eq!(v, Value::I64(i as i64));
+        }
+        assert!(t.table_read(RowId(0), |_, _, _, _| ()).unwrap().is_none());
+        assert!(t.table_read(RowId(99_999), |_, _, _, _| ()).unwrap().is_none());
+    }
+
+    #[test]
+    fn table_modify_updates_in_place() {
+        let (t, l) = table_tree(64);
+        t.table_append(&l, RowId(7), &tup(7), |_, _, _, _| {}).unwrap();
+        let changed = t
+            .table_modify(RowId(7), |leaf, row, _, _| {
+                leaf.write_col(&l, row, 0, &Value::I64(-1));
+            })
+            .unwrap();
+        assert!(changed.is_some());
+        let v = t.table_read(RowId(7), |leaf, row, _, _| leaf.read_col(&l, row, 0)).unwrap();
+        assert_eq!(v, Some(Value::I64(-1)));
+    }
+
+    #[test]
+    fn table_page_identity_is_stable_across_splits() {
+        let (t, l) = table_tree(256);
+        t.table_append(&l, RowId(1), &tup(1), |_, _, _, _| {}).unwrap();
+        let first_identity =
+            t.table_read(RowId(1), |_, _, first, _| first).unwrap().unwrap();
+        for i in 2..=4_000u64 {
+            t.table_append(&l, RowId(i), &tup(i), |_, _, _, _| {}).unwrap();
+        }
+        // Row 1's leaf never changed identity despite thousands of appends.
+        let identity_after =
+            t.table_read(RowId(1), |_, _, first, _| first).unwrap().unwrap();
+        assert_eq!(first_identity, identity_after);
+    }
+
+    #[test]
+    fn table_for_each_leaf_walks_in_order() {
+        let (t, l) = table_tree(256);
+        for i in 1..=3_000u64 {
+            t.table_append(&l, RowId(i), &tup(i), |_, _, _, _| {}).unwrap();
+        }
+        let mut firsts = Vec::new();
+        t.table_for_each_leaf(|_, leaf| {
+            firsts.push(leaf.first_row_id().unwrap().raw());
+            true
+        })
+        .unwrap();
+        assert!(firsts.len() > 2);
+        assert!(firsts.windows(2).all(|w| w[0] < w[1]), "leaves must ascend");
+        // Early stop works.
+        let mut n = 0;
+        t.table_for_each_leaf(|_, _| {
+            n += 1;
+            false
+        })
+        .unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn index_insert_get_remove_with_splits() {
+        let t = index_tree(256);
+        let n = 20_000u64;
+        for i in 0..n {
+            let k = (i * 2_654_435_761 % 1_000_003).to_be_bytes();
+            let _ = t.index_insert(&k, RowId(i)); // dups possible, ignore
+        }
+        assert!(t.height() >= 2);
+        // Spot-check round trips on keys we know are present.
+        let mut found = 0;
+        for i in 0..n {
+            let k = (i * 2_654_435_761 % 1_000_003).to_be_bytes();
+            if let Some(r) = t.index_get(&k).unwrap() {
+                // Remove and verify gone.
+                if i % 1000 == 0 {
+                    assert_eq!(t.index_remove(&k).unwrap(), Some(r));
+                    assert_eq!(t.index_get(&k).unwrap(), None);
+                }
+                found += 1;
+            }
+        }
+        assert!(found > n as usize / 2);
+    }
+
+    #[test]
+    fn index_duplicate_key_is_rejected() {
+        let t = index_tree(64);
+        t.index_insert(b"alpha", RowId(1)).unwrap();
+        match t.index_insert(b"alpha", RowId(2)) {
+            Err(PhoebeError::DuplicateKey { .. }) => {}
+            other => panic!("expected DuplicateKey, got {other:?}"),
+        }
+        assert_eq!(t.index_get(b"alpha").unwrap(), Some(RowId(1)));
+    }
+
+    #[test]
+    fn index_range_scans_across_leaves() {
+        let t = index_tree(512);
+        let n = 2_000u64;
+        for i in 0..n {
+            t.index_insert(&i.to_be_bytes(), RowId(i)).unwrap();
+        }
+        assert!(t.height() >= 2, "need multiple leaves to test resume");
+        let mut seen = Vec::new();
+        t.index_range(&100u64.to_be_bytes(), &1_500u64.to_be_bytes(), |_, r| {
+            seen.push(r.raw());
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, (100..=1_500).collect::<Vec<_>>());
+        // Early termination.
+        let mut count = 0;
+        t.index_range(&0u64.to_be_bytes(), &u64::MAX.to_be_bytes(), |_, _| {
+            count += 1;
+            count < 10
+        })
+        .unwrap();
+        assert_eq!(count, 10);
+        // Empty range.
+        let mut empty = 0;
+        t.index_range(&5_000u64.to_be_bytes(), &6_000u64.to_be_bytes(), |_, _| {
+            empty += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(empty, 0);
+    }
+
+    #[test]
+    fn table_survives_eviction_pressure() {
+        // Pool far smaller than the data: leaves must cycle through the
+        // Data Page File and come back intact.
+        let (t, l) = table_tree(24);
+        let n = 20_000u64;
+        for i in 1..=n {
+            t.table_append(&l, RowId(i), &tup(i), |_, _, _, _| {}).unwrap();
+        }
+        let (reads, writes) = t.pool().io_counts();
+        assert!(writes > 0, "eviction must have written pages");
+        for i in (1..=n).step_by(513) {
+            let v = t
+                .table_read(RowId(i), |leaf, row, _, _| leaf.read_col(&l, row, 0))
+                .unwrap()
+                .expect("row present after eviction cycles");
+            assert_eq!(v, Value::I64(i as i64));
+        }
+        let (reads2, _) = t.pool().io_counts();
+        assert!(reads2 > reads, "point reads of cold rows must load pages");
+    }
+
+    #[test]
+    fn index_survives_eviction_pressure() {
+        let t = index_tree(24);
+        let n = 30_000u64;
+        for i in 0..n {
+            t.index_insert(&i.to_be_bytes(), RowId(i)).unwrap();
+        }
+        for i in (0..n).step_by(997) {
+            assert_eq!(t.index_get(&i.to_be_bytes()).unwrap(), Some(RowId(i)));
+        }
+        let (_, writes) = t.pool().io_counts();
+        assert!(writes > 0);
+    }
+
+    #[test]
+    fn concurrent_index_readers_and_writers() {
+        let t = Arc::new(index_tree(512));
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        let k = (w * 1_000_000 + i).to_be_bytes();
+                        t.index_insert(&k, RowId(i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    let mut hits = 0u64;
+                    for i in 0..20_000u64 {
+                        let k = (i % 2 * 1_000_000 + i % 5_000).to_be_bytes();
+                        if t.index_get(&k).unwrap().is_some() {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        // Everything inserted must be found afterwards.
+        for w in 0..2u64 {
+            for i in (0..5_000u64).step_by(111) {
+                let k = (w * 1_000_000 + i).to_be_bytes();
+                assert_eq!(t.index_get(&k).unwrap(), Some(RowId(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_table_appenders_on_disjoint_trees() {
+        // Two tables sharing one pool: appends must not interfere.
+        let p = pool(128);
+        let schema = Schema::new(vec![("v", ColType::I64)]);
+        let l = PaxLayout::for_schema(&schema);
+        let m = Arc::new(Metrics::new(2));
+        let t1 = Arc::new(
+            BTree::create(p.clone(), TableId(1), TreeKind::Table, m.clone()).unwrap(),
+        );
+        let t2 =
+            Arc::new(BTree::create(p, TableId(2), TreeKind::Table, m).unwrap());
+        let h1 = {
+            let (t, l) = (t1.clone(), l.clone());
+            std::thread::spawn(move || {
+                for i in 1..=5_000u64 {
+                    t.table_append(&l, RowId(i), &[Value::I64(i as i64)], |_, _, _, _| {}).unwrap();
+                }
+            })
+        };
+        let h2 = {
+            let (t, l) = (t2.clone(), l.clone());
+            std::thread::spawn(move || {
+                for i in 1..=5_000u64 {
+                    t.table_append(&l, RowId(i), &[Value::I64(-(i as i64))], |_, _, _, _| {}).unwrap();
+                }
+            })
+        };
+        h1.join().unwrap();
+        h2.join().unwrap();
+        let v1 = t1.table_read(RowId(4_999), |leaf, r, _, _| leaf.read_col(&l, r, 0)).unwrap();
+        let v2 = t2.table_read(RowId(4_999), |leaf, r, _, _| leaf.read_col(&l, r, 0)).unwrap();
+        assert_eq!(v1, Some(Value::I64(4_999)));
+        assert_eq!(v2, Some(Value::I64(-4_999)));
+    }
+}

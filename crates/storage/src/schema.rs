@@ -1,0 +1,236 @@
+//! Relation schemas and tuple values.
+//!
+//! PhoebeDB stores base tables in PAX pages whose minipage geometry is
+//! computed from the schema. Columns are fixed-width on the page: integers
+//! and floats at their natural width, strings in a fixed-capacity slot with
+//! a length prefix (TPC-C strings are all bounded, and fixed slots are what
+//! keeps every update in-place — the property §5.2 relies on for hot/cold
+//! pages).
+
+use phoebe_common::error::{PhoebeError, Result};
+use phoebe_common::ids::TableId;
+use serde::{Deserialize, Serialize};
+
+/// A column's on-page type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColType {
+    /// 64-bit signed integer (also used for decimals as fixed-point cents).
+    I64,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit float.
+    F64,
+    /// UTF-8 string with a maximum byte length; stored in a fixed slot of
+    /// `2 + max` bytes (u16 length prefix).
+    Str(u16),
+}
+
+impl ColType {
+    /// Fixed slot width of this column inside a PAX minipage.
+    pub fn slot_width(self) -> usize {
+        match self {
+            ColType::I64 | ColType::F64 => 8,
+            ColType::I32 => 4,
+            ColType::Str(max) => 2 + max as usize,
+        }
+    }
+}
+
+/// A single column value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    I64(i64),
+    I32(i32),
+    F64(f64),
+    Str(String),
+}
+
+impl Value {
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::I64(v) => *v,
+            Value::I32(v) => *v as i64,
+            _ => panic!("value is not an integer: {self:?}"),
+        }
+    }
+
+    pub fn as_i32(&self) -> i32 {
+        match self {
+            Value::I32(v) => *v,
+            Value::I64(v) => *v as i32,
+            _ => panic!("value is not an integer: {self:?}"),
+        }
+    }
+
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::F64(v) => *v,
+            _ => panic!("value is not a float: {self:?}"),
+        }
+    }
+
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            _ => panic!("value is not a string: {self:?}"),
+        }
+    }
+
+    /// Whether this value can be stored in a column of type `ty`.
+    pub fn matches(&self, ty: ColType) -> bool {
+        match (self, ty) {
+            (Value::I64(_), ColType::I64) => true,
+            (Value::I32(_), ColType::I32) => true,
+            (Value::F64(_), ColType::F64) => true,
+            (Value::Str(s), ColType::Str(max)) => s.len() <= max as usize,
+            _ => false,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I32(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// A tuple: one value per schema column.
+pub type Tuple = Vec<Value>;
+
+/// Schema of one relation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schema {
+    cols: Vec<ColType>,
+    names: Vec<String>,
+}
+
+impl Schema {
+    pub fn new(cols: Vec<(&str, ColType)>) -> Self {
+        let names = cols.iter().map(|(n, _)| (*n).to_owned()).collect();
+        let cols = cols.into_iter().map(|(_, t)| t).collect();
+        Schema { cols, names }
+    }
+
+    pub fn num_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn col_type(&self, idx: usize) -> ColType {
+        self.cols[idx]
+    }
+
+    pub fn col_name(&self, idx: usize) -> &str {
+        &self.names[idx]
+    }
+
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    pub fn types(&self) -> &[ColType] {
+        &self.cols
+    }
+
+    /// Total fixed width of one row across all minipages (excluding the
+    /// row-id minipage).
+    pub fn row_width(&self) -> usize {
+        self.cols.iter().map(|c| c.slot_width()).sum()
+    }
+
+    /// Validate a tuple against this schema.
+    pub fn check(&self, table: TableId, tuple: &[Value]) -> Result<()> {
+        if tuple.len() != self.cols.len() {
+            return Err(PhoebeError::SchemaMismatch {
+                table,
+                detail: format!("expected {} columns, got {}", self.cols.len(), tuple.len()),
+            });
+        }
+        for (i, (v, &t)) in tuple.iter().zip(&self.cols).enumerate() {
+            if !v.matches(t) {
+                return Err(PhoebeError::SchemaMismatch {
+                    table,
+                    detail: format!("column {i} ({}) rejects {v:?}", self.names[i]),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("id", ColType::I64),
+            ("qty", ColType::I32),
+            ("price", ColType::F64),
+            ("name", ColType::Str(16)),
+        ])
+    }
+
+    #[test]
+    fn slot_widths() {
+        assert_eq!(ColType::I64.slot_width(), 8);
+        assert_eq!(ColType::I32.slot_width(), 4);
+        assert_eq!(ColType::F64.slot_width(), 8);
+        assert_eq!(ColType::Str(10).slot_width(), 12);
+    }
+
+    #[test]
+    fn row_width_sums_columns() {
+        assert_eq!(schema().row_width(), 8 + 4 + 8 + 18);
+    }
+
+    #[test]
+    fn check_accepts_valid_tuple() {
+        let s = schema();
+        let t: Tuple = vec![1i64.into(), 2i32.into(), 3.0.into(), "ok".into()];
+        assert!(s.check(TableId(1), &t).is_ok());
+    }
+
+    #[test]
+    fn check_rejects_wrong_arity_and_types() {
+        let s = schema();
+        assert!(s.check(TableId(1), &[Value::I64(1)]).is_err());
+        let wrong: Tuple = vec![1i64.into(), 2i64.into(), 3.0.into(), "ok".into()];
+        assert!(s.check(TableId(1), &wrong).is_err());
+    }
+
+    #[test]
+    fn check_rejects_oversized_string() {
+        let s = schema();
+        let t: Tuple =
+            vec![1i64.into(), 2i32.into(), 3.0.into(), "seventeen chars!!".into()];
+        assert!(s.check(TableId(1), &t).is_err());
+    }
+
+    #[test]
+    fn col_lookup_by_name() {
+        let s = schema();
+        assert_eq!(s.col_index("price"), Some(2));
+        assert_eq!(s.col_index("missing"), None);
+        assert_eq!(s.col_name(3), "name");
+    }
+}

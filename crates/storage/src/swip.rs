@@ -1,0 +1,145 @@
+//! Swizzled pointers ("swips", §5.3).
+//!
+//! A swip is a 64-bit word inside a parent B-Tree node that references a
+//! child page in one of the paper's three states:
+//!
+//! * **Hot** — the child is in Main Storage; the swip carries its buffer
+//!   frame index, so following it is a plain array index with no mapping
+//!   table in between.
+//! * **Cooling** — still in memory and still addressed by frame index, but
+//!   flagged as an eviction candidate. An access clears the flag (second
+//!   chance) instead of paying an I/O.
+//! * **Cold** — evicted; the swip carries the page's slot in the Data Page
+//!   File, and following it loads the page and re-swizzles the swip to Hot.
+//!
+//! Bit layout: `bit63` = cold flag (1 ⇒ payload is a [`PageId`]),
+//! `bit62` = cooling flag (only meaningful when hot), low 62 bits payload.
+
+use phoebe_common::ids::PageId;
+
+const COLD_BIT: u64 = 1 << 63;
+const COOLING_BIT: u64 = 1 << 62;
+const PAYLOAD_MASK: u64 = COOLING_BIT - 1;
+
+/// Dense index of a buffer frame in Main Storage.
+pub type FrameId = u64;
+
+/// A swizzled child reference stored inside inner nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Swip(u64);
+
+/// The decoded state of a swip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwipState {
+    Hot(FrameId),
+    Cooling(FrameId),
+    Cold(PageId),
+}
+
+impl Swip {
+    /// A swip that references nothing (used for vacant child slots).
+    pub const NULL: Swip = Swip(PAYLOAD_MASK);
+
+    pub fn hot(frame: FrameId) -> Self {
+        debug_assert!(frame < PAYLOAD_MASK);
+        Swip(frame)
+    }
+
+    pub fn cooling(frame: FrameId) -> Self {
+        debug_assert!(frame < PAYLOAD_MASK);
+        Swip(frame | COOLING_BIT)
+    }
+
+    pub fn cold(page: PageId) -> Self {
+        debug_assert!(page.raw() < PAYLOAD_MASK);
+        Swip(page.raw() | COLD_BIT)
+    }
+
+    pub fn is_null(self) -> bool {
+        self == Swip::NULL
+    }
+
+    pub fn state(self) -> SwipState {
+        if self.0 & COLD_BIT != 0 {
+            SwipState::Cold(PageId(self.0 & PAYLOAD_MASK))
+        } else if self.0 & COOLING_BIT != 0 {
+            SwipState::Cooling(self.0 & PAYLOAD_MASK)
+        } else {
+            SwipState::Hot(self.0)
+        }
+    }
+
+    /// Frame id if the page is memory-resident (hot or cooling).
+    pub fn frame(self) -> Option<FrameId> {
+        match self.state() {
+            SwipState::Hot(f) | SwipState::Cooling(f) => Some(f),
+            SwipState::Cold(_) => None,
+        }
+    }
+
+    /// Raw encoding, for storage inside fixed-size node arrays.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    pub fn from_raw(raw: u64) -> Self {
+        Swip(raw)
+    }
+
+    /// The hot version of a cooling swip (second-chance promotion).
+    pub fn heated(self) -> Self {
+        debug_assert!(self.0 & COLD_BIT == 0, "cannot heat a cold swip in place");
+        Swip(self.0 & !COOLING_BIT)
+    }
+}
+
+impl std::fmt::Debug for Swip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_null() {
+            write!(f, "Swip(null)")
+        } else {
+            write!(f, "Swip({:?})", self.state())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_roundtrip() {
+        let s = Swip::hot(12345);
+        assert_eq!(s.state(), SwipState::Hot(12345));
+        assert_eq!(s.frame(), Some(12345));
+    }
+
+    #[test]
+    fn cooling_roundtrip_and_heating() {
+        let s = Swip::cooling(77);
+        assert_eq!(s.state(), SwipState::Cooling(77));
+        assert_eq!(s.frame(), Some(77));
+        assert_eq!(s.heated().state(), SwipState::Hot(77));
+    }
+
+    #[test]
+    fn cold_roundtrip() {
+        let s = Swip::cold(PageId(987654));
+        assert_eq!(s.state(), SwipState::Cold(PageId(987654)));
+        assert_eq!(s.frame(), None);
+    }
+
+    #[test]
+    fn raw_encoding_roundtrips_through_node_storage() {
+        for s in [Swip::hot(1), Swip::cooling(2), Swip::cold(PageId(3)), Swip::NULL] {
+            assert_eq!(Swip::from_raw(s.raw()), s);
+        }
+    }
+
+    #[test]
+    fn null_is_distinct_from_real_swips() {
+        assert!(Swip::NULL.is_null());
+        assert!(!Swip::hot(0).is_null());
+        assert!(!Swip::cold(PageId(0)).is_null());
+    }
+}

@@ -1,0 +1,14 @@
+//! The frozen storage layer (§5.2): the Data Block File.
+//!
+//! Most OLTP data is time-sensitive; once a range of row ids goes cold for
+//! long enough, PhoebeDB compresses several consecutive leaf pages into one
+//! *frozen data block*, preserving row-id order, and records the advancing
+//! `max_frozen_row_id` watermark. Frozen data serves OLAP-style reads
+//! without warming the buffer pool; updates and deletes against frozen rows
+//! are out-of-place (tombstone + re-insert hot) to avoid decompress/
+//! recompress write amplification.
+
+pub mod codec;
+pub mod frozen;
+
+pub use frozen::{BlockStats, FrozenStore};

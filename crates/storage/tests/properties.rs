@@ -1,0 +1,139 @@
+//! Property-based tests over the storage substrates: PAX layout, the
+//! frozen-block codec, node split invariants, and page disk encoding.
+
+use phoebe_common::ids::RowId;
+use phoebe_storage::node::{IndexLeaf, Page, INDEX_LEAF_CAP, MAX_KEY};
+use phoebe_storage::pax::{PaxLayout, PaxLeaf};
+use phoebe_storage::schema::{ColType, Schema, Value};
+use phoebe_storage::tier::codec;
+use proptest::prelude::*;
+
+fn arb_value(ty: ColType) -> BoxedStrategy<Value> {
+    match ty {
+        ColType::I64 => any::<i64>().prop_map(Value::I64).boxed(),
+        ColType::I32 => any::<i32>().prop_map(Value::I32).boxed(),
+        ColType::F64 => any::<i64>().prop_map(|v| Value::F64(v as f64 / 7.0)).boxed(),
+        ColType::Str(max) => proptest::string::string_regex("[a-zA-Z0-9 ]{0,12}")
+            .unwrap()
+            .prop_map(move |s| {
+                let mut s = s;
+                s.truncate(max as usize);
+                Value::Str(s)
+            })
+            .boxed(),
+    }
+}
+
+fn test_schema() -> Schema {
+    Schema::new(vec![
+        ("a", ColType::I64),
+        ("b", ColType::I32),
+        ("c", ColType::F64),
+        ("d", ColType::Str(12)),
+    ])
+}
+
+fn arb_rows(max: usize) -> impl Strategy<Value = Vec<Vec<Value>>> {
+    let types: Vec<ColType> = test_schema().types().to_vec();
+    proptest::collection::vec(
+        types.into_iter().map(arb_value).collect::<Vec<_>>(),
+        1..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pax_roundtrips_arbitrary_rows(rows in arb_rows(60)) {
+        let schema = test_schema();
+        let layout = PaxLayout::for_schema(&schema);
+        let mut leaf = PaxLeaf::new();
+        for (i, row) in rows.iter().enumerate() {
+            leaf.append(&layout, RowId(i as u64 * 3 + 1), row);
+        }
+        for (i, row) in rows.iter().enumerate() {
+            let idx = leaf.find(RowId(i as u64 * 3 + 1)).expect("present");
+            prop_assert_eq!(&leaf.read_row(&layout, idx), row);
+        }
+        // Absent ids (between the stride) must not be found.
+        prop_assert!(leaf.find(RowId(2)).is_none());
+    }
+
+    #[test]
+    fn frozen_codec_roundtrips(rows in arb_rows(200), start in 1u64..1000) {
+        let types: Vec<ColType> = test_schema().types().to_vec();
+        let ids: Vec<RowId> = (0..rows.len() as u64).map(|i| RowId(start + i * 2)).collect();
+        let blob = codec::encode_block(&types, &ids, &rows);
+        let (ids2, rows2) = codec::decode_block(&blob).unwrap();
+        prop_assert_eq!(ids, ids2);
+        prop_assert_eq!(rows, rows2);
+    }
+
+    #[test]
+    fn frozen_codec_rejects_any_truncation(rows in arb_rows(50)) {
+        let types: Vec<ColType> = test_schema().types().to_vec();
+        let ids: Vec<RowId> = (1..=rows.len() as u64).map(RowId).collect();
+        let blob = codec::encode_block(&types, &ids, &rows);
+        for cut in (0..blob.len()).step_by((blob.len() / 17).max(1)) {
+            match codec::decode_block(&blob[..cut]) {
+                Ok((ids2, _)) => prop_assert!(ids2.len() <= ids.len()),
+                Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn index_leaf_stays_sorted_and_total(keys in proptest::collection::btree_set(
+        proptest::collection::vec(any::<u8>(), 1..MAX_KEY), 1..INDEX_LEAF_CAP)) {
+        let mut leaf = IndexLeaf::default();
+        for (i, k) in keys.iter().enumerate() {
+            prop_assert!(leaf.insert(k, i as u64), "fresh keys insert");
+        }
+        for w in 1..leaf.count as usize {
+            prop_assert!(leaf.key(w - 1) < leaf.key(w));
+        }
+        // Splits partition without loss.
+        let (right, sep) = {
+            let mut l2 = IndexLeaf::default();
+            for (i, k) in keys.iter().enumerate() {
+                l2.insert(k, i as u64);
+            }
+            l2.split()
+        };
+        let mut left_only = IndexLeaf::default();
+        for (i, k) in keys.iter().enumerate() {
+            left_only.insert(k, i as u64);
+        }
+        let (right2, _) = left_only.split();
+        let _ = right2;
+        for (i, k) in keys.iter().enumerate() {
+            let hit = if k.as_slice() < sep.as_slice() {
+                left_only.get(k)
+            } else {
+                right.get(k)
+            };
+            prop_assert_eq!(hit, Some(i as u64), "key {:?} sep {:?}", k, sep);
+        }
+    }
+
+    #[test]
+    fn pages_roundtrip_disk_encoding(rows in arb_rows(40)) {
+        let schema = test_schema();
+        let layout = PaxLayout::for_schema(&schema);
+        let mut leaf = PaxLeaf::new();
+        for (i, row) in rows.iter().enumerate() {
+            leaf.append(&layout, RowId(i as u64 + 1), row);
+        }
+        let expect_count = leaf.count;
+        let mut buf = vec![0u8; phoebe_common::config::PAGE_SIZE];
+        Page::TableLeaf(leaf).encode(&mut buf);
+        let back = Page::decode(&buf).unwrap();
+        let Page::TableLeaf(l2) = back else { panic!("kind changed") };
+        prop_assert_eq!(l2.count, expect_count);
+        for (i, row) in rows.iter().enumerate() {
+            let idx = l2.find(RowId(i as u64 + 1)).expect("present after disk");
+            prop_assert_eq!(&l2.read_row(&layout, idx), row);
+        }
+    }
+}

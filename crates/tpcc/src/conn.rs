@@ -1,0 +1,277 @@
+//! Engine-generic connection trait, with adapters for the PhoebeDB kernel
+//! and the PostgreSQL-like baseline. The five transaction profiles are
+//! written once against [`TpccConn`] and run unchanged on both engines —
+//! the fairness requirement behind Exp 6/8.
+
+use crate::schema::{Idx, Tbl, INDEXES, TABLES};
+use phoebe_baseline::{BaselineDb, BaselineIndex, BaselineTable, BaselineTxn, Isolation};
+use phoebe_common::error::Result;
+use phoebe_common::ids::RowId;
+use phoebe_core::{Database, IndexEntry, IsolationLevel, TableEntry, Transaction};
+use phoebe_storage::schema::Value;
+use std::future::Future;
+use std::sync::Arc;
+
+/// One open transaction against some engine.
+pub trait TpccConn: Send + Sized {
+    fn read(
+        &mut self,
+        t: Tbl,
+        row: RowId,
+    ) -> impl Future<Output = Result<Option<Vec<Value>>>> + Send;
+    fn insert(
+        &mut self,
+        t: Tbl,
+        tuple: Vec<Value>,
+    ) -> impl Future<Output = Result<RowId>> + Send;
+    fn update(
+        &mut self,
+        t: Tbl,
+        row: RowId,
+        delta: Vec<(usize, Value)>,
+    ) -> impl Future<Output = Result<RowId>> + Send;
+    /// Atomic read-modify-write: the delta is computed from the row's
+    /// current version under the engine's row latch/lock, so counters
+    /// (`d_next_o_id`, YTDs, stock quantities) never lose updates. Returns
+    /// the updated row id and the version the delta was computed from.
+    fn update_rmw<F>(
+        &mut self,
+        t: Tbl,
+        row: RowId,
+        f: F,
+    ) -> impl Future<Output = Result<(RowId, Vec<Value>)>> + Send
+    where
+        F: Fn(&[Value]) -> Vec<(usize, Value)> + Send + Sync;
+    fn delete(&mut self, t: Tbl, row: RowId) -> impl Future<Output = Result<()>> + Send;
+    /// Unique-index point lookup.
+    fn lookup(
+        &mut self,
+        idx: Idx,
+        key: Vec<Value>,
+    ) -> impl Future<Output = Result<Option<(RowId, Vec<Value>)>>> + Send;
+    /// Prefix scan in key order, up to `limit` visible rows.
+    fn scan(
+        &mut self,
+        idx: Idx,
+        prefix: Vec<Value>,
+        limit: usize,
+    ) -> impl Future<Output = Result<Vec<(RowId, Vec<Value>)>>> + Send;
+    fn commit(self) -> impl Future<Output = Result<()>> + Send;
+    fn abort(self);
+}
+
+/// An engine that can open TPC-C transactions.
+pub trait TpccEngine: Send + Sync + Clone + 'static {
+    type Conn: TpccConn;
+    fn begin(&self) -> Self::Conn;
+}
+
+// ---------------------------------------------------------------------
+// PhoebeDB adapter
+// ---------------------------------------------------------------------
+
+/// The kernel with resolved TPC-C table/index handles.
+#[derive(Clone)]
+pub struct PhoebeEngine {
+    pub db: Arc<Database>,
+    tables: Arc<Vec<Arc<TableEntry>>>,
+    indexes: Arc<Vec<Arc<IndexEntry>>>,
+    pub isolation: IsolationLevel,
+}
+
+impl PhoebeEngine {
+    /// Create the TPC-C schema in `db` and return the engine handle.
+    pub fn create(db: Arc<Database>) -> Result<Self> {
+        let mut tables = Vec::with_capacity(TABLES.len());
+        for t in TABLES {
+            tables.push(db.create_table(t.name(), t.schema())?);
+        }
+        let mut indexes = Vec::with_capacity(INDEXES.len());
+        for idx in INDEXES {
+            let table = &tables[idx.table() as usize];
+            indexes.push(db.create_index(table, idx.name(), idx.key_cols(), idx.unique())?);
+        }
+        Ok(PhoebeEngine {
+            db,
+            tables: Arc::new(tables),
+            indexes: Arc::new(indexes),
+            isolation: IsolationLevel::ReadCommitted,
+        })
+    }
+
+    pub fn table(&self, t: Tbl) -> &Arc<TableEntry> {
+        &self.tables[t as usize]
+    }
+
+    pub fn index(&self, i: Idx) -> &Arc<IndexEntry> {
+        &self.indexes[i as usize]
+    }
+}
+
+/// A transaction on the kernel.
+pub struct PhoebeConn {
+    tx: Transaction,
+    tables: Arc<Vec<Arc<TableEntry>>>,
+    indexes: Arc<Vec<Arc<IndexEntry>>>,
+}
+
+impl TpccEngine for PhoebeEngine {
+    type Conn = PhoebeConn;
+
+    fn begin(&self) -> PhoebeConn {
+        PhoebeConn {
+            tx: self.db.begin(self.isolation),
+            tables: Arc::clone(&self.tables),
+            indexes: Arc::clone(&self.indexes),
+        }
+    }
+}
+
+impl TpccConn for PhoebeConn {
+    async fn read(&mut self, t: Tbl, row: RowId) -> Result<Option<Vec<Value>>> {
+        self.tx.read(&self.tables[t as usize], row)
+    }
+
+    async fn insert(&mut self, t: Tbl, tuple: Vec<Value>) -> Result<RowId> {
+        self.tx.insert(&self.tables[t as usize], tuple).await
+    }
+
+    async fn update(&mut self, t: Tbl, row: RowId, delta: Vec<(usize, Value)>) -> Result<RowId> {
+        self.tx.update(&self.tables[t as usize], row, &delta).await
+    }
+
+    async fn update_rmw<F>(&mut self, t: Tbl, row: RowId, f: F) -> Result<(RowId, Vec<Value>)>
+    where
+        F: Fn(&[Value]) -> Vec<(usize, Value)> + Send + Sync,
+    {
+        self.tx.update_rmw(&self.tables[t as usize], row, &f).await
+    }
+
+    async fn delete(&mut self, t: Tbl, row: RowId) -> Result<()> {
+        self.tx.delete(&self.tables[t as usize], row).await
+    }
+
+    async fn lookup(&mut self, idx: Idx, key: Vec<Value>) -> Result<Option<(RowId, Vec<Value>)>> {
+        let table = &self.tables[idx.table() as usize];
+        self.tx.lookup_unique(table, &self.indexes[idx as usize], &key)
+    }
+
+    async fn scan(
+        &mut self,
+        idx: Idx,
+        prefix: Vec<Value>,
+        limit: usize,
+    ) -> Result<Vec<(RowId, Vec<Value>)>> {
+        let table = &self.tables[idx.table() as usize];
+        self.tx.scan_index(table, &self.indexes[idx as usize], &prefix, limit)
+    }
+
+    async fn commit(self) -> Result<()> {
+        self.tx.commit().await.map(|_| ())
+    }
+
+    fn abort(self) {
+        self.tx.abort();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Baseline adapter
+// ---------------------------------------------------------------------
+
+/// The baseline engine with resolved handles.
+#[derive(Clone)]
+pub struct BaselineEngine {
+    pub db: Arc<BaselineDb>,
+    tables: Arc<Vec<Arc<BaselineTable>>>,
+    indexes: Arc<Vec<Arc<BaselineIndex>>>,
+    pub isolation: Isolation,
+}
+
+impl BaselineEngine {
+    pub fn create(db: Arc<BaselineDb>) -> Self {
+        let mut tables = Vec::with_capacity(TABLES.len());
+        for t in TABLES {
+            tables.push(db.create_table(t.name(), t.schema()));
+        }
+        let mut indexes = Vec::with_capacity(INDEXES.len());
+        for idx in INDEXES {
+            let table = &tables[idx.table() as usize];
+            indexes.push(db.create_index(table, idx.name(), idx.key_cols(), idx.unique()));
+        }
+        BaselineEngine {
+            db,
+            tables: Arc::new(tables),
+            indexes: Arc::new(indexes),
+            isolation: Isolation::ReadCommitted,
+        }
+    }
+}
+
+/// A transaction on the baseline (sync internals; waits block the thread —
+/// the thread-per-transaction model).
+pub struct BaselineConn {
+    tx: BaselineTxn,
+    tables: Arc<Vec<Arc<BaselineTable>>>,
+    indexes: Arc<Vec<Arc<BaselineIndex>>>,
+}
+
+impl TpccEngine for BaselineEngine {
+    type Conn = BaselineConn;
+
+    fn begin(&self) -> BaselineConn {
+        BaselineConn {
+            tx: BaselineTxn::begin(&self.db, self.isolation),
+            tables: Arc::clone(&self.tables),
+            indexes: Arc::clone(&self.indexes),
+        }
+    }
+}
+
+impl TpccConn for BaselineConn {
+    async fn read(&mut self, t: Tbl, row: RowId) -> Result<Option<Vec<Value>>> {
+        self.tx.read(&self.tables[t as usize], row)
+    }
+
+    async fn insert(&mut self, t: Tbl, tuple: Vec<Value>) -> Result<RowId> {
+        self.tx.insert(&self.tables[t as usize], tuple)
+    }
+
+    async fn update(&mut self, t: Tbl, row: RowId, delta: Vec<(usize, Value)>) -> Result<RowId> {
+        self.tx.update(&self.tables[t as usize], row, &delta)
+    }
+
+    async fn update_rmw<F>(&mut self, t: Tbl, row: RowId, f: F) -> Result<(RowId, Vec<Value>)>
+    where
+        F: Fn(&[Value]) -> Vec<(usize, Value)> + Send + Sync,
+    {
+        self.tx.update_rmw(&self.tables[t as usize], row, &f)
+    }
+
+    async fn delete(&mut self, t: Tbl, row: RowId) -> Result<()> {
+        self.tx.delete(&self.tables[t as usize], row)
+    }
+
+    async fn lookup(&mut self, idx: Idx, key: Vec<Value>) -> Result<Option<(RowId, Vec<Value>)>> {
+        let table = &self.tables[idx.table() as usize];
+        self.tx.lookup(table, &self.indexes[idx as usize], &key)
+    }
+
+    async fn scan(
+        &mut self,
+        idx: Idx,
+        prefix: Vec<Value>,
+        limit: usize,
+    ) -> Result<Vec<(RowId, Vec<Value>)>> {
+        let table = &self.tables[idx.table() as usize];
+        self.tx.scan(table, &self.indexes[idx as usize], &prefix, limit)
+    }
+
+    async fn commit(self) -> Result<()> {
+        self.tx.commit()
+    }
+
+    fn abort(self) {
+        self.tx.abort();
+    }
+}

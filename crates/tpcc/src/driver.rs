@@ -1,0 +1,252 @@
+//! The mixed-workload driver: terminals submitting the standard TPC-C mix
+//! (45% New-Order, 43% Payment, 4% each Order-Status, Delivery,
+//! Stock-Level) for a fixed duration, with tpmC/tpm metering (§9).
+//!
+//! Two execution models mirror the paper's Exp 6:
+//! * [`run_phoebe`] — terminals are co-routines on the kernel's worker
+//!   pool; with affinity on, each terminal's home warehouse pins it to a
+//!   worker (the paper's workload affinity).
+//! * [`run_baseline`] — terminals are OS threads, one per terminal
+//!   (thread-per-transaction).
+
+use crate::conn::{BaselineEngine, PhoebeEngine, TpccConn, TpccEngine};
+use crate::gen::TpccRng;
+use crate::schema::TpccScale;
+use crate::txns::{self, Params, TxnKind};
+use phoebe_common::error::Result;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Driver parameters.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    pub warehouses: u32,
+    pub scale: TpccScale,
+    pub duration: Duration,
+    /// Concurrent terminals (co-routines or threads).
+    pub terminals: usize,
+    /// Route each terminal to the worker owning its home warehouse.
+    pub affinity: bool,
+    pub seed: u64,
+}
+
+impl DriverConfig {
+    pub fn quick(warehouses: u32) -> Self {
+        DriverConfig {
+            warehouses,
+            scale: TpccScale::mini(),
+            duration: Duration::from_secs(2),
+            terminals: 8,
+            affinity: true,
+            seed: 42,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    committed: AtomicU64,
+    new_orders: AtomicU64,
+    aborts: AtomicU64,
+    user_rollbacks: AtomicU64,
+    errors: AtomicU64,
+    per_kind: [AtomicU64; 5],
+}
+
+/// Workload results.
+#[derive(Debug, Clone)]
+pub struct TpccStats {
+    pub committed: u64,
+    pub new_orders: u64,
+    pub aborts: u64,
+    pub user_rollbacks: u64,
+    pub errors: u64,
+    pub per_kind: [u64; 5],
+    pub elapsed: Duration,
+}
+
+impl TpccStats {
+    /// Committed New-Order transactions per minute (the headline metric).
+    pub fn tpmc(&self) -> f64 {
+        self.new_orders as f64 * 60.0 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// All committed transactions per minute.
+    pub fn tpm_total(&self) -> f64 {
+        self.committed as f64 * 60.0 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+fn pick_kind(rng: &mut TpccRng) -> TxnKind {
+    match rng.uniform(1, 100) {
+        1..=45 => TxnKind::NewOrder,
+        46..=88 => TxnKind::Payment,
+        89..=92 => TxnKind::OrderStatus,
+        93..=96 => TxnKind::Delivery,
+        _ => TxnKind::StockLevel,
+    }
+}
+
+fn kind_slot(kind: TxnKind) -> usize {
+    match kind {
+        TxnKind::NewOrder => 0,
+        TxnKind::Payment => 1,
+        TxnKind::OrderStatus => 2,
+        TxnKind::Delivery => 3,
+        TxnKind::StockLevel => 4,
+    }
+}
+
+/// One terminal: run transactions until the deadline.
+async fn terminal_loop<E: TpccEngine>(
+    engine: E,
+    params: Params,
+    home_w: u32,
+    seed: u64,
+    deadline: Instant,
+    counters: Arc<Counters>,
+) {
+    let mut rng = TpccRng::seeded(seed);
+    while Instant::now() < deadline {
+        let kind = pick_kind(&mut rng);
+        // Retry loop for serialization failures / lock timeouts.
+        let mut tries = 0;
+        loop {
+            tries += 1;
+            let mut conn = engine.begin();
+            let outcome: Result<bool> = match kind {
+                TxnKind::NewOrder => txns::new_order(&mut conn, &mut rng, &params, home_w).await,
+                TxnKind::Payment => {
+                    txns::payment(&mut conn, &mut rng, &params, home_w).await.map(|_| true)
+                }
+                TxnKind::OrderStatus => {
+                    txns::order_status(&mut conn, &mut rng, &params, home_w)
+                        .await
+                        .map(|_| true)
+                }
+                TxnKind::Delivery => {
+                    txns::delivery(&mut conn, &mut rng, &params, home_w).await.map(|_| true)
+                }
+                TxnKind::StockLevel => {
+                    txns::stock_level(&mut conn, &mut rng, &params, home_w)
+                        .await
+                        .map(|_| true)
+                }
+            };
+            match outcome {
+                Ok(true) => match conn.commit().await {
+                    Ok(()) => {
+                        counters.committed.fetch_add(1, Ordering::Relaxed);
+                        counters.per_kind[kind_slot(kind)].fetch_add(1, Ordering::Relaxed);
+                        if kind == TxnKind::NewOrder {
+                            counters.new_orders.fetch_add(1, Ordering::Relaxed);
+                        }
+                        break;
+                    }
+                    Err(_) => {
+                        counters.errors.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                },
+                Ok(false) => {
+                    // The 1% intentional New-Order rollback.
+                    conn.abort();
+                    counters.user_rollbacks.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(e) if e.is_retryable() && tries < 50 => {
+                    conn.abort();
+                    counters.aborts.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                Err(e) => {
+                    if std::env::var_os("TPCC_DEBUG").is_some() {
+                        eprintln!("tpcc {kind:?} error: {e}");
+                    }
+                    conn.abort();
+                    counters.errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn collect(counters: &Counters, elapsed: Duration) -> TpccStats {
+    TpccStats {
+        committed: counters.committed.load(Ordering::Relaxed),
+        new_orders: counters.new_orders.load(Ordering::Relaxed),
+        aborts: counters.aborts.load(Ordering::Relaxed),
+        user_rollbacks: counters.user_rollbacks.load(Ordering::Relaxed),
+        errors: counters.errors.load(Ordering::Relaxed),
+        per_kind: std::array::from_fn(|i| counters.per_kind[i].load(Ordering::Relaxed)),
+        elapsed,
+    }
+}
+
+/// Run the mix on the PhoebeDB kernel: terminals are co-routines.
+pub fn run_phoebe(engine: &PhoebeEngine, cfg: &DriverConfig) -> TpccStats {
+    let counters = Arc::new(Counters::default());
+    let params = Params { warehouses: cfg.warehouses, scale: cfg.scale };
+    let rt = engine.db.runtime();
+    let workers = engine.db.cfg.workers;
+    let deadline = Instant::now() + cfg.duration;
+    let start = Instant::now();
+    let handles: Vec<_> = (0..cfg.terminals)
+        .map(|t| {
+            let engine = engine.clone();
+            let counters = Arc::clone(&counters);
+            let home_w = (t as u32 % cfg.warehouses) + 1;
+            let seed = cfg.seed.wrapping_add(t as u64 * 7919);
+            let fut = terminal_loop(engine, params, home_w, seed, deadline, counters);
+            if cfg.affinity {
+                // Workload affinity (§9): the warehouse's home worker.
+                rt.spawn_on((home_w as usize - 1) % workers, fut)
+            } else {
+                rt.spawn(fut)
+            }
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    collect(&counters, start.elapsed())
+}
+
+/// Run the mix on the baseline: terminals are OS threads
+/// (thread-per-transaction; every wait blocks the thread).
+pub fn run_baseline(engine: &BaselineEngine, cfg: &DriverConfig) -> TpccStats {
+    let counters = Arc::new(Counters::default());
+    let params = Params { warehouses: cfg.warehouses, scale: cfg.scale };
+    let deadline = Instant::now() + cfg.duration;
+    let start = Instant::now();
+    // Autovacuum stand-in: prune dead versions and compress update chains
+    // periodically, as PostgreSQL's background vacuum would.
+    let vacuum_db = Arc::clone(&engine.db);
+    let vacuum_deadline = deadline;
+    let vacuum = std::thread::spawn(move || {
+        while Instant::now() < vacuum_deadline {
+            vacuum_db.vacuum();
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    });
+    let handles: Vec<_> = (0..cfg.terminals)
+        .map(|t| {
+            let engine = engine.clone();
+            let counters = Arc::clone(&counters);
+            let home_w = (t as u32 % cfg.warehouses) + 1;
+            let seed = cfg.seed.wrapping_add(t as u64 * 7919);
+            std::thread::spawn(move || {
+                phoebe_runtime::block_on(terminal_loop(
+                    engine, params, home_w, seed, deadline, counters,
+                ))
+            })
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join();
+    }
+    let _ = vacuum.join();
+    collect(&counters, start.elapsed())
+}

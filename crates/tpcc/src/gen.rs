@@ -1,0 +1,179 @@
+//! TPC-C random data generation: NURand skew, last-name syllables, random
+//! strings — per clause 4.3 of the specification.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The spec's C constants (clause 2.1.6); fixed per run for determinism.
+pub const C_LAST: u32 = 123;
+pub const C_CUST: u32 = 259;
+pub const C_ITEM: u32 = 7911;
+
+/// Deterministic per-terminal RNG.
+pub struct TpccRng {
+    rng: StdRng,
+}
+
+impl TpccRng {
+    pub fn seeded(seed: u64) -> Self {
+        TpccRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn uniform(&mut self, lo: u32, hi: u32) -> u32 {
+        self.rng.random_range(lo..=hi)
+    }
+
+    pub fn uniform_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.random_range(lo..=hi)
+    }
+
+    pub fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.random_range(lo..hi)
+    }
+
+    /// True with probability `pct`%.
+    pub fn chance(&mut self, pct: u32) -> bool {
+        self.uniform(1, 100) <= pct
+    }
+
+    /// Non-uniform random (clause 2.1.6): skewed access to hot keys.
+    pub fn nurand(&mut self, a: u32, c: u32, lo: u32, hi: u32) -> u32 {
+        let part1 = self.uniform(0, a);
+        let part2 = self.uniform(lo, hi);
+        (((part1 | part2).wrapping_add(c)) % (hi - lo + 1)) + lo
+    }
+
+    /// Customer id with the spec's 1023-skew.
+    pub fn customer_id(&mut self, customers: u32) -> u32 {
+        self.nurand(1023, C_CUST, 1, customers)
+    }
+
+    /// Item id with the spec's 8191-skew.
+    pub fn item_id(&mut self, items: u32) -> u32 {
+        self.nurand(8191, C_ITEM, 1, items)
+    }
+
+    /// Random alphanumeric string with length in `[lo, hi]`.
+    pub fn astring(&mut self, lo: usize, hi: usize) -> String {
+        const CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+        let len = self.rng.random_range(lo..=hi);
+        (0..len).map(|_| CHARS[self.rng.random_range(0..CHARS.len())] as char).collect()
+    }
+
+    /// Random numeric string of exactly `len` digits.
+    pub fn nstring(&mut self, len: usize) -> String {
+        (0..len).map(|_| char::from(b'0' + self.rng.random_range(0..10u8))).collect()
+    }
+
+    /// ZIP: 4 digits + "11111" (clause 4.3.2.7).
+    pub fn zip(&mut self) -> String {
+        format!("{}11111", self.nstring(4))
+    }
+
+    /// Last name for a numeric code (clause 4.3.2.3).
+    pub fn last_name_for(code: u32) -> String {
+        const SYL: [&str; 10] = [
+            "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+        ];
+        let code = code as usize;
+        format!("{}{}{}", SYL[code / 100 % 10], SYL[code / 10 % 10], SYL[code % 10])
+    }
+
+    /// Last name for loading (customer c): first 1000 customers use
+    /// sequential codes, others NURand.
+    pub fn load_last_name(&mut self, c_id: u32) -> String {
+        if c_id <= 1000 {
+            Self::last_name_for(c_id - 1)
+        } else {
+            Self::last_name_for(self.nurand(255, C_LAST, 0, 999))
+        }
+    }
+
+    /// Last name for transactions (run-time NURand over 0..=999).
+    pub fn run_last_name(&mut self, customers: u32) -> String {
+        // Keep the name domain aligned with the loaded population when the
+        // scale is below 1000 customers per district.
+        let hi = 999.min(customers.saturating_sub(1));
+        Self::last_name_for(self.nurand(255, C_LAST, 0, hi))
+    }
+
+    /// Original/data string: 10% contain "ORIGINAL" (clause 4.3.3.1).
+    pub fn data_string(&mut self, lo: usize, hi: usize) -> String {
+        let mut s = self.astring(lo, hi);
+        if self.chance(10) {
+            let pos = self.rng.random_range(0..=s.len().saturating_sub(8));
+            if s.len() >= 8 {
+                s.replace_range(pos..pos + 8, "ORIGINAL");
+            }
+        }
+        s
+    }
+}
+
+/// Standalone NURand (for tests and docs).
+pub fn nurand(rng: &mut TpccRng, a: u32, c: u32, lo: u32, hi: u32) -> u32 {
+    rng.nurand(a, c, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = TpccRng::seeded(1);
+        for _ in 0..1000 {
+            let v = r.uniform(5, 15);
+            assert!((5..=15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nurand_is_skewed_and_bounded() {
+        let mut r = TpccRng::seeded(2);
+        let mut counts = vec![0u32; 101];
+        for _ in 0..20_000 {
+            let v = r.nurand(1023, C_CUST, 1, 100);
+            assert!((1..=100).contains(&v));
+            counts[v as usize] += 1;
+        }
+        // Skew check: the hottest key should be well above uniform share.
+        let max = *counts.iter().max().unwrap();
+        assert!(max as f64 > 20_000.0 / 100.0 * 1.5, "NURand must skew");
+    }
+
+    #[test]
+    fn last_names_follow_syllables() {
+        assert_eq!(TpccRng::last_name_for(0), "BARBARBAR");
+        assert_eq!(TpccRng::last_name_for(371), "PRICALLYOUGHT");
+        assert_eq!(TpccRng::last_name_for(999), "EINGEINGEING");
+        assert!(TpccRng::last_name_for(999).len() <= 16);
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = TpccRng::seeded(42);
+        let mut b = TpccRng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(1, 1000), b.uniform(1, 1000));
+        }
+    }
+
+    #[test]
+    fn zip_shape() {
+        let mut r = TpccRng::seeded(3);
+        let z = r.zip();
+        assert_eq!(z.len(), 9);
+        assert!(z.ends_with("11111"));
+    }
+
+    #[test]
+    fn astring_lengths() {
+        let mut r = TpccRng::seeded(4);
+        for _ in 0..100 {
+            let s = r.astring(8, 16);
+            assert!((8..=16).contains(&s.len()));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! The TPC-C workload substrate (§9).
+//!
+//! The paper evaluates PhoebeDB with TPC-C implemented as server-side
+//! procedures. This crate is that implementation: the nine-table schema
+//! ([`schema`]), spec-conformant data generation with NURand ([`gen`]), a
+//! loader ([`loader`]), all five transaction profiles ([`txns`]) written
+//! once against an engine-generic connection trait ([`conn`]) so they run
+//! unchanged on the PhoebeDB kernel *and* on the PostgreSQL-like baseline,
+//! and a mixed-workload driver with tpmC metering ([`driver`]).
+//!
+//! A scale knob shrinks cardinalities (items, customers per district) so
+//! the full machinery runs on small machines; the shape of the workload —
+//! key skew via NURand, the 45/43/4/4/4 mix, remote warehouse touches —
+//! follows the specification at any scale.
+
+pub mod conn;
+pub mod driver;
+pub mod gen;
+pub mod loader;
+pub mod schema;
+pub mod txns;
+
+pub use conn::{BaselineEngine, PhoebeEngine, TpccConn, TpccEngine};
+pub use driver::{run_baseline, run_phoebe, DriverConfig, TpccStats};
+pub use gen::{nurand, TpccRng};
+pub use loader::load;
+pub use schema::{Idx, Tbl, TpccScale};

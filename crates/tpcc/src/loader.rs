@@ -1,0 +1,241 @@
+//! The TPC-C loader (clause 4.3), engine-generic. Population follows the
+//! specification's cardinalities and value domains at the configured
+//! scale; one transaction per district keeps commit batches bounded.
+
+use crate::conn::{TpccConn, TpccEngine};
+use crate::gen::TpccRng;
+use crate::schema::{Tbl, TpccScale};
+use phoebe_common::error::Result;
+use phoebe_storage::schema::Value;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn i32v(v: u32) -> Value {
+    Value::I32(v as i32)
+}
+
+fn now_millis() -> i64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as i64)
+        .unwrap_or(0)
+}
+
+/// Load `warehouses` warehouses at `scale` into `engine`.
+pub async fn load<E: TpccEngine>(
+    engine: &E,
+    warehouses: u32,
+    scale: TpccScale,
+    seed: u64,
+) -> Result<()> {
+    let mut rng = TpccRng::seeded(seed);
+    load_items(engine, &mut rng, scale).await?;
+    for w in 1..=warehouses {
+        load_warehouse(engine, &mut rng, scale, w).await?;
+    }
+    Ok(())
+}
+
+async fn load_items<E: TpccEngine>(
+    engine: &E,
+    rng: &mut TpccRng,
+    scale: TpccScale,
+) -> Result<()> {
+    let mut conn = engine.begin();
+    for i in 1..=scale.items {
+        conn.insert(
+            Tbl::Item,
+            vec![
+                i32v(i),
+                i32v(rng.uniform(1, 10_000)),
+                Value::Str(rng.astring(14, 24)),
+                Value::I64(rng.uniform_i64(100, 10_000)), // cents
+                Value::Str(rng.data_string(26, 50)),
+            ],
+        )
+        .await?;
+        if i % 5_000 == 0 {
+            conn.commit().await?;
+            conn = engine.begin();
+        }
+    }
+    conn.commit().await
+}
+
+async fn load_warehouse<E: TpccEngine>(
+    engine: &E,
+    rng: &mut TpccRng,
+    scale: TpccScale,
+    w: u32,
+) -> Result<()> {
+    let mut conn = engine.begin();
+    conn.insert(
+        Tbl::Warehouse,
+        vec![
+            i32v(w),
+            Value::Str(rng.astring(6, 10)),
+            Value::Str(rng.astring(10, 20)),
+            Value::Str(rng.astring(10, 20)),
+            Value::Str(rng.astring(10, 20)),
+            Value::Str(rng.astring(2, 2)),
+            Value::Str(rng.zip()),
+            Value::F64(rng.f64(0.0, 0.2)),
+            Value::I64(300_000_00),
+        ],
+    )
+    .await?;
+    // Stock for every item.
+    for i in 1..=scale.items {
+        let mut row = vec![i32v(i), i32v(w), Value::I32(rng.uniform(10, 100) as i32)];
+        for _ in 0..10 {
+            row.push(Value::Str(rng.astring(24, 24)));
+        }
+        row.extend([
+            Value::I32(0),
+            Value::I32(0),
+            Value::I32(0),
+            Value::Str(rng.data_string(26, 50)),
+        ]);
+        conn.insert(Tbl::Stock, row).await?;
+        if i % 5_000 == 0 {
+            conn.commit().await?;
+            conn = engine.begin();
+        }
+    }
+    conn.commit().await?;
+
+    for d in 1..=scale.districts_per_warehouse {
+        load_district(engine, rng, scale, w, d).await?;
+    }
+    Ok(())
+}
+
+async fn load_district<E: TpccEngine>(
+    engine: &E,
+    rng: &mut TpccRng,
+    scale: TpccScale,
+    w: u32,
+    d: u32,
+) -> Result<()> {
+    let mut conn = engine.begin();
+    let orders = scale.initial_orders_per_district.min(scale.customers_per_district);
+    conn.insert(
+        Tbl::District,
+        vec![
+            i32v(d),
+            i32v(w),
+            Value::Str(rng.astring(6, 10)),
+            Value::Str(rng.astring(10, 20)),
+            Value::Str(rng.astring(10, 20)),
+            Value::Str(rng.astring(10, 20)),
+            Value::Str(rng.astring(2, 2)),
+            Value::Str(rng.zip()),
+            Value::F64(rng.f64(0.0, 0.2)),
+            Value::I64(30_000_00),
+            i32v(orders + 1),
+        ],
+    )
+    .await?;
+
+    // Customers + one history row each.
+    for c in 1..=scale.customers_per_district {
+        let credit = if rng.chance(10) { "BC" } else { "GC" };
+        conn.insert(
+            Tbl::Customer,
+            vec![
+                i32v(c),
+                i32v(d),
+                i32v(w),
+                Value::Str(rng.astring(8, 16)),
+                Value::Str("OE".into()),
+                Value::Str(rng.load_last_name(c)),
+                Value::Str(rng.astring(10, 20)),
+                Value::Str(rng.astring(10, 20)),
+                Value::Str(rng.astring(10, 20)),
+                Value::Str(rng.astring(2, 2)),
+                Value::Str(rng.zip()),
+                Value::Str(rng.nstring(16)),
+                Value::I64(now_millis()),
+                Value::Str(credit.into()),
+                Value::I64(50_000_00),
+                Value::F64(rng.f64(0.0, 0.5)),
+                Value::I64(-10_00),
+                Value::I64(10_00),
+                Value::I32(1),
+                Value::I32(0),
+                Value::Str(rng.astring(100, 250)),
+            ],
+        )
+        .await?;
+        conn.insert(
+            Tbl::History,
+            vec![
+                i32v(c),
+                i32v(d),
+                i32v(w),
+                i32v(d),
+                i32v(w),
+                Value::I64(now_millis()),
+                Value::I64(10_00),
+                Value::Str(rng.astring(12, 24)),
+            ],
+        )
+        .await?;
+    }
+    conn.commit().await?;
+
+    // Initial orders: customer ids form a random permutation.
+    let mut conn = engine.begin();
+    let mut cust_perm: Vec<u32> = (1..=scale.customers_per_district).collect();
+    {
+        let mut shuffle_rng = rand::rngs::StdRng::seed_from_u64(
+            (w as u64) << 32 | (d as u64) << 16 | 0xC0FFEE,
+        );
+        cust_perm.shuffle(&mut shuffle_rng);
+    }
+    let delivered_upto = orders * 7 / 10; // first 70% delivered
+    for o in 1..=orders {
+        let c = cust_perm[(o - 1) as usize % cust_perm.len()];
+        let ol_cnt = rng.uniform(5, 15);
+        let delivered = o <= delivered_upto;
+        let entry = now_millis();
+        conn.insert(
+            Tbl::Order,
+            vec![
+                i32v(o),
+                i32v(d),
+                i32v(w),
+                i32v(c),
+                Value::I64(entry),
+                Value::I32(if delivered { rng.uniform(1, 10) as i32 } else { 0 }),
+                i32v(ol_cnt),
+                Value::I32(1),
+            ],
+        )
+        .await?;
+        for ol in 1..=ol_cnt {
+            let amount =
+                if delivered { 0 } else { rng.uniform_i64(1, 999_999) };
+            conn.insert(
+                Tbl::OrderLine,
+                vec![
+                    i32v(o),
+                    i32v(d),
+                    i32v(w),
+                    i32v(ol),
+                    i32v(rng.uniform(1, scale.items)),
+                    i32v(w),
+                    Value::I64(if delivered { entry } else { 0 }),
+                    Value::I32(5),
+                    Value::I64(amount),
+                    Value::Str(rng.astring(24, 24)),
+                ],
+            )
+            .await?;
+        }
+        if !delivered {
+            conn.insert(Tbl::NewOrder, vec![i32v(o), i32v(d), i32v(w)]).await?;
+        }
+    }
+    conn.commit().await
+}

@@ -1,0 +1,440 @@
+//! The five TPC-C transaction profiles (clause 2), written once against
+//! [`TpccConn`] so PhoebeDB and the baseline execute identical logic.
+
+use crate::conn::TpccConn;
+use crate::gen::TpccRng;
+use crate::schema::{cols, Idx, Tbl, TpccScale};
+use phoebe_common::error::{PhoebeError, Result};
+use phoebe_storage::schema::Value;
+
+/// Static workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    pub warehouses: u32,
+    pub scale: TpccScale,
+}
+
+/// Which profile ran (for the mix accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    NewOrder,
+    Payment,
+    OrderStatus,
+    Delivery,
+    StockLevel,
+}
+
+fn i32v(v: u32) -> Value {
+    Value::I32(v as i32)
+}
+
+fn now_millis() -> i64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as i64)
+        .unwrap_or(0)
+}
+
+fn missing(what: &'static str) -> PhoebeError {
+    // Rows addressed here exist by construction (loaded data); a miss is a
+    // momentary version-chain transition — retry the transaction, exactly
+    // as a client handles a serialization failure.
+    PhoebeError::TransientMiss { what }
+}
+
+/// NEW-ORDER (clause 2.4). Returns `true` if the order committed, `false`
+/// for the 1% intentional rollback on an unused item id.
+pub async fn new_order<C: TpccConn>(
+    conn: &mut C,
+    rng: &mut TpccRng,
+    p: &Params,
+    w_id: u32,
+) -> Result<bool> {
+    let d_id = rng.uniform(1, p.scale.districts_per_warehouse);
+    let c_id = rng.customer_id(p.scale.customers_per_district);
+    let ol_cnt = rng.uniform(5, 15);
+    let rollback = rng.chance(1);
+
+    let (_, warehouse) = conn
+        .lookup(Idx::WarehousePk, vec![i32v(w_id)])
+        .await?
+        .ok_or_else(|| missing("warehouse"))?;
+    let w_tax = warehouse[cols::W_TAX].as_f64();
+
+    let (d_rid, _) = conn
+        .lookup(Idx::DistrictPk, vec![i32v(w_id), i32v(d_id)])
+        .await?
+        .ok_or_else(|| missing("district"))?;
+    // Atomic o_id allocation: the increment is computed under the row
+    // latch so concurrent New-Orders never observe the same counter.
+    let (_, district) = conn
+        .update_rmw(Tbl::District, d_rid, |d| {
+            vec![(cols::D_NEXT_O_ID, Value::I32(d[cols::D_NEXT_O_ID].as_i32() + 1))]
+        })
+        .await?;
+    let d_tax = district[cols::D_TAX].as_f64();
+    let o_id = district[cols::D_NEXT_O_ID].as_i32() as u32;
+
+    let (_, customer) = conn
+        .lookup(Idx::CustomerPk, vec![i32v(w_id), i32v(d_id), i32v(c_id)])
+        .await?
+        .ok_or_else(|| missing("customer"))?;
+    let c_discount = customer[cols::C_DISCOUNT].as_f64();
+
+    let all_local = 1i32; // adjusted below if any remote item
+    let entry_d = now_millis();
+    let order = vec![
+        i32v(o_id),
+        i32v(d_id),
+        i32v(w_id),
+        i32v(c_id),
+        Value::I64(entry_d),
+        Value::I32(0), // carrier unassigned
+        i32v(ol_cnt),
+        Value::I32(all_local),
+    ];
+    conn.insert(Tbl::Order, order).await?;
+    conn.insert(Tbl::NewOrder, vec![i32v(o_id), i32v(d_id), i32v(w_id)]).await?;
+
+    let mut total = 0i64;
+    for ol_number in 1..=ol_cnt {
+        // The 1% rollback: the last item id is invalid (clause 2.4.1.4).
+        let i_id = if rollback && ol_number == ol_cnt {
+            p.scale.items + 1
+        } else {
+            rng.item_id(p.scale.items)
+        };
+        // 1% of lines come from a remote warehouse when there is one.
+        let supply_w = if p.warehouses > 1 && rng.chance(1) {
+            let mut other = rng.uniform(1, p.warehouses - 1);
+            if other >= w_id {
+                other += 1;
+            }
+            other
+        } else {
+            w_id
+        };
+        let quantity = rng.uniform(1, 10) as i32;
+
+        let Some((_, item)) = conn.lookup(Idx::ItemPk, vec![i32v(i_id)]).await? else {
+            // Unused item: the whole transaction rolls back (the 1%).
+            return Ok(false);
+        };
+        let price = item[cols::I_PRICE].as_i64();
+
+        let (s_rid, _) = conn
+            .lookup(Idx::StockPk, vec![i32v(supply_w), i32v(i_id)])
+            .await?
+            .ok_or_else(|| missing("stock"))?;
+        let remote = supply_w != w_id;
+        let (_, stock) = conn
+            .update_rmw(Tbl::Stock, s_rid, move |stock| {
+                let s_qty = stock[cols::S_QUANTITY].as_i32();
+                let new_qty = if s_qty >= quantity + 10 {
+                    s_qty - quantity
+                } else {
+                    s_qty - quantity + 91
+                };
+                let mut delta = vec![
+                    (cols::S_QUANTITY, Value::I32(new_qty)),
+                    (cols::S_YTD, Value::I32(stock[cols::S_YTD].as_i32() + quantity)),
+                    (
+                        cols::S_ORDER_CNT,
+                        Value::I32(stock[cols::S_ORDER_CNT].as_i32() + 1),
+                    ),
+                ];
+                if remote {
+                    delta.push((
+                        cols::S_REMOTE_CNT,
+                        Value::I32(stock[cols::S_REMOTE_CNT].as_i32() + 1),
+                    ));
+                }
+                delta
+            })
+            .await?;
+
+        let amount = price * quantity as i64;
+        total += amount;
+        let dist_info = stock[cols::S_DIST_BASE + (d_id as usize - 1)].clone();
+        conn.insert(
+            Tbl::OrderLine,
+            vec![
+                i32v(o_id),
+                i32v(d_id),
+                i32v(w_id),
+                i32v(ol_number),
+                i32v(i_id),
+                i32v(supply_w),
+                Value::I64(0), // not delivered yet
+                Value::I32(quantity),
+                Value::I64(amount),
+                dist_info,
+            ],
+        )
+        .await?;
+    }
+    // Total with taxes/discount — computed to mirror the spec's work.
+    let _grand_total =
+        (total as f64) * (1.0 - c_discount) * (1.0 + w_tax + d_tax);
+    Ok(true)
+}
+
+/// PAYMENT (clause 2.5).
+pub async fn payment<C: TpccConn>(
+    conn: &mut C,
+    rng: &mut TpccRng,
+    p: &Params,
+    w_id: u32,
+) -> Result<()> {
+    let d_id = rng.uniform(1, p.scale.districts_per_warehouse);
+    let amount = rng.uniform_i64(100, 500_000); // cents
+    // 15% of payments come from a remote customer (clause 2.5.1.2).
+    let (c_w, c_d) = if p.warehouses > 1 && rng.chance(15) {
+        let mut other = rng.uniform(1, p.warehouses - 1);
+        if other >= w_id {
+            other += 1;
+        }
+        (other, rng.uniform(1, p.scale.districts_per_warehouse))
+    } else {
+        (w_id, d_id)
+    };
+
+    let (w_rid, _) = conn
+        .lookup(Idx::WarehousePk, vec![i32v(w_id)])
+        .await?
+        .ok_or_else(|| missing("warehouse"))?;
+    let (_, warehouse) = conn
+        .update_rmw(Tbl::Warehouse, w_rid, move |w| {
+            vec![(cols::W_YTD, Value::I64(w[cols::W_YTD].as_i64() + amount))]
+        })
+        .await?;
+    let w_name = warehouse[cols::W_NAME].as_str().to_owned();
+
+    let (d_rid, _) = conn
+        .lookup(Idx::DistrictPk, vec![i32v(w_id), i32v(d_id)])
+        .await?
+        .ok_or_else(|| missing("district"))?;
+    let (_, district) = conn
+        .update_rmw(Tbl::District, d_rid, move |d| {
+            vec![(cols::D_YTD, Value::I64(d[cols::D_YTD].as_i64() + amount))]
+        })
+        .await?;
+    let d_name = district[cols::D_NAME].as_str().to_owned();
+
+    // 60% by id, 40% by last name (clause 2.5.1.2).
+    let (c_rid, _customer) = if rng.chance(60) {
+        let c_id = rng.customer_id(p.scale.customers_per_district);
+        conn.lookup(Idx::CustomerPk, vec![i32v(c_w), i32v(c_d), i32v(c_id)])
+            .await?
+            .ok_or_else(|| missing("customer by id"))?
+    } else {
+        let last = rng.run_last_name(p.scale.customers_per_district);
+        let matches = conn
+            .scan(
+                Idx::CustomerByName,
+                vec![i32v(c_w), i32v(c_d), Value::Str(last)],
+                200,
+            )
+            .await?;
+        if matches.is_empty() {
+            // Name domain can be sparse at tiny scales; fall back by id.
+            let c_id = rng.customer_id(p.scale.customers_per_district);
+            conn.lookup(Idx::CustomerPk, vec![i32v(c_w), i32v(c_d), i32v(c_id)])
+                .await?
+                .ok_or_else(|| missing("customer fallback"))?
+        } else {
+            // The spec's midpoint: ceil(n/2), zero-indexed.
+            let pos = matches.len().div_ceil(2) - 1;
+            matches.into_iter().nth(pos).expect("midpoint exists")
+        }
+    };
+
+    let (_, customer) = conn
+        .update_rmw(Tbl::Customer, c_rid, move |customer| {
+            let mut delta = vec![
+                (cols::C_BALANCE, Value::I64(customer[cols::C_BALANCE].as_i64() - amount)),
+                (
+                    cols::C_YTD_PAYMENT,
+                    Value::I64(customer[cols::C_YTD_PAYMENT].as_i64() + amount),
+                ),
+                (
+                    cols::C_PAYMENT_CNT,
+                    Value::I32(customer[cols::C_PAYMENT_CNT].as_i32() + 1),
+                ),
+            ];
+            // Bad credit: fold payment info into C_DATA (clause 2.5.2.2).
+            if customer[cols::C_CREDIT].as_str() == "BC" {
+                let c_id = customer[cols::C_ID].as_i32();
+                let mut data = format!(
+                    "{c_id},{c_d},{c_w},{d_id},{w_id},{amount}|{}",
+                    customer[cols::C_DATA].as_str()
+                );
+                data.truncate(250);
+                delta.push((cols::C_DATA, Value::Str(data)));
+            }
+            delta
+        })
+        .await?;
+
+    let h_data = format!("{w_name}    {d_name}");
+    conn.insert(
+        Tbl::History,
+        vec![
+            customer[cols::C_ID].clone(),
+            i32v(c_d),
+            i32v(c_w),
+            i32v(d_id),
+            i32v(w_id),
+            Value::I64(now_millis()),
+            Value::I64(amount),
+            Value::Str(h_data.chars().take(24).collect()),
+        ],
+    )
+    .await?;
+    Ok(())
+}
+
+/// ORDER-STATUS (clause 2.6). Read-only.
+pub async fn order_status<C: TpccConn>(
+    conn: &mut C,
+    rng: &mut TpccRng,
+    p: &Params,
+    w_id: u32,
+) -> Result<()> {
+    let d_id = rng.uniform(1, p.scale.districts_per_warehouse);
+    let customer = if rng.chance(60) {
+        let c_id = rng.customer_id(p.scale.customers_per_district);
+        conn.lookup(Idx::CustomerPk, vec![i32v(w_id), i32v(d_id), i32v(c_id)]).await?
+    } else {
+        let last = rng.run_last_name(p.scale.customers_per_district);
+        let matches = conn
+            .scan(
+                Idx::CustomerByName,
+                vec![i32v(w_id), i32v(d_id), Value::Str(last)],
+                200,
+            )
+            .await?;
+        if matches.is_empty() {
+            None
+        } else {
+            let pos = matches.len().div_ceil(2) - 1;
+            matches.into_iter().nth(pos)
+        }
+    };
+    let Some((_, customer)) = customer else {
+        return Ok(()); // sparse name domain at tiny scale
+    };
+    let c_id = customer[cols::C_ID].as_i32() as u32;
+    // Latest order of this customer.
+    let orders = conn
+        .scan(Idx::OrderByCustomer, vec![i32v(w_id), i32v(d_id), i32v(c_id)], 1_000)
+        .await?;
+    let Some((_, order)) = orders.last() else {
+        return Ok(());
+    };
+    let o_id = order[cols::O_ID].as_i32() as u32;
+    let lines = conn
+        .scan(Idx::OrderLinePk, vec![i32v(w_id), i32v(d_id), i32v(o_id)], 20)
+        .await?;
+    // Reading the line data is the transaction's output.
+    let _total: i64 = lines.iter().map(|(_, l)| l[cols::OL_AMOUNT].as_i64()).sum();
+    Ok(())
+}
+
+/// DELIVERY (clause 2.7): deliver the oldest new order of every district.
+/// Returns how many districts had an order to deliver.
+pub async fn delivery<C: TpccConn>(
+    conn: &mut C,
+    rng: &mut TpccRng,
+    p: &Params,
+    w_id: u32,
+) -> Result<u32> {
+    let carrier = rng.uniform(1, 10);
+    let mut delivered = 0;
+    for d_id in 1..=p.scale.districts_per_warehouse {
+        let oldest = conn
+            .scan(Idx::NewOrderPk, vec![i32v(w_id), i32v(d_id)], 1)
+            .await?;
+        let Some((no_rid, no)) = oldest.into_iter().next() else {
+            continue; // no pending order for this district
+        };
+        let o_id = no[cols::NO_O_ID].as_i32() as u32;
+        match conn.delete(Tbl::NewOrder, no_rid).await {
+            Ok(()) => {}
+            // A concurrent Delivery got this order first: skip the
+            // district (clause 2.7.4.2 allows skipping).
+            Err(PhoebeError::RowNotFound { .. }) => continue,
+            Err(e) => return Err(e),
+        }
+
+        let (o_rid, order) = conn
+            .lookup(Idx::OrderPk, vec![i32v(w_id), i32v(d_id), i32v(o_id)])
+            .await?
+            .ok_or_else(|| missing("order for delivery"))?;
+        let c_id = order[cols::O_C_ID].as_i32() as u32;
+        conn.update(Tbl::Order, o_rid, vec![(cols::O_CARRIER_ID, i32v(carrier))]).await?;
+
+        let lines = conn
+            .scan(Idx::OrderLinePk, vec![i32v(w_id), i32v(d_id), i32v(o_id)], 20)
+            .await?;
+        let now = now_millis();
+        let mut total = 0i64;
+        for (ol_rid, line) in lines {
+            total += line[cols::OL_AMOUNT].as_i64();
+            conn.update(Tbl::OrderLine, ol_rid, vec![(cols::OL_DELIVERY_D, Value::I64(now))])
+                .await?;
+        }
+        let (c_rid, _) = conn
+            .lookup(Idx::CustomerPk, vec![i32v(w_id), i32v(d_id), i32v(c_id)])
+            .await?
+            .ok_or_else(|| missing("customer for delivery"))?;
+        conn.update_rmw(Tbl::Customer, c_rid, move |customer| {
+            vec![
+                (cols::C_BALANCE, Value::I64(customer[cols::C_BALANCE].as_i64() + total)),
+                (
+                    cols::C_DELIVERY_CNT,
+                    Value::I32(customer[cols::C_DELIVERY_CNT].as_i32() + 1),
+                ),
+            ]
+        })
+        .await?;
+        delivered += 1;
+    }
+    Ok(delivered)
+}
+
+/// STOCK-LEVEL (clause 2.8). Read-only.
+pub async fn stock_level<C: TpccConn>(
+    conn: &mut C,
+    rng: &mut TpccRng,
+    p: &Params,
+    w_id: u32,
+) -> Result<u32> {
+    let d_id = rng.uniform(1, p.scale.districts_per_warehouse);
+    let threshold = rng.uniform(10, 20) as i32;
+    let (_, district) = conn
+        .lookup(Idx::DistrictPk, vec![i32v(w_id), i32v(d_id)])
+        .await?
+        .ok_or_else(|| missing("district"))?;
+    let next_o = district[cols::D_NEXT_O_ID].as_i32() as u32;
+    let from = next_o.saturating_sub(20).max(1);
+    let mut item_ids = std::collections::HashSet::new();
+    for o_id in from..next_o {
+        let lines = conn
+            .scan(Idx::OrderLinePk, vec![i32v(w_id), i32v(d_id), i32v(o_id)], 20)
+            .await?;
+        for (_, line) in lines {
+            item_ids.insert(line[cols::OL_I_ID].as_i32() as u32);
+        }
+    }
+    let mut low = 0;
+    for i_id in item_ids {
+        if let Some((_, stock)) = conn.lookup(Idx::StockPk, vec![i32v(w_id), i32v(i_id)]).await?
+        {
+            if stock[cols::S_QUANTITY].as_i32() < threshold {
+                low += 1;
+            }
+        }
+    }
+    Ok(low)
+}

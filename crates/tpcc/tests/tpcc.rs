@@ -1,0 +1,284 @@
+//! End-to-end TPC-C tests: load both engines at micro scale, run the mix,
+//! and check the specification's consistency conditions.
+
+use phoebe_baseline::BaselineDb;
+use phoebe_common::KernelConfig;
+use phoebe_core::Database;
+use phoebe_runtime::block_on;
+use phoebe_storage::schema::Value;
+use phoebe_tpcc::conn::TpccConn;
+use phoebe_tpcc::schema::{cols, Idx, Tbl};
+use phoebe_tpcc::txns::{self, Params};
+use phoebe_tpcc::{
+    gen::TpccRng, load, run_baseline, run_phoebe, BaselineEngine, DriverConfig, PhoebeEngine,
+    TpccEngine, TpccScale,
+};
+use std::time::Duration;
+
+fn phoebe_engine() -> PhoebeEngine {
+    let mut cfg = KernelConfig::for_tests();
+    cfg.workers = 2;
+    cfg.slots_per_worker = 8;
+    cfg.buffer_frames = 2048;
+    let db = Database::open(cfg).unwrap();
+    PhoebeEngine::create(db).unwrap()
+}
+
+fn baseline_engine() -> BaselineEngine {
+    let db = BaselineDb::open(&KernelConfig::for_tests().data_dir, 50).unwrap();
+    BaselineEngine::create(db)
+}
+
+fn i32v(v: u32) -> Value {
+    Value::I32(v as i32)
+}
+
+/// Consistency condition 1 (clause 3.3.2.1): for every district,
+/// D_NEXT_O_ID - 1 equals the max O_ID in ORDER and NEW-ORDER behaves.
+async fn check_consistency<E: TpccEngine>(engine: &E, warehouses: u32, scale: TpccScale) {
+    let mut conn = engine.begin();
+    for w in 1..=warehouses {
+        for d in 1..=scale.districts_per_warehouse {
+            let (_, district) = conn
+                .lookup(Idx::DistrictPk, vec![i32v(w), i32v(d)])
+                .await
+                .unwrap()
+                .expect("district exists");
+            let next_o = district[cols::D_NEXT_O_ID].as_i32() as u32;
+            // Highest order id must be next_o - 1.
+            let orders = conn
+                .scan(Idx::OrderPk, vec![i32v(w), i32v(d)], usize::MAX - 1)
+                .await
+                .unwrap();
+            let max_o =
+                orders.iter().map(|(_, o)| o[cols::O_ID].as_i32() as u32).max().unwrap_or(0);
+            assert_eq!(max_o, next_o - 1, "w{w} d{d}: order counter must be dense");
+            // Every order has its ol_cnt order lines (condition 3.3.2.8-ish).
+            for (_, o) in orders.iter().take(5) {
+                let o_id = o[cols::O_ID].as_i32() as u32;
+                let lines = conn
+                    .scan(Idx::OrderLinePk, vec![i32v(w), i32v(d), i32v(o_id)], 30)
+                    .await
+                    .unwrap();
+                assert_eq!(lines.len() as i32, o[cols::O_OL_CNT].as_i32());
+            }
+        }
+    }
+    conn.commit().await.unwrap();
+}
+
+#[test]
+fn load_populates_spec_cardinalities_on_phoebe() {
+    let engine = phoebe_engine();
+    let scale = TpccScale::micro();
+    block_on(load(&engine, 1, scale, 7)).unwrap();
+    block_on(check_consistency(&engine, 1, scale));
+    // Cardinalities.
+    let db = &engine.db;
+    let items = db.approximate_row_count(engine.table(Tbl::Item)).unwrap();
+    assert_eq!(items, scale.items as usize);
+    let customers = db.approximate_row_count(engine.table(Tbl::Customer)).unwrap();
+    assert_eq!(
+        customers,
+        (scale.districts_per_warehouse * scale.customers_per_district) as usize
+    );
+    let stock = db.approximate_row_count(engine.table(Tbl::Stock)).unwrap();
+    assert_eq!(stock, scale.items as usize);
+    db.shutdown();
+}
+
+#[test]
+fn new_order_advances_counters_and_writes_lines() {
+    let engine = phoebe_engine();
+    let scale = TpccScale::micro();
+    block_on(load(&engine, 1, scale, 8)).unwrap();
+    let params = Params { warehouses: 1, scale };
+    let mut rng = TpccRng::seeded(1);
+    let before = block_on(async {
+        let mut c = engine.begin();
+        let (_, d) = c.lookup(Idx::DistrictPk, vec![i32v(1), i32v(1)]).await.unwrap().unwrap();
+        c.commit().await.unwrap();
+        d[cols::D_NEXT_O_ID].as_i32()
+    });
+    // Run enough New-Orders to almost surely hit district 1.
+    let mut committed = 0;
+    block_on(async {
+        for _ in 0..20 {
+            let mut conn = engine.begin();
+            match txns::new_order(&mut conn, &mut rng, &params, 1).await {
+                Ok(true) => {
+                    conn.commit().await.unwrap();
+                    committed += 1;
+                }
+                Ok(false) => conn.abort(),
+                Err(e) => panic!("new_order failed: {e}"),
+            }
+        }
+    });
+    assert!(committed >= 15, "most new orders must commit");
+    let after = block_on(async {
+        let mut c = engine.begin();
+        let (_, d) = c.lookup(Idx::DistrictPk, vec![i32v(1), i32v(1)]).await.unwrap().unwrap();
+        c.commit().await.unwrap();
+        d[cols::D_NEXT_O_ID].as_i32()
+    });
+    assert!(after > before, "next_o_id advanced");
+    block_on(check_consistency(&engine, 1, scale));
+    engine.db.shutdown();
+}
+
+#[test]
+fn payment_moves_money_and_writes_history() {
+    let engine = phoebe_engine();
+    let scale = TpccScale::micro();
+    block_on(load(&engine, 1, scale, 9)).unwrap();
+    let params = Params { warehouses: 1, scale };
+    let mut rng = TpccRng::seeded(2);
+    let ytd_before = block_on(async {
+        let mut c = engine.begin();
+        let (_, w) = c.lookup(Idx::WarehousePk, vec![i32v(1)]).await.unwrap().unwrap();
+        c.commit().await.unwrap();
+        w[cols::W_YTD].as_i64()
+    });
+    block_on(async {
+        for _ in 0..10 {
+            let mut conn = engine.begin();
+            txns::payment(&mut conn, &mut rng, &params, 1).await.unwrap();
+            conn.commit().await.unwrap();
+        }
+    });
+    let ytd_after = block_on(async {
+        let mut c = engine.begin();
+        let (_, w) = c.lookup(Idx::WarehousePk, vec![i32v(1)]).await.unwrap().unwrap();
+        c.commit().await.unwrap();
+        w[cols::W_YTD].as_i64()
+    });
+    assert!(ytd_after > ytd_before, "payments must accumulate in W_YTD");
+    let history = engine.db.approximate_row_count(engine.table(Tbl::History)).unwrap();
+    let loaded =
+        (scale.districts_per_warehouse * scale.customers_per_district) as usize;
+    assert_eq!(history, loaded + 10);
+    engine.db.shutdown();
+}
+
+#[test]
+fn delivery_consumes_new_orders() {
+    let engine = phoebe_engine();
+    let scale = TpccScale::micro();
+    block_on(load(&engine, 1, scale, 10)).unwrap();
+    let params = Params { warehouses: 1, scale };
+    let mut rng = TpccRng::seeded(3);
+    let pending_before =
+        engine.db.approximate_row_count(engine.table(Tbl::NewOrder)).unwrap();
+    assert!(pending_before > 0, "loader must leave undelivered orders");
+    let delivered = block_on(async {
+        let mut conn = engine.begin();
+        let n = txns::delivery(&mut conn, &mut rng, &params, 1).await.unwrap();
+        conn.commit().await.unwrap();
+        n
+    });
+    assert!(delivered > 0);
+    // GC makes deletions physical before counting.
+    engine.db.collect_all();
+    let pending_after =
+        engine.db.approximate_row_count(engine.table(Tbl::NewOrder)).unwrap();
+    assert_eq!(pending_after, pending_before - delivered as usize);
+    engine.db.shutdown();
+}
+
+#[test]
+fn mixed_driver_runs_on_phoebe() {
+    let engine = phoebe_engine();
+    let scale = TpccScale::micro();
+    block_on(load(&engine, 2, scale, 11)).unwrap();
+    let cfg = DriverConfig {
+        warehouses: 2,
+        scale,
+        duration: Duration::from_millis(1500),
+        terminals: 8,
+        affinity: true,
+        seed: 99,
+    };
+    let stats = run_phoebe(&engine, &cfg);
+    assert!(stats.committed > 0, "driver must commit transactions");
+    assert!(stats.new_orders > 0, "mix must include new orders");
+    assert_eq!(stats.errors, 0, "no internal errors allowed: {stats:?}");
+    assert!(stats.tpmc() > 0.0);
+    block_on(check_consistency(&engine, 2, scale));
+    engine.db.shutdown();
+}
+
+#[test]
+fn mixed_driver_runs_on_baseline() {
+    let engine = baseline_engine();
+    let scale = TpccScale::micro();
+    block_on(load(&engine, 1, scale, 12)).unwrap();
+    let cfg = DriverConfig {
+        warehouses: 1,
+        scale,
+        duration: Duration::from_millis(1000),
+        terminals: 4,
+        affinity: false,
+        seed: 13,
+    };
+    let stats = run_baseline(&engine, &cfg);
+    assert!(stats.committed > 0);
+    assert_eq!(stats.errors, 0, "no internal errors allowed: {stats:?}");
+    block_on(check_consistency(&engine, 1, scale));
+}
+
+#[test]
+fn both_engines_agree_on_a_deterministic_prefix() {
+    // Run the same seeded New-Order sequence on both engines and compare
+    // the resulting district counters — the cross-engine fairness check.
+    let scale = TpccScale::micro();
+    let params = Params { warehouses: 1, scale };
+
+    let phoebe = phoebe_engine();
+    block_on(load(&phoebe, 1, scale, 33)).unwrap();
+    let mut rng = TpccRng::seeded(5);
+    let phoebe_counters: Vec<i32> = block_on(async {
+        for _ in 0..12 {
+            let mut conn = phoebe.begin();
+            match txns::new_order(&mut conn, &mut rng, &params, 1).await {
+                Ok(true) => conn.commit().await.unwrap(),
+                Ok(false) => conn.abort(),
+                Err(e) => panic!("phoebe new_order: {e}"),
+            }
+        }
+        let mut c = phoebe.begin();
+        let mut out = Vec::new();
+        for d in 1..=scale.districts_per_warehouse {
+            let (_, row) =
+                c.lookup(Idx::DistrictPk, vec![i32v(1), i32v(d)]).await.unwrap().unwrap();
+            out.push(row[cols::D_NEXT_O_ID].as_i32());
+        }
+        c.commit().await.unwrap();
+        out
+    });
+    phoebe.db.shutdown();
+
+    let base = baseline_engine();
+    block_on(load(&base, 1, scale, 33)).unwrap();
+    let mut rng = TpccRng::seeded(5);
+    let base_counters: Vec<i32> = block_on(async {
+        for _ in 0..12 {
+            let mut conn = base.begin();
+            match txns::new_order(&mut conn, &mut rng, &params, 1).await {
+                Ok(true) => conn.commit().await.unwrap(),
+                Ok(false) => conn.abort(),
+                Err(e) => panic!("baseline new_order: {e}"),
+            }
+        }
+        let mut c = base.begin();
+        let mut out = Vec::new();
+        for d in 1..=scale.districts_per_warehouse {
+            let (_, row) =
+                c.lookup(Idx::DistrictPk, vec![i32v(1), i32v(d)]).await.unwrap().unwrap();
+            out.push(row[cols::D_NEXT_O_ID].as_i32());
+        }
+        c.commit().await.unwrap();
+        out
+    });
+    assert_eq!(phoebe_counters, base_counters, "identical logic on both engines");
+}

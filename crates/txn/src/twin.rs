@@ -1,0 +1,303 @@
+//! The twin table: page-level tuple → version-chain mapping (§6.2).
+//!
+//! Appending a chain pointer to every tuple would waste space and inflate
+//! recovery cost, because most tuples never have UNDO logs. Instead each
+//! *page* that gets modified lazily grows a twin table mapping row ids to
+//! chain heads; pages never written under MVCC have no twin table and their
+//! tuples are trivially visible (Algorithm 1 line 1–2).
+//!
+//! The twin key is `(table, first_row_id_of_leaf)` — stable because table
+//! leaves are append-only and never redistribute rows. A sharded registry
+//! resolves page identity to its twin table; sharding keeps this off the
+//! global-contention path the paper avoids.
+
+use crate::undo::UndoLog;
+use parking_lot::Mutex;
+use phoebe_common::ids::{RowId, TableId, Timestamp};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Page identity: the relation and the leaf's first row id.
+pub type TwinKey = (TableId, RowId);
+
+/// Per-page mapping from row id to version-chain head, plus the metadata
+/// the paper hangs off it: the largest writer XID (twin GC watermark) and
+/// tuple-lock grant accounting (§7.2 "tuple lock metadata ... stored in the
+/// twin table").
+pub struct TwinTable {
+    entries: Mutex<HashMap<u64, Arc<UndoLog>>>,
+    /// Largest start-ts among writers that modified this page (§7.3).
+    max_writer_start: AtomicU64,
+    /// Tuple-lock grants recorded against tuples of this page.
+    lock_grants: AtomicU64,
+    /// Set by registry GC after removal; writers that raced fetch a fresh
+    /// table from the registry.
+    dead: AtomicBool,
+}
+
+impl TwinTable {
+    fn new() -> Arc<Self> {
+        Arc::new(TwinTable {
+            entries: Mutex::new(HashMap::new()),
+            max_writer_start: AtomicU64::new(0),
+            lock_grants: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+        })
+    }
+
+    /// Version-chain head for `row`, if any.
+    pub fn head(&self, row: RowId) -> Option<Arc<UndoLog>> {
+        self.entries.lock().get(&row.raw()).cloned()
+    }
+
+    /// Install a new chain head. Returns false if this table was reclaimed
+    /// concurrently (caller re-fetches from the registry and retries).
+    #[must_use]
+    pub fn set_head(&self, row: RowId, log: Arc<UndoLog>, writer_start: Timestamp) -> bool {
+        let mut e = self.entries.lock();
+        if self.dead.load(Ordering::Acquire) {
+            return false;
+        }
+        e.insert(row.raw(), log);
+        self.max_writer_start.fetch_max(writer_start, Ordering::AcqRel);
+        true
+    }
+
+    /// Abort rollback: if `row`'s head is exactly `log`, replace it with
+    /// the predecessor (or drop the entry).
+    pub fn pop_head_if(&self, row: RowId, log: &Arc<UndoLog>) {
+        let mut e = self.entries.lock();
+        if let Some(cur) = e.get(&row.raw()) {
+            if Arc::ptr_eq(cur, log) {
+                match log.next_version() {
+                    Some(prev) if prev.is_valid() => {
+                        e.insert(row.raw(), prev);
+                    }
+                    _ => {
+                        e.remove(&row.raw());
+                    }
+                }
+            }
+        }
+    }
+
+    /// GC: drop the entry if its head is exactly `log` (the paper's
+    /// pointer-validation-by-address, §7.3 remark). Once the head itself is
+    /// globally visible, the base tuple alone serves every snapshot.
+    pub fn clear_if_head(&self, row: RowId, log: &Arc<UndoLog>) {
+        let mut e = self.entries.lock();
+        if let Some(cur) = e.get(&row.raw()) {
+            if Arc::ptr_eq(cur, log) {
+                e.remove(&row.raw());
+            }
+        }
+    }
+
+    /// Record a tuple-lock grant against this page (§7.2).
+    pub fn record_lock_grant(&self) {
+        self.lock_grants.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn lock_grants(&self) -> u64 {
+        self.lock_grants.load(Ordering::Relaxed)
+    }
+
+    pub fn max_writer_start(&self) -> Timestamp {
+        self.max_writer_start.load(Ordering::Acquire)
+    }
+
+    pub fn live_entries(&self) -> usize {
+        self.entries.lock().len()
+    }
+}
+
+const SHARDS: usize = 64;
+
+/// Sharded registry resolving page identities to twin tables.
+pub struct TwinRegistry {
+    shards: Box<[Mutex<HashMap<TwinKey, Arc<TwinTable>>>]>,
+}
+
+impl Default for TwinRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TwinRegistry {
+    pub fn new() -> Self {
+        let mut shards = Vec::with_capacity(SHARDS);
+        shards.resize_with(SHARDS, || Mutex::new(HashMap::new()));
+        TwinRegistry { shards: shards.into_boxed_slice() }
+    }
+
+    fn shard(&self, key: &TwinKey) -> &Mutex<HashMap<TwinKey, Arc<TwinTable>>> {
+        let h = key.0.raw() as u64 ^ key.1.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h as usize) % SHARDS]
+    }
+
+    /// The page's twin table, if it has one (Algorithm 1 line 2).
+    pub fn get(&self, key: TwinKey) -> Option<Arc<TwinTable>> {
+        self.shard(&key).lock().get(&key).cloned()
+    }
+
+    /// The page's twin table, created lazily on first modification (§6.2
+    /// "a twin table is created if it doesn't already exist").
+    pub fn get_or_create(&self, key: TwinKey) -> Arc<TwinTable> {
+        let mut shard = self.shard(&key).lock();
+        Arc::clone(shard.entry(key).or_insert_with(TwinTable::new))
+    }
+
+    /// Twin-table GC (§7.3): reclaim tables with no live entries whose
+    /// largest writer is at or below the max-frozen watermark. Returns the
+    /// number reclaimed.
+    pub fn reclaim_stale(&self, max_frozen_start: Timestamp) -> usize {
+        let mut reclaimed = 0;
+        for shard in self.shards.iter() {
+            let mut map = shard.lock();
+            map.retain(|_, t| {
+                // Take the entries lock so a concurrent set_head either
+                // lands before (entries non-empty => retained) or observes
+                // `dead` and retries against a fresh table.
+                let entries = t.entries.lock();
+                let stale =
+                    entries.is_empty() && t.max_writer_start.load(Ordering::Acquire) <= max_frozen_start;
+                if stale {
+                    t.dead.store(true, Ordering::Release);
+                    reclaimed += 1;
+                }
+                !stale
+            });
+        }
+        reclaimed
+    }
+
+    /// Total registered twin tables (diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locks::TxnHandle;
+    use crate::undo::UndoOp;
+    use phoebe_common::ids::Xid;
+
+    fn mklog(row: u64, ts: u64) -> Arc<UndoLog> {
+        UndoLog::new(
+            TableId(1),
+            RowId(row),
+            RowId(0),
+            UndoOp::Insert,
+            TxnHandle::new(Xid::from_start_ts(ts)),
+            None,
+        )
+    }
+
+    #[test]
+    fn lazily_created_and_found() {
+        let reg = TwinRegistry::new();
+        let key = (TableId(1), RowId(100));
+        assert!(reg.get(key).is_none());
+        let t = reg.get_or_create(key);
+        assert!(Arc::ptr_eq(&reg.get(key).unwrap(), &t));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn head_roundtrip_and_writer_watermark() {
+        let reg = TwinRegistry::new();
+        let t = reg.get_or_create((TableId(1), RowId(0)));
+        let l = mklog(5, 42);
+        assert!(t.set_head(RowId(5), Arc::clone(&l), 42));
+        assert!(Arc::ptr_eq(&t.head(RowId(5)).unwrap(), &l));
+        assert_eq!(t.max_writer_start(), 42);
+        assert!(t.head(RowId(6)).is_none());
+    }
+
+    #[test]
+    fn pop_head_if_restores_predecessor() {
+        let t = TwinTable::new();
+        let old = mklog(5, 1);
+        old.stamp_commit(2);
+        let new = UndoLog::new(
+            TableId(1),
+            RowId(5),
+            RowId(0),
+            UndoOp::Insert,
+            TxnHandle::new(Xid::from_start_ts(3)),
+            Some(Arc::clone(&old)),
+        );
+        assert!(t.set_head(RowId(5), Arc::clone(&new), 3));
+        t.pop_head_if(RowId(5), &new);
+        assert!(Arc::ptr_eq(&t.head(RowId(5)).unwrap(), &old));
+        t.pop_head_if(RowId(5), &old);
+        assert!(t.head(RowId(5)).is_none());
+    }
+
+    #[test]
+    fn pop_head_if_ignores_non_head() {
+        let t = TwinTable::new();
+        let a = mklog(5, 1);
+        let b = mklog(5, 2);
+        assert!(t.set_head(RowId(5), Arc::clone(&a), 1));
+        t.pop_head_if(RowId(5), &b); // not the head: no-op
+        assert!(Arc::ptr_eq(&t.head(RowId(5)).unwrap(), &a));
+    }
+
+    #[test]
+    fn clear_if_head_validates_by_address() {
+        let t = TwinTable::new();
+        let a = mklog(5, 1);
+        let b = mklog(5, 2);
+        assert!(t.set_head(RowId(5), Arc::clone(&a), 1));
+        t.clear_if_head(RowId(5), &b);
+        assert!(t.head(RowId(5)).is_some(), "different address: keep");
+        t.clear_if_head(RowId(5), &a);
+        assert!(t.head(RowId(5)).is_none());
+    }
+
+    #[test]
+    fn reclaim_stale_respects_watermark_and_liveness() {
+        let reg = TwinRegistry::new();
+        let empty_old = reg.get_or_create((TableId(1), RowId(0)));
+        empty_old.max_writer_start.store(5, Ordering::Release);
+        let empty_young = reg.get_or_create((TableId(1), RowId(1000)));
+        empty_young.max_writer_start.store(50, Ordering::Release);
+        let live = reg.get_or_create((TableId(1), RowId(2000)));
+        assert!(live.set_head(RowId(2000), mklog(2000, 7), 7));
+
+        let n = reg.reclaim_stale(10);
+        assert_eq!(n, 1, "only the empty old table goes");
+        assert!(reg.get((TableId(1), RowId(0))).is_none());
+        assert!(reg.get((TableId(1), RowId(1000))).is_some());
+        assert!(reg.get((TableId(1), RowId(2000))).is_some());
+    }
+
+    #[test]
+    fn set_head_fails_on_dead_table_so_caller_retries() {
+        let reg = TwinRegistry::new();
+        let key = (TableId(1), RowId(0));
+        let t = reg.get_or_create(key);
+        assert_eq!(reg.reclaim_stale(u64::MAX >> 2), 1);
+        assert!(!t.set_head(RowId(1), mklog(1, 1), 1), "dead table rejects");
+        // A fresh table from the registry works.
+        let t2 = reg.get_or_create(key);
+        assert!(t2.set_head(RowId(1), mklog(1, 1), 1));
+    }
+
+    #[test]
+    fn lock_grant_accounting() {
+        let t = TwinTable::new();
+        t.record_lock_grant();
+        t.record_lock_grant();
+        assert_eq!(t.lock_grants(), 2);
+    }
+}

@@ -1,0 +1,335 @@
+//! Algorithm 1: retrieve the visible version (§6.2).
+//!
+//! Given the current (in-place updated) tuple, the version-chain head from
+//! the twin table, the reader's XID and snapshot, decide what the reader
+//! sees: the tuple as stored, an older version reassembled from
+//! before-image deltas, or nothing (deleted / not yet inserted).
+
+use crate::clock::Snapshot;
+use crate::undo::{UndoLog, UndoOp};
+use phoebe_common::ids::Xid;
+use phoebe_storage::schema::Value;
+use std::sync::Arc;
+
+/// The outcome of a visibility check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VisibleVersion {
+    /// The tuple as currently stored in the page is the visible version.
+    Current,
+    /// An older version, reassembled from before-image deltas.
+    Rebuilt(Vec<Value>),
+    /// No version is visible (deleted before the snapshot, or inserted
+    /// after it).
+    Invisible,
+}
+
+/// Whether the version written by the head log is itself visible: its
+/// `ets` holds either a cts (compare against the snapshot) or an XID (the
+/// reader's own write is visible; someone else's only if their handle says
+/// committed-within — the mid-commit bridge).
+fn head_visible(head: &UndoLog, xid: Xid, snapshot: Snapshot) -> bool {
+    let ets = head.ets();
+    if Xid::is_xid(ets) {
+        ets == xid.raw() || head.writer.committed_within(snapshot)
+    } else {
+        snapshot.sees(ets)
+    }
+}
+
+/// Algorithm 1. `current` is the tuple read from the page (full row);
+/// `head` the twin-table entry (None ⇒ no twin table / no entry).
+pub fn check_visibility(
+    current: &[Value],
+    head: Option<&Arc<UndoLog>>,
+    xid: Xid,
+    snapshot: Snapshot,
+) -> VisibleVersion {
+    // Lines 1–4: no twin entry, or a reclaimed head ⇒ the stored tuple is
+    // globally visible.
+    let Some(head) = head else {
+        return VisibleVersion::Current;
+    };
+    if !head.is_valid() {
+        return VisibleVersion::Current;
+    }
+    // Line 4: header committed inside the snapshot (or it is our own
+    // write) ⇒ the in-place tuple is the visible version — unless that
+    // newest version is a deletion.
+    if head_visible(head, xid, snapshot) {
+        return match head.op {
+            UndoOp::Delete { .. } | UndoOp::FrozenDelete { .. } => VisibleVersion::Invisible,
+            _ => VisibleVersion::Current,
+        };
+    }
+    // Lines 5–10: walk the chain, assembling before images until the
+    // version is old enough.
+    let mut tuple = current.to_vec();
+    let mut cur = Arc::clone(head);
+    loop {
+        match &cur.op {
+            UndoOp::Update { delta } => {
+                for (col, v) in delta {
+                    tuple[*col] = v.clone();
+                }
+            }
+            UndoOp::Delete { row_image } => {
+                tuple = row_image.clone();
+            }
+            UndoOp::Insert => {
+                // Before image is "no tuple": if the pre-insert state is
+                // inside the snapshot, the row does not exist for us.
+                return VisibleVersion::Invisible;
+            }
+            UndoOp::FrozenDelete { .. } => {
+                // Frozen tombstones never join version chains; seeing one
+                // here means the caller already resolved the row as frozen.
+                return VisibleVersion::Invisible;
+            }
+        }
+        // Line 8: the before image we just assembled was committed at
+        // `sts`; 0 means its writer was reclaimed, i.e. globally visible.
+        if snapshot.sees(cur.sts()) {
+            return VisibleVersion::Rebuilt(tuple);
+        }
+        match cur.next_version() {
+            Some(next) if next.is_valid() => {
+                // A mid-chain version is visible when committed within the
+                // snapshot (its ets may still be an XID mid-commit).
+                if head_visible(&next, xid, snapshot) {
+                    // next's *after* image is what `tuple` currently holds?
+                    // No: `tuple` currently holds next's after-image only
+                    // after applying cur's before image, which we just did.
+                    return VisibleVersion::Rebuilt(tuple);
+                }
+                cur = next;
+            }
+            _ => {
+                // Chain ends (predecessor reclaimed): the assembled image
+                // is the oldest reachable version; sts==0 normally catches
+                // this, so reaching here is a benign race with GC.
+                return VisibleVersion::Rebuilt(tuple);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locks::{TxnHandle, TxnOutcome};
+    use phoebe_common::ids::{RowId, TableId};
+
+    fn v(i: i64) -> Vec<Value> {
+        vec![Value::I64(i)]
+    }
+
+    fn committed_log(op: UndoOp, cts: u64, prev: Option<Arc<UndoLog>>) -> Arc<UndoLog> {
+        let h = TxnHandle::new(Xid::from_start_ts(cts.saturating_sub(1)));
+        let l = UndoLog::new(TableId(1), RowId(1), RowId(0), op, Arc::clone(&h), prev);
+        h.finish(TxnOutcome::Committed(cts));
+        l.stamp_commit(cts);
+        l
+    }
+
+    fn inflight_log(op: UndoOp, start: u64, prev: Option<Arc<UndoLog>>) -> Arc<UndoLog> {
+        let h = TxnHandle::new(Xid::from_start_ts(start));
+        UndoLog::new(TableId(1), RowId(1), RowId(0), op, h, prev)
+    }
+
+    fn reader(ts: u64) -> Xid {
+        Xid::from_start_ts(ts)
+    }
+
+    #[test]
+    fn no_twin_entry_means_current() {
+        assert_eq!(
+            check_visibility(&v(1), None, reader(10), Snapshot(10)),
+            VisibleVersion::Current
+        );
+    }
+
+    #[test]
+    fn reclaimed_head_means_current() {
+        let l = committed_log(UndoOp::Update { delta: vec![(0, Value::I64(0))] }, 5, None);
+        l.invalidate();
+        assert_eq!(
+            check_visibility(&v(1), Some(&l), reader(1), Snapshot(1)),
+            VisibleVersion::Current
+        );
+    }
+
+    #[test]
+    fn committed_head_within_snapshot_is_current() {
+        let l = committed_log(UndoOp::Update { delta: vec![(0, Value::I64(0))] }, 5, None);
+        assert_eq!(
+            check_visibility(&v(1), Some(&l), reader(9), Snapshot(9)),
+            VisibleVersion::Current
+        );
+    }
+
+    #[test]
+    fn own_uncommitted_write_is_visible() {
+        let h = TxnHandle::new(Xid::from_start_ts(7));
+        let l = UndoLog::new(
+            TableId(1),
+            RowId(1),
+            RowId(0),
+            UndoOp::Update { delta: vec![(0, Value::I64(0))] },
+            h,
+            None,
+        );
+        assert_eq!(
+            check_visibility(&v(1), Some(&l), reader(7), Snapshot(6)),
+            VisibleVersion::Current
+        );
+    }
+
+    #[test]
+    fn foreign_uncommitted_write_rebuilds_before_image() {
+        let l = inflight_log(UndoOp::Update { delta: vec![(0, Value::I64(41))] }, 9, None);
+        // sts == 0 (no predecessor): stop immediately after assembling.
+        assert_eq!(
+            check_visibility(&v(42), Some(&l), reader(5), Snapshot(5)),
+            VisibleVersion::Rebuilt(v(41))
+        );
+    }
+
+    #[test]
+    fn mid_commit_writer_is_visible_through_its_handle() {
+        // Writer has committed (handle resolved) but ets not yet stamped.
+        let h = TxnHandle::new(Xid::from_start_ts(3));
+        let l = UndoLog::new(
+            TableId(1),
+            RowId(1),
+            RowId(0),
+            UndoOp::Update { delta: vec![(0, Value::I64(0))] },
+            Arc::clone(&h),
+            None,
+        );
+        h.finish(TxnOutcome::Committed(4));
+        assert_eq!(
+            check_visibility(&v(1), Some(&l), reader(9), Snapshot(9)),
+            VisibleVersion::Current,
+            "committed_within must bridge the stamping window"
+        );
+        assert_eq!(
+            check_visibility(&v(1), Some(&l), reader(2), Snapshot(2)),
+            VisibleVersion::Rebuilt(v(0)),
+            "older snapshot still sees the before image"
+        );
+    }
+
+    #[test]
+    fn paper_example_6_2_rid1() {
+        // rid1 chain: c --(cts 3)--> b --(cts 6)--> a (in flight, XID 7).
+        // Reader XID 3 with snapshot 5 must see 'c'.
+        let log_b_to_c =
+            committed_log(UndoOp::Update { delta: vec![(0, Value::Str("c".into()))] }, 3, None);
+        let log_a_to_b = inflight_log(
+            UndoOp::Update { delta: vec![(0, Value::Str("b".into()))] },
+            7,
+            Some(Arc::clone(&log_b_to_c)),
+        );
+        // a_to_b.sts = 6? In the paper, XID4 committed the 'b' value at 6.
+        // Our constructor copies the predecessor's cts (3 here models the
+        // 'c' commit). To match the figure exactly, use explicit chains:
+        // head = a_to_b (sts=6 via predecessor cts 6).
+        let log_b_to_c6 =
+            committed_log(UndoOp::Update { delta: vec![(0, Value::Str("c".into()))] }, 6, None);
+        let head = inflight_log(
+            UndoOp::Update { delta: vec![(0, Value::Str("b".into()))] },
+            7,
+            Some(Arc::clone(&log_b_to_c6)),
+        );
+        assert_eq!(head.sts(), 6);
+        let current = vec![Value::Str("a".into())];
+        let got = check_visibility(&current, Some(&head), reader(3), Snapshot(5));
+        // 'a' invisible (in-flight), 'b' invisible (sts 6 > 5) -> walk to
+        // predecessor: assemble 'c', its sts=0 <= 5 -> visible.
+        assert_eq!(got, VisibleVersion::Rebuilt(vec![Value::Str("c".into())]));
+        let _ = log_a_to_b;
+    }
+
+    #[test]
+    fn paper_example_6_2_rid2() {
+        // rid2: header ets = 3 <= snapshot 5 -> current value visible.
+        let head =
+            committed_log(UndoOp::Update { delta: vec![(0, Value::Str("a".into()))] }, 3, None);
+        assert_eq!(
+            check_visibility(&[Value::Str("b".into())], Some(&head), reader(3), Snapshot(5)),
+            VisibleVersion::Current
+        );
+    }
+
+    #[test]
+    fn paper_example_6_2_rid3() {
+        // rid3: header committed at 6 > 5; sts = 3 <= 5 -> before image 'a'.
+        let prev =
+            committed_log(UndoOp::Update { delta: vec![(0, Value::Str("x".into()))] }, 3, None);
+        let head = committed_log(
+            UndoOp::Update { delta: vec![(0, Value::Str("a".into()))] },
+            6,
+            Some(prev),
+        );
+        assert_eq!(head.sts(), 3);
+        assert_eq!(
+            check_visibility(&[Value::Str("c".into())], Some(&head), reader(3), Snapshot(5)),
+            VisibleVersion::Rebuilt(vec![Value::Str("a".into())])
+        );
+    }
+
+    #[test]
+    fn visible_deletion_hides_the_row() {
+        let head = committed_log(UndoOp::Delete { row_image: v(1) }, 4, None);
+        assert_eq!(
+            check_visibility(&v(1), Some(&head), reader(9), Snapshot(9)),
+            VisibleVersion::Invisible
+        );
+        // An older snapshot still sees the pre-delete row.
+        assert_eq!(
+            check_visibility(&v(1), Some(&head), reader(2), Snapshot(2)),
+            VisibleVersion::Rebuilt(v(1))
+        );
+    }
+
+    #[test]
+    fn insert_after_snapshot_is_invisible() {
+        let head = committed_log(UndoOp::Insert, 8, None);
+        assert_eq!(
+            check_visibility(&v(1), Some(&head), reader(3), Snapshot(3)),
+            VisibleVersion::Invisible
+        );
+        assert_eq!(
+            check_visibility(&v(1), Some(&head), reader(9), Snapshot(9)),
+            VisibleVersion::Current
+        );
+    }
+
+    #[test]
+    fn multi_column_deltas_compose_across_versions() {
+        // v0 = [10, "x"] committed@2, v1 sets col0=20 committed@5,
+        // v2 sets col1="y" committed@9. Current = [20, "y"].
+        let l1 = committed_log(UndoOp::Update { delta: vec![(0, Value::I64(10))] }, 5, None);
+        let l2 = committed_log(
+            UndoOp::Update { delta: vec![(1, Value::Str("x".into()))] },
+            9,
+            Some(Arc::clone(&l1)),
+        );
+        let current = vec![Value::I64(20), Value::Str("y".into())];
+        // Snapshot 9: current visible.
+        assert_eq!(
+            check_visibility(&current, Some(&l2), reader(9), Snapshot(9)),
+            VisibleVersion::Current
+        );
+        // Snapshot 6: undo l2 -> [20, "x"].
+        assert_eq!(
+            check_visibility(&current, Some(&l2), reader(6), Snapshot(6)),
+            VisibleVersion::Rebuilt(vec![Value::I64(20), Value::Str("x".into())])
+        );
+        // Snapshot 3: undo l2 then l1 -> [10, "x"].
+        assert_eq!(
+            check_visibility(&current, Some(&l2), reader(3), Snapshot(3)),
+            VisibleVersion::Rebuilt(vec![Value::I64(10), Value::Str("x".into())])
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the MVCC invariants: Algorithm 1 must agree
+//! with a straightforward "apply history by timestamps" oracle for any
+//! committed version chain, and the clock/snapshot algebra must hold.
+
+use phoebe_common::ids::{RowId, TableId, Xid};
+use phoebe_storage::schema::Value;
+use phoebe_txn::locks::{TxnHandle, TxnOutcome};
+use phoebe_txn::visibility::{check_visibility, VisibleVersion};
+use phoebe_txn::{Snapshot, UndoLog, UndoOp};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Build a committed version history: write k (at cts ctss[k]) changes the
+/// value from k to k+1, so each UNDO log's before image is k. Returns the
+/// chain head, the commit timestamps, and the final (current) value.
+fn build_chain(gaps: &[u64]) -> (Arc<UndoLog>, Vec<u64>, i64) {
+    let mut prev: Option<Arc<UndoLog>> = None;
+    let mut ctss = Vec::new();
+    let mut ts = 0u64;
+    for (k, gap) in gaps.iter().enumerate() {
+        ts += gap + 1;
+        let h = TxnHandle::new(Xid::from_start_ts(ts));
+        let log = UndoLog::new(
+            TableId(1),
+            RowId(1),
+            RowId(0),
+            UndoOp::Update { delta: vec![(0, Value::I64(k as i64))] },
+            Arc::clone(&h),
+            prev.clone(),
+        );
+        ts += 1;
+        log.stamp_commit(ts);
+        h.finish(TxnOutcome::Committed(ts));
+        ctss.push(ts);
+        prev = Some(log);
+    }
+    (prev.unwrap(), ctss, gaps.len() as i64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn algorithm1_matches_timestamp_oracle(
+        gaps in proptest::collection::vec(0u64..3, 1..12),
+        probe in 0u64..60,
+    ) {
+        let (head, ctss, final_val) = build_chain(&gaps);
+        let current = vec![Value::I64(final_val)];
+        let reader = Xid::from_start_ts(1_000_000);
+        let snap = Snapshot(probe);
+        // Oracle: the visible value is the number of commits <= snapshot.
+        let expected = ctss.iter().filter(|&&c| c <= probe).count() as i64;
+        let got = match check_visibility(&current, Some(&head), reader, snap) {
+            VisibleVersion::Current => final_val,
+            VisibleVersion::Rebuilt(v) => v[0].as_i64(),
+            VisibleVersion::Invisible => -1,
+        };
+        prop_assert_eq!(got, expected, "ctss={:?} probe={}", ctss, probe);
+    }
+
+    #[test]
+    fn own_writes_always_visible(gaps in proptest::collection::vec(0u64..3, 1..8)) {
+        let (head, _, final_val) = build_chain(&gaps);
+        let me = TxnHandle::new(Xid::from_start_ts(500_000));
+        let my_log = UndoLog::new(
+            TableId(1),
+            RowId(1),
+            RowId(0),
+            UndoOp::Update { delta: vec![(0, Value::I64(final_val))] },
+            Arc::clone(&me),
+            Some(head),
+        );
+        let current = vec![Value::I64(999)]; // my in-place write
+        let got = check_visibility(&current, Some(&my_log), me.xid, Snapshot(0));
+        prop_assert_eq!(got, VisibleVersion::Current);
+    }
+
+    #[test]
+    fn snapshots_never_see_later_commits(n in 1u64..200) {
+        let clock = phoebe_txn::GlobalClock::new();
+        for _ in 0..n {
+            clock.tick();
+        }
+        let snap = clock.snapshot();
+        let later = clock.commit_ts();
+        prop_assert!(!snap.sees(later));
+        prop_assert!(snap.sees(later.saturating_sub(2)));
+    }
+
+    #[test]
+    fn arena_reclaim_respects_watermark(
+        ctss in proptest::collection::btree_set(1u64..1000, 1..30),
+        watermark in 1u64..1000,
+    ) {
+        let arena = phoebe_txn::UndoArena::new();
+        let ctss: Vec<u64> = ctss.into_iter().collect();
+        for &cts in &ctss {
+            let h = TxnHandle::new(Xid::from_start_ts(cts.saturating_sub(1)));
+            let log = UndoLog::new(
+                TableId(1), RowId(1), RowId(0), UndoOp::Insert, Arc::clone(&h), None,
+            );
+            log.stamp_commit(cts);
+            h.finish(TxnOutcome::Committed(cts));
+            arena.push(log);
+        }
+        let reclaimed = arena.reclaim_until(watermark, |_| {});
+        let expected = ctss.iter().take_while(|&&c| c < watermark).count();
+        prop_assert_eq!(reclaimed, expected);
+        prop_assert_eq!(arena.len(), ctss.len() - expected);
+    }
+}

@@ -1,0 +1,29 @@
+//! Parallel Write-Ahead Logging with Remote Flush Avoidance (§8).
+//!
+//! PhoebeDB follows "Non-Force, Steal": commits need not force all data
+//! pages, and dirty pages of uncommitted transactions may reach disk (the
+//! buffer pool's write barrier keeps WAL ahead of data). The flushing
+//! bottleneck of a single serialized log is removed by giving **each task
+//! slot its own WAL writer and file** ([`writer`]); recovery re-orders the
+//! files by GSN ([`recovery`]).
+//!
+//! Remote Flush Avoidance: a committing transaction that only touched data
+//! last written by its own slot waits only for *its own* writer to flush —
+//! no rendezvous with unrelated loggers. Only transactions that built a
+//! cross-slot dependency (they modified a tuple/page whose previous writer
+//! on another slot is not yet durable) wait for the global flush horizon
+//! ([`writer::WalHub::ensure_durable_gsn`]).
+//!
+//! Physical flushing goes through [`aio`], an asynchronous-I/O substrate
+//! with submission/completion queues standing in for io_uring (see
+//! DESIGN.md's substitution table).
+
+pub mod aio;
+pub mod record;
+pub mod recovery;
+pub mod writer;
+
+pub use aio::{AioPool, AioRequest};
+pub use record::{RecordBody, WalRecord};
+pub use recovery::{recover_dir, RecoveredTxn};
+pub use writer::{CommitGuard, WalHub, WalWriter};

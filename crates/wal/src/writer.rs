@@ -1,0 +1,497 @@
+//! Per-task-slot WAL writers, group commit, and Remote Flush Avoidance
+//! (§8 "Phoebe's Parallel WAL Design").
+//!
+//! Every task slot owns a [`WalWriter`]: an in-memory buffer plus its own
+//! log file, so log *writing* never contends across slots. A background
+//! flusher drains all buffers in parallel through the AIO pool (the
+//! io_uring stand-in) on a group-commit cadence.
+//!
+//! GSN/LSN: every record carries the slot-local, strictly monotonic LSN
+//! and a GSN that only advances on *cross-slot* modifications — touching a
+//! page last written by another slot. Recovery merges the per-slot files
+//! by GSN; commit-time flush waiting uses it for RFA:
+//!
+//! * no cross-slot dependency, or the remote writer already flushed the
+//!   version we built on ⇒ commit waits only for the *own* slot's writer
+//!   (the RFA early commit);
+//! * otherwise the commit waits until every writer's durable horizon
+//!   passes the transaction's max GSN.
+
+use crate::aio::{AioPool, AioRequest};
+use crate::record::{RecordBody, WalRecord};
+use parking_lot::Mutex;
+use phoebe_common::error::Result;
+use phoebe_common::ids::{Gsn, Lsn, Timestamp, Xid};
+use phoebe_common::metrics::{Component, Counter, Metrics};
+use phoebe_runtime::{yield_now, Notify, Urgency};
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One slot's WAL writer.
+pub struct WalWriter {
+    pub slot: usize,
+    file: Arc<File>,
+    buf: Mutex<Vec<u8>>,
+    next_lsn: AtomicU64,
+    appended_lsn: AtomicU64,
+    appended_gsn: AtomicU64,
+    flushed_lsn: AtomicU64,
+    flushed_gsn: AtomicU64,
+    file_off: AtomicU64,
+    bytes_flushed: AtomicU64,
+    durable: Notify,
+}
+
+impl WalWriter {
+    fn create(slot: usize, path: &Path) -> Result<Arc<Self>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Arc::new(WalWriter {
+            slot,
+            file: Arc::new(file),
+            buf: Mutex::new(Vec::with_capacity(16 * 1024)),
+            next_lsn: AtomicU64::new(1),
+            appended_lsn: AtomicU64::new(0),
+            appended_gsn: AtomicU64::new(0),
+            flushed_lsn: AtomicU64::new(0),
+            flushed_gsn: AtomicU64::new(0),
+            file_off: AtomicU64::new(0),
+            bytes_flushed: AtomicU64::new(0),
+            durable: Notify::new(),
+        }))
+    }
+
+    /// Append a record to the in-memory buffer; returns its LSN and size.
+    pub fn append(&self, xid: Xid, gsn: Gsn, body: RecordBody) -> (Lsn, usize) {
+        let mut buf = self.buf.lock();
+        let lsn = Lsn(self.next_lsn.fetch_add(1, Ordering::Relaxed));
+        let rec = WalRecord { xid, gsn, lsn, body };
+        let n = rec.encode_into(&mut buf);
+        // Publish append marks under the buffer lock so the flusher's
+        // snapshot (also under the lock) is consistent.
+        self.appended_lsn.store(lsn.raw(), Ordering::Release);
+        self.appended_gsn.fetch_max(gsn.raw(), Ordering::AcqRel);
+        (lsn, n)
+    }
+
+    /// Flush pending bytes through the AIO pool. Returns bytes flushed.
+    pub fn flush(&self, aio: &AioPool, sync: bool) -> Result<u64> {
+        let (data, lsn_mark, gsn_mark) = {
+            let mut buf = self.buf.lock();
+            if buf.is_empty() {
+                // Nothing pending: the durable horizon catches up for free.
+                self.flushed_gsn
+                    .fetch_max(self.appended_gsn.load(Ordering::Acquire), Ordering::AcqRel);
+                self.flushed_lsn
+                    .fetch_max(self.appended_lsn.load(Ordering::Acquire), Ordering::AcqRel);
+                return Ok(0);
+            }
+            let data = std::mem::take(&mut *buf);
+            (
+                data,
+                self.appended_lsn.load(Ordering::Acquire),
+                self.appended_gsn.load(Ordering::Acquire),
+            )
+        };
+        let len = data.len() as u64;
+        let off = self.file_off.fetch_add(len, Ordering::Relaxed);
+        let w = aio.submit(AioRequest::WriteAt {
+            file: Arc::clone(&self.file),
+            offset: off,
+            data,
+        });
+        w.wait()?;
+        if sync {
+            aio.submit(AioRequest::Fsync { file: Arc::clone(&self.file) }).wait()?;
+        }
+        self.flushed_lsn.fetch_max(lsn_mark, Ordering::AcqRel);
+        self.flushed_gsn.fetch_max(gsn_mark, Ordering::AcqRel);
+        self.bytes_flushed.fetch_add(len, Ordering::Relaxed);
+        self.durable.notify_all();
+        Ok(len)
+    }
+
+    /// Durable horizon for RFA: `u64::MAX` when nothing is pending,
+    /// otherwise the highest GSN known durable.
+    pub fn durable_horizon(&self) -> u64 {
+        if self.flushed_lsn.load(Ordering::Acquire) >= self.appended_lsn.load(Ordering::Acquire)
+        {
+            u64::MAX
+        } else {
+            self.flushed_gsn.load(Ordering::Acquire)
+        }
+    }
+
+    pub fn flushed_lsn(&self) -> u64 {
+        self.flushed_lsn.load(Ordering::Acquire)
+    }
+
+    pub fn flushed_gsn(&self) -> u64 {
+        self.flushed_gsn.load(Ordering::Acquire)
+    }
+
+    pub fn bytes_flushed(&self) -> u64 {
+        self.bytes_flushed.load(Ordering::Relaxed)
+    }
+
+    /// Await durability of `lsn` (own-slot commit wait).
+    pub async fn wait_lsn(&self, lsn: Lsn) {
+        while self.flushed_lsn.load(Ordering::Acquire) < lsn.raw() {
+            let n = self.durable.notified();
+            if self.flushed_lsn.load(Ordering::Acquire) >= lsn.raw() {
+                return;
+            }
+            // Async-read-class wait: short, high urgency (§7.1).
+            yield_now(Urgency::High).await;
+            let _ = n;
+        }
+    }
+}
+
+/// Per-transaction RFA state (§8 "decoupled dependencies").
+#[derive(Debug, Default, Clone)]
+pub struct RfaState {
+    /// Set when this transaction built on an unflushed version written by
+    /// another slot.
+    pub needs_remote: bool,
+    /// Highest GSN among this transaction's own records.
+    pub max_gsn: u64,
+}
+
+/// The WAL hub: all slot writers, the GSN clock, and the group-commit
+/// flusher.
+pub struct WalHub {
+    writers: Vec<Arc<WalWriter>>,
+    gsn: AtomicU64,
+    aio: Arc<AioPool>,
+    metrics: Arc<Metrics>,
+    sync: bool,
+    shutdown: Arc<AtomicBool>,
+    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl WalHub {
+    /// Create writers for `slots` task slots under `dir` and start the
+    /// group-commit flusher.
+    pub fn new(
+        dir: &Path,
+        slots: usize,
+        aio_threads: usize,
+        group_commit: Duration,
+        sync: bool,
+        metrics: Arc<Metrics>,
+    ) -> Result<Arc<Self>> {
+        std::fs::create_dir_all(dir)?;
+        let writers = (0..slots)
+            .map(|s| WalWriter::create(s, &dir.join(format!("wal_slot_{s:04}.log"))))
+            .collect::<Result<Vec<_>>>()?;
+        let aio = AioPool::new(aio_threads);
+        let hub = Arc::new(WalHub {
+            writers,
+            gsn: AtomicU64::new(1),
+            aio,
+            metrics,
+            sync,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            flusher: Mutex::new(None),
+        });
+        let h = Arc::clone(&hub);
+        *hub.flusher.lock() = Some(
+            std::thread::Builder::new()
+                .name("phoebe-wal-flusher".into())
+                .spawn(move || {
+                    while !h.shutdown.load(Ordering::Acquire) {
+                        let _ = h.flush_all();
+                        std::thread::sleep(group_commit);
+                    }
+                    let _ = h.flush_all();
+                })
+                .expect("spawn wal flusher"),
+        );
+        Ok(hub)
+    }
+
+    pub fn writer(&self, slot: usize) -> &Arc<WalWriter> {
+        &self.writers[slot]
+    }
+
+    pub fn writer_count(&self) -> usize {
+        self.writers.len()
+    }
+
+    pub fn current_gsn(&self) -> u64 {
+        self.gsn.load(Ordering::Acquire)
+    }
+
+    /// Record a write against a page for RFA purposes and return the GSN to
+    /// stamp on the WAL record and the page.
+    ///
+    /// `page_gsn`/`last_writer` describe the page *before* this write;
+    /// `my_slot` is the flat slot index of the writing transaction.
+    pub fn stamp_write(
+        &self,
+        rfa: &mut RfaState,
+        page_gsn: u64,
+        last_writer: Option<usize>,
+        my_slot: usize,
+    ) -> u64 {
+        let cross = last_writer.is_some_and(|w| w != my_slot);
+        let gsn = if cross {
+            // Cross-slot modification: advance the global GSN past the
+            // page's current GSN so recovery orders us after the remote
+            // writer.
+            let mut g = self.gsn.fetch_add(1, Ordering::AcqRel) + 1;
+            while g <= page_gsn {
+                g = self.gsn.fetch_add(1, Ordering::AcqRel) + 1;
+            }
+            // RFA check: if the previous writer's version is already
+            // durable, no remote dependency arises.
+            if let Some(w) = last_writer {
+                if self.writers[w].durable_horizon() < page_gsn {
+                    rfa.needs_remote = true;
+                }
+            }
+            g
+        } else {
+            // Same-slot (or fresh) page: stay on the current GSN.
+            self.gsn.load(Ordering::Acquire).max(page_gsn)
+        };
+        rfa.max_gsn = rfa.max_gsn.max(gsn);
+        gsn
+    }
+
+    /// Append an operation record on the transaction's slot writer.
+    pub fn log_op(&self, slot: usize, xid: Xid, gsn: u64, body: RecordBody) -> Lsn {
+        let _t = self.metrics.timer(Component::Wal);
+        let (lsn, n) = self.writers[slot].append(xid, Gsn(gsn), body);
+        self.metrics.add(Counter::WalBytes, n as u64);
+        lsn
+    }
+
+    /// Append the commit record and wait per RFA rules (when `wal_sync`).
+    pub async fn commit(
+        &self,
+        slot: usize,
+        xid: Xid,
+        cts: Timestamp,
+        rfa: &RfaState,
+    ) -> Result<()> {
+        // Time only the synchronous record-building section: the flush
+        // *wait* parks the co-routine and must not be booked as WAL work
+        // (the paper's Figure 12 counts instructions, not idle time).
+        let gsn = rfa.max_gsn.max(self.gsn.load(Ordering::Acquire));
+        let (lsn, n) = {
+            let _t = self.metrics.timer(Component::Wal);
+            self.writers[slot].append(xid, Gsn(gsn), RecordBody::Commit { cts })
+        };
+        self.metrics.add(Counter::WalBytes, n as u64);
+        if !self.sync {
+            return Ok(());
+        }
+        if rfa.needs_remote {
+            self.metrics.incr(Counter::RemoteFlushWaits);
+            self.ensure_durable_gsn_async(rfa.max_gsn).await;
+        } else {
+            self.metrics.incr(Counter::RfaEarlyCommits);
+            self.writers[slot].wait_lsn(lsn).await;
+        }
+        Ok(())
+    }
+
+    /// Flush every writer once, in parallel (one group-commit round).
+    /// Returns total bytes flushed.
+    pub fn flush_all(&self) -> Result<u64> {
+        // Submit all writes first so they overlap, then fsync.
+        let mut total = 0;
+        for w in &self.writers {
+            total += w.flush(&self.aio, self.sync)?;
+        }
+        if total > 0 {
+            self.metrics.incr(Counter::WalFlushes);
+            self.metrics.add(Counter::WalFlushedBytes, total);
+        }
+        Ok(total)
+    }
+
+    /// The global durable horizon: every writer has flushed at least this
+    /// GSN (writers with nothing pending don't hold it back).
+    pub fn durable_gsn(&self) -> u64 {
+        self.writers.iter().map(|w| w.durable_horizon()).min().unwrap_or(u64::MAX)
+    }
+
+    /// Await global durability of `gsn` (remote-dependency commits).
+    pub async fn ensure_durable_gsn_async(&self, gsn: u64) {
+        while self.durable_gsn() < gsn {
+            yield_now(Urgency::High).await;
+        }
+    }
+
+    /// Blocking variant for the buffer pool's write barrier (Steal).
+    pub fn ensure_durable_gsn_blocking(&self, gsn: u64) {
+        while self.durable_gsn() < gsn {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    /// Total bytes physically flushed across writers.
+    pub fn total_bytes_flushed(&self) -> u64 {
+        self.writers.iter().map(|w| w.bytes_flushed()).sum()
+    }
+
+    /// Snapshot of the hub's metrics registry (tests/diagnostics).
+    pub fn metrics_snapshot(&self) -> phoebe_common::metrics::MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Stop the flusher (final flush included).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.flusher.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WalHub {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// RAII wrapper kept for API symmetry: a commit that must not return until
+/// durable holds one of these.
+pub struct CommitGuard;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoebe_runtime::block_on;
+
+    fn hub(slots: usize) -> Arc<WalHub> {
+        let dir = phoebe_common::KernelConfig::for_tests().data_dir;
+        WalHub::new(
+            &dir,
+            slots,
+            2,
+            Duration::from_micros(100),
+            true,
+            Arc::new(Metrics::new(1)),
+        )
+        .unwrap()
+    }
+
+    fn xid(n: u64) -> Xid {
+        Xid::from_start_ts(n)
+    }
+
+    #[test]
+    fn append_assigns_monotonic_lsns_per_writer() {
+        let h = hub(2);
+        let a = h.log_op(0, xid(1), 1, RecordBody::Begin);
+        let b = h.log_op(0, xid(1), 1, RecordBody::Abort);
+        let c = h.log_op(1, xid(2), 1, RecordBody::Begin);
+        assert!(b > a);
+        assert_eq!(c, Lsn(1), "LSNs are per-writer");
+        h.shutdown();
+    }
+
+    #[test]
+    fn same_slot_writes_never_need_remote_flush() {
+        let h = hub(2);
+        let mut rfa = RfaState::default();
+        let g1 = h.stamp_write(&mut rfa, 0, None, 0);
+        let g2 = h.stamp_write(&mut rfa, g1, Some(0), 0);
+        assert!(!rfa.needs_remote);
+        assert!(g2 >= g1);
+        h.shutdown();
+    }
+
+    #[test]
+    fn cross_slot_unflushed_dependency_sets_remote() {
+        let h = hub(2);
+        // Slot 1 writes a page (gsn stamped, not yet flushed).
+        let mut rfa1 = RfaState::default();
+        let g1 = h.stamp_write(&mut rfa1, 0, None, 1);
+        h.log_op(1, xid(1), g1, RecordBody::Begin);
+        // Slot 0 then modifies the same page before slot 1 flushed.
+        let mut rfa0 = RfaState::default();
+        let g0 = h.stamp_write(&mut rfa0, g1, Some(1), 0);
+        assert!(g0 > g1, "cross-slot write advances the GSN");
+        assert!(rfa0.needs_remote);
+        h.shutdown();
+    }
+
+    #[test]
+    fn cross_slot_flushed_dependency_avoids_remote_wait() {
+        let h = hub(2);
+        let mut rfa1 = RfaState::default();
+        let g1 = h.stamp_write(&mut rfa1, 0, None, 1);
+        h.log_op(1, xid(1), g1, RecordBody::Begin);
+        h.flush_all().unwrap();
+        // Now slot 1's version is durable: no remote dependency.
+        let mut rfa0 = RfaState::default();
+        let _ = h.stamp_write(&mut rfa0, g1, Some(1), 0);
+        assert!(!rfa0.needs_remote, "RFA: durable remote writes don't block");
+        h.shutdown();
+    }
+
+    #[test]
+    fn commit_waits_for_own_flush_only_without_remote_deps() {
+        let h = hub(2);
+        let mut rfa = RfaState::default();
+        let g = h.stamp_write(&mut rfa, 0, None, 0);
+        h.log_op(0, xid(5), g, RecordBody::Begin);
+        block_on(h.commit(0, xid(5), 9, &rfa)).unwrap();
+        assert!(h.writer(0).flushed_lsn() >= 2, "commit record durable");
+        let snap = h.metrics_snapshot();
+        assert_eq!(snap.counter(Counter::RfaEarlyCommits), 1);
+        assert_eq!(snap.counter(Counter::RemoteFlushWaits), 0);
+        h.shutdown();
+    }
+
+    #[test]
+    fn remote_dependent_commit_waits_for_global_horizon() {
+        let h = hub(2);
+        let mut rfa1 = RfaState::default();
+        let g1 = h.stamp_write(&mut rfa1, 0, None, 1);
+        h.log_op(1, xid(1), g1, RecordBody::Begin);
+        let mut rfa0 = RfaState::default();
+        let g0 = h.stamp_write(&mut rfa0, g1, Some(1), 0);
+        h.log_op(0, xid(2), g0, RecordBody::Begin);
+        assert!(rfa0.needs_remote);
+        block_on(h.commit(0, xid(2), 9, &rfa0)).unwrap();
+        assert!(h.durable_gsn() >= rfa0.max_gsn);
+        assert_eq!(h.metrics_snapshot().counter(Counter::RemoteFlushWaits), 1);
+        h.shutdown();
+    }
+
+    #[test]
+    fn flush_all_reports_bytes_and_files_grow() {
+        let h = hub(1);
+        for i in 0..50 {
+            h.log_op(0, xid(i), 1, RecordBody::Commit { cts: i });
+        }
+        // Either the background flusher or this call drains the buffer.
+        h.flush_all().unwrap();
+        assert!(h.total_bytes_flushed() > 0);
+        h.shutdown();
+    }
+
+    #[test]
+    fn durable_gsn_ignores_idle_writers() {
+        let h = hub(4);
+        let mut rfa = RfaState::default();
+        let g = h.stamp_write(&mut rfa, 0, None, 0);
+        h.log_op(0, xid(1), g, RecordBody::Begin);
+        h.flush_all().unwrap();
+        assert!(h.durable_gsn() >= g, "idle writers must not pin the horizon");
+        h.shutdown();
+    }
+}

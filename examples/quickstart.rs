@@ -1,0 +1,73 @@
+//! Quickstart: open a PhoebeDB kernel, create a table with an index, and
+//! run transactions from co-routines on the worker pool.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use phoebe_common::KernelConfig;
+use phoebe_core::{Database, IsolationLevel};
+use phoebe_storage::schema::{ColType, Schema, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A kernel over a scratch directory: 2 workers x 8 task slots.
+    let mut cfg = KernelConfig::default();
+    cfg.workers = 2;
+    cfg.slots_per_worker = 8;
+    cfg.data_dir = std::env::temp_dir().join("phoebe-quickstart");
+    let _ = std::fs::remove_dir_all(&cfg.data_dir);
+    let db = Database::open(cfg)?;
+
+    // A table is one B-Tree keyed by an internal row id; user keys live in
+    // secondary indexes (§5.1 of the paper).
+    let users = db.create_table(
+        "users",
+        Schema::new(vec![
+            ("id", ColType::I64),
+            ("name", ColType::Str(32)),
+            ("karma", ColType::I64),
+        ]),
+    )?;
+    let by_id = db.create_index(&users, "users_by_id", vec![0], true)?;
+
+    // Transactions are co-routines: spawn them on the pool.
+    let rt = db.runtime();
+    let db2 = db.clone();
+    let users2 = users.clone();
+    let alice_row = rt
+        .spawn(async move {
+            let mut tx = db2.begin(IsolationLevel::ReadCommitted);
+            let row = tx
+                .insert(&users2, vec![Value::I64(1), Value::Str("alice".into()), Value::I64(10)])
+                .await?;
+            tx.insert(&users2, vec![Value::I64(2), Value::Str("bob".into()), Value::I64(3)])
+                .await?;
+            tx.commit().await?;
+            Ok::<_, phoebe_common::PhoebeError>(row)
+        })
+        .join()?;
+
+    // Point read by row id and by unique index; atomic read-modify-write.
+    let db3 = db.clone();
+    let users3 = users.clone();
+    rt.spawn(async move {
+        let mut tx = db3.begin(IsolationLevel::ReadCommitted);
+        let alice = tx.read(&users3, alice_row)?.expect("alice exists");
+        println!("read by row id: {alice:?}");
+        let (row, bob) = tx
+            .lookup_unique(&users3, &by_id, &[Value::I64(2)])?
+            .expect("bob exists");
+        println!("lookup by index: row={row} tuple={bob:?}");
+        // +1 karma, atomically.
+        tx.update_rmw(&users3, row, &|cur| {
+            vec![(2, Value::I64(cur[2].as_i64() + 1))]
+        })
+        .await?;
+        let cts = tx.commit().await?;
+        println!("committed at timestamp {cts}");
+        Ok::<_, phoebe_common::PhoebeError>(())
+    })
+    .join()?;
+
+    println!("rows in table: {}", db.approximate_row_count(&users)?);
+    db.shutdown();
+    Ok(())
+}

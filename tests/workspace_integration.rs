@@ -1,0 +1,122 @@
+//! Cross-crate integration: the full stack (runtime + storage + txn + wal +
+//! kernel + TPC-C) exercised together, including restart recovery of a
+//! TPC-C prefix.
+
+use phoebe_common::KernelConfig;
+use phoebe_core::Database;
+use phoebe_runtime::block_on;
+use phoebe_tpcc::conn::TpccConn;
+use phoebe_tpcc::schema::{cols, Idx};
+use phoebe_tpcc::txns::{self, Params};
+use phoebe_tpcc::{gen::TpccRng, load, PhoebeEngine, TpccEngine, TpccScale};
+use phoebe_storage::schema::Value;
+
+fn fresh(tag: &str) -> KernelConfig {
+    let mut cfg = KernelConfig::for_tests();
+    cfg.workers = 2;
+    cfg.slots_per_worker = 8;
+    cfg.buffer_frames = 2048;
+    cfg.data_dir = std::env::temp_dir().join(format!(
+        "phoebe-ws-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+    ));
+    cfg
+}
+
+#[test]
+fn tpcc_workload_survives_restart_via_wal_replay() {
+    let cfg = fresh("restart");
+    let wal_dir = cfg.data_dir.join("wal");
+    let scale = TpccScale::micro();
+    let params = Params { warehouses: 1, scale };
+
+    // Phase 1: load + run a deterministic prefix, remember a counter.
+    let next_o_id_before_crash = {
+        let db = Database::open(cfg.clone()).unwrap();
+        let engine = PhoebeEngine::create(db).unwrap();
+        block_on(load(&engine, 1, scale, 1234)).unwrap();
+        let mut rng = TpccRng::seeded(99);
+        block_on(async {
+            for _ in 0..15 {
+                let mut conn = engine.begin();
+                match txns::new_order(&mut conn, &mut rng, &params, 1).await {
+                    Ok(true) => conn.commit().await.unwrap(),
+                    Ok(false) => conn.abort(),
+                    Err(e) => panic!("new_order: {e}"),
+                }
+            }
+        });
+        let counters: Vec<i32> = block_on(async {
+            let mut c = engine.begin();
+            let mut out = Vec::new();
+            for d in 1..=scale.districts_per_warehouse {
+                let (_, row) = c
+                    .lookup(Idx::DistrictPk, vec![Value::I32(1), Value::I32(d as i32)])
+                    .await
+                    .unwrap()
+                    .unwrap();
+                out.push(row[cols::D_NEXT_O_ID].as_i32());
+            }
+            c.commit().await.unwrap();
+            out
+        });
+        engine.db.shutdown();
+        counters
+    };
+
+    // Phase 2: fresh kernel + schema, replay the WAL, verify the counters.
+    let cfg2 = fresh("restart-recovered");
+    let db = Database::open(cfg2).unwrap();
+    let engine = PhoebeEngine::create(db).unwrap();
+    let replayed = engine.db.replay_wal(&wal_dir).unwrap();
+    assert!(replayed > 0, "loader + workload transactions must replay");
+    let counters_after: Vec<i32> = block_on(async {
+        let mut c = engine.begin();
+        let mut out = Vec::new();
+        for d in 1..=scale.districts_per_warehouse {
+            let (_, row) = c
+                .lookup(Idx::DistrictPk, vec![Value::I32(1), Value::I32(d as i32)])
+                .await
+                .unwrap()
+                .unwrap();
+            out.push(row[cols::D_NEXT_O_ID].as_i32());
+        }
+        c.commit().await.unwrap();
+        out
+    });
+    assert_eq!(counters_after, next_o_id_before_crash, "replay restores counters");
+    engine.db.shutdown();
+}
+
+#[test]
+fn metrics_breakdown_accounts_all_components() {
+    use phoebe_common::metrics::{Component, COMPONENTS};
+    let cfg = fresh("metrics");
+    let db = Database::open(cfg).unwrap();
+    let engine = PhoebeEngine::create(db).unwrap();
+    let scale = TpccScale::micro();
+    block_on(load(&engine, 1, scale, 7)).unwrap();
+    let params = Params { warehouses: 1, scale };
+    let mut rng = TpccRng::seeded(3);
+    let before = engine.db.metrics.snapshot();
+    let t0 = std::time::Instant::now();
+    block_on(async {
+        for _ in 0..30 {
+            let mut conn = engine.begin();
+            match txns::new_order(&mut conn, &mut rng, &params, 1).await {
+                Ok(true) => conn.commit().await.unwrap(),
+                _ => conn.abort(),
+            }
+        }
+    });
+    let busy = t0.elapsed().as_nanos() as u64;
+    let delta = engine.db.metrics.snapshot().delta_since(&before);
+    let shares = delta.breakdown(busy);
+    assert_eq!(shares.len(), COMPONENTS.len());
+    let total: f64 = shares.iter().map(|(_, s)| *s).sum();
+    assert!((total - 1.0).abs() < 1e-9, "shares sum to 1");
+    assert!(delta.component_ns(Component::Wal) > 0, "WAL work was accounted");
+    assert!(delta.component_ns(Component::Mvcc) > 0, "MVCC work was accounted");
+    engine.db.shutdown();
+}
