@@ -171,6 +171,7 @@ pub struct BaselineDb {
     /// The global buffer mapping table: (table, page) → heap page. Every
     /// tuple access takes this mutex — the paper's shared-hash-map hot
     /// spot (§5.3).
+    #[allow(clippy::type_complexity)]
     buffer_map: Mutex<HashMap<(u32, u64), Arc<Mutex<HeapPage>>>>,
     /// The proc array: active xids, scanned under a mutex per snapshot.
     proc_array: Mutex<HashSet<u64>>,
@@ -476,7 +477,8 @@ mod tests {
         let db = db();
         let t = db.create_table("t", Schema::new(vec![("v", ColType::I64)]));
         let (x1, l1) = db.begin_xact();
-        let rid = db.heap_insert(&t, HeapTuple { xmin: x1, xmax: 0, next: 0, data: vec![Value::I64(1)] });
+        let rid =
+            db.heap_insert(&t, HeapTuple { xmin: x1, xmax: 0, next: 0, data: vec![Value::I64(1)] });
         db.end_xact(x1, &l1, XactState::Committed);
         // Delete by a later committed xact.
         let (x2, l2) = db.begin_xact();

@@ -3,7 +3,10 @@
 //! commit flushing. Thread-per-transaction: every wait blocks the OS
 //! thread, as in the paper's thread-model comparison (Exp 6).
 
-use crate::engine::{ctid_parts, BaselineDb, BaselineIndex, BaselineTable, HeapTuple, PgSnapshot, XactLock, XactState};
+use crate::engine::{
+    ctid_parts, BaselineDb, BaselineIndex, BaselineTable, HeapTuple, PgSnapshot, XactLock,
+    XactState,
+};
 use phoebe_common::error::{PhoebeError, Result};
 use phoebe_common::ids::RowId;
 use phoebe_storage::schema::Value;
@@ -108,15 +111,12 @@ impl BaselineTxn {
         let is_dead = |r: RowId| -> bool {
             match self.fetch(table, r) {
                 None => true,
-                Some(t) => {
-                    t.data.is_empty()
-                        || self.db.xact_state(t.xmin) == XactState::Aborted
-                }
+                Some(t) => t.data.is_empty() || self.db.xact_state(t.xmin) == XactState::Aborted,
             }
         };
         for index in self.db.indexes_of(table.id) {
             let key = index.key_for(&table.schema, &tuple);
-            match index.insert_checked(key.clone(), rid, &is_dead) {
+            match index.insert_checked(key.clone(), rid, is_dead) {
                 Ok(()) => added.push((index, key)),
                 Err(e) => {
                     for (index, key) in added {
@@ -152,7 +152,7 @@ impl BaselineTxn {
         &mut self,
         table: &Arc<BaselineTable>,
         row: RowId,
-        f: &(dyn Fn(&[Value]) -> Vec<(usize, Value)> + Sync),
+        f: &phoebe_core::txn_api::DeltaFn<'_>,
     ) -> Result<(RowId, Vec<Value>)> {
         let mut cur = row;
         loop {
@@ -429,12 +429,9 @@ mod tests {
     use phoebe_storage::schema::{ColType, Schema};
 
     fn setup() -> (Arc<BaselineDb>, Arc<BaselineTable>, Arc<BaselineIndex>) {
-        let db =
-            BaselineDb::open(&phoebe_common::KernelConfig::for_tests().data_dir, 50).unwrap();
-        let t = db.create_table(
-            "acct",
-            Schema::new(vec![("id", ColType::I64), ("bal", ColType::I64)]),
-        );
+        let db = BaselineDb::open(&phoebe_common::KernelConfig::for_tests().data_dir, 50).unwrap();
+        let t =
+            db.create_table("acct", Schema::new(vec![("id", ColType::I64), ("bal", ColType::I64)]));
         let pk = db.create_index(&t, "pk", vec![0], true);
         (db, t, pk)
     }

@@ -20,8 +20,13 @@ fn table_tree(frames: usize) -> (BTree, PaxLayout) {
 fn bench_btree(c: &mut Criterion) {
     let (tree, layout) = table_tree(8192);
     for i in 1..=100_000u64 {
-        tree.table_append(&layout, RowId(i), &[Value::I64(i as i64), Value::Str("x".into())], |_, _, _, _| {})
-            .unwrap();
+        tree.table_append(
+            &layout,
+            RowId(i),
+            &[Value::I64(i as i64), Value::Str("x".into())],
+            |_, _, _, _| {},
+        )
+        .unwrap();
     }
     c.bench_function("btree/table_point_read_100k", |b| {
         let mut i = 0u64;

@@ -8,9 +8,7 @@ use phoebe_txn::locks::{TxnHandle, TxnOutcome};
 
 fn bench_locks(c: &mut Criterion) {
     let latch = HybridLatch::new([0u64; 8]);
-    c.bench_function("latch/optimistic_read", |b| {
-        b.iter(|| latch.optimistic(|v| v[3]).unwrap())
-    });
+    c.bench_function("latch/optimistic_read", |b| b.iter(|| latch.optimistic(|v| v[3]).unwrap()));
     c.bench_function("latch/shared_read", |b| b.iter(|| *latch.read()));
     c.bench_function("latch/exclusive_cycle", |b| {
         b.iter(|| {

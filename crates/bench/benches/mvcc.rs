@@ -38,7 +38,8 @@ fn bench_mvcc(c: &mut Criterion) {
     c.bench_function("mvcc/snapshot_acquisition_o1", |b| b.iter(|| clock.snapshot()));
 
     // The baseline's snapshot scans a proc array (O(n) in active txns).
-    let bdb = phoebe_baseline::BaselineDb::open(&phoebe_bench::fresh_dir("bench-snap"), 1000).unwrap();
+    let bdb =
+        phoebe_baseline::BaselineDb::open(&phoebe_bench::fresh_dir("bench-snap"), 1000).unwrap();
     let _active: Vec<_> = (0..512).map(|_| bdb.begin_xact()).collect();
     c.bench_function("mvcc/snapshot_scan_baseline_512_active", |b| b.iter(|| bdb.snapshot()));
 

@@ -15,8 +15,7 @@ fn bench_pax(c: &mut Criterion) {
     ]);
     let layout = PaxLayout::for_schema(&schema);
     let mut leaf = PaxLeaf::new();
-    let tuple =
-        vec![Value::I64(1), Value::I32(2), Value::F64(3.0), Value::Str("hello".into())];
+    let tuple = vec![Value::I64(1), Value::I32(2), Value::F64(3.0), Value::Str("hello".into())];
     for i in 0..layout.capacity {
         leaf.append(&layout, RowId(i as u64), &tuple);
     }
@@ -27,9 +26,7 @@ fn bench_pax(c: &mut Criterion) {
             leaf.find(RowId(i))
         })
     });
-    c.bench_function("pax/read_single_column", |b| {
-        b.iter(|| leaf.read_col(&layout, 100, 0))
-    });
+    c.bench_function("pax/read_single_column", |b| b.iter(|| leaf.read_col(&layout, 100, 0)));
     c.bench_function("pax/read_full_row", |b| b.iter(|| leaf.read_row(&layout, 100)));
     c.bench_function("pax/write_col_in_place", |b| {
         b.iter(|| leaf.write_col(&layout, 100, 1, &Value::I32(9)))

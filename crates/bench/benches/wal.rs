@@ -45,7 +45,12 @@ fn bench_wal(c: &mut Criterion) {
     c.bench_function("wal/flush_all_1k_records", |b| {
         b.iter(|| {
             for k in 0..1000u64 {
-                hub.log_op((k % 8) as usize, Xid::from_start_ts(k), 1, RecordBody::Commit { cts: k });
+                hub.log_op(
+                    (k % 8) as usize,
+                    Xid::from_start_ts(k),
+                    1,
+                    RecordBody::Commit { cts: k },
+                );
             }
             hub.flush_all().unwrap()
         })

@@ -8,8 +8,11 @@ use phoebe_bench::*;
 use phoebe_tpcc::run_phoebe;
 
 fn main() {
+    let headers = ["warehouses", "workers", "tpmC", "tpm", "aborts"];
     let points: Vec<usize> = vec![1, 2, 4, 8];
     let mut rows = Vec::new();
+    let mut percs = Vec::new();
+    let mut last_stats = None;
     for &n in &points {
         let engine = loaded_engine("exp1", n, 32, 4096, n as u32, phoebe_tpcc::TpccScale::mini());
         let cfg = driver_cfg(n as u32, n * 8, true);
@@ -21,12 +24,21 @@ fn main() {
             f(stats.tpm_total()),
             stats.aborts.to_string(),
         ]);
+        percs.push(
+            phoebe_common::Json::obj()
+                .with("warehouses", n as u64)
+                .with("latency", latency_json(&engine.db.metrics.snapshot())),
+        );
+        last_stats = Some(kernel_stats_json(&engine.db));
         engine.db.shutdown();
     }
-    print_table(
-        "Exp 1 (Fig 7a): tpmC vs warehouses = workers",
-        &["warehouses", "workers", "tpmC", "tpm", "aborts"],
-        &rows,
-    );
+    print_table("Exp 1 (Fig 7a): tpmC vs warehouses = workers", &headers, &rows);
     println!("paper shape: tpmC rises with scale (349k -> 13.7M over 1 -> 100 WH on 104 vCPUs)");
+    emit_json(
+        "exp1_tpmc",
+        phoebe_common::Json::obj()
+            .with("series", rows_json(&headers, &rows))
+            .with("percentiles", phoebe_common::Json::from(percs))
+            .with("stats", last_stats.unwrap_or_else(phoebe_common::Json::obj)),
+    );
 }

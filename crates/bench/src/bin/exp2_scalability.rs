@@ -19,22 +19,32 @@ fn main() {
         workers *= 2;
     }
     let wh = env_or("PHOEBE_WAREHOUSES", 4u32);
+    let headers = ["workers", "tpm", "tpm/worker"];
     let mut rows = Vec::new();
+    let mut percs = Vec::new();
     for &n in &points {
         let engine = loaded_engine("exp2", n, 32, 4096, wh, phoebe_tpcc::TpccScale::mini());
         let cfg = driver_cfg(wh, n * 8, false);
         let stats = run_phoebe(&engine, &cfg);
-        rows.push(vec![
-            n.to_string(),
-            f(stats.tpm_total()),
-            f(stats.tpm_total() / n as f64),
-        ]);
+        rows.push(vec![n.to_string(), f(stats.tpm_total()), f(stats.tpm_total() / n as f64)]);
+        percs.push(
+            phoebe_common::Json::obj()
+                .with("workers", n as u64)
+                .with("latency", latency_json(&engine.db.metrics.snapshot())),
+        );
         engine.db.shutdown();
     }
     print_table(
         &format!("Exp 2 (Fig 8): scalability, {wh} warehouses, {cores} cores on this host"),
-        &["workers", "tpm", "tpm/worker"],
+        &headers,
         &rows,
     );
     println!("paper shape: near-linear to physical cores, per-worker efficiency drops beyond");
+    emit_json(
+        "exp2_scalability",
+        phoebe_common::Json::obj()
+            .with("warehouses", wh as u64)
+            .with("series", rows_json(&headers, &rows))
+            .with("percentiles", phoebe_common::Json::from(percs)),
+    );
 }

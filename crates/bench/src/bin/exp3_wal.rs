@@ -34,7 +34,7 @@ fn main() {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 let tuple: Vec<Value> =
-                    (0..8).map(|i| Value::I64(i)).chain([Value::Str("x".repeat(64))]).collect();
+                    (0..8).map(Value::I64).chain([Value::Str("x".repeat(64))]).collect();
                 let mut i = 0u64;
                 while !stop.load(Ordering::Acquire) {
                     let slot = (a + i as usize * appenders) % hub.writer_count();
@@ -67,12 +67,25 @@ fn main() {
     stop.store(true, Ordering::Release);
     let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
     let rows = sampler.finish();
+    let headers = ["t (s)", "MB/s"];
     print_table(
-        &format!("Exp 3 (Fig 7b): WAL flush throughput, {writers} slot writers, {appenders} appenders"),
-        &["t (s)", "MB/s"],
+        &format!(
+            "Exp 3 (Fig 7b): WAL flush throughput, {writers} slot writers, {appenders} appenders"
+        ),
+        &headers,
         &rows,
     );
     println!("records appended: {total}; bytes flushed: {}", hub.total_bytes_flushed());
     println!("paper shape: stable throughput for the whole run (~1800 MB/s on their NVMe)");
+    emit_json(
+        "exp3_wal",
+        phoebe_common::Json::obj()
+            .with("writers", writers as u64)
+            .with("appenders", appenders as u64)
+            .with("records_appended", total)
+            .with("bytes_flushed", hub.total_bytes_flushed())
+            .with("series", rows_json(&headers, &rows))
+            .with("latency", latency_json(&hub.metrics_snapshot())),
+    );
     hub.shutdown();
 }

@@ -21,10 +21,7 @@ fn main() {
     let mut last = (0u64, 0u64, 0u64);
     let sampler = Sampler::start(Duration::from_millis(500), move |t| {
         let (r, w) = db.pool.io_counts();
-        let commits = db
-            .metrics
-            .snapshot()
-            .counter(phoebe_common::metrics::Counter::Commits);
+        let commits = db.metrics.snapshot().counter(phoebe_common::metrics::Counter::Commits);
         let row = vec![
             format!("{t:.1}"),
             f((r - last.0) as f64 * PAGE_SIZE as f64 / 0.5 / 1e6),
@@ -34,20 +31,37 @@ fn main() {
         last = (r, w, commits);
         row
     });
+    // Periodic delta reporting through the public API: one `PHOEBE_STATS`
+    // line per second, each covering just that interval's activity.
+    let reporter = engine.db.start_stats_reporter(Duration::from_secs(1), |delta| {
+        println!("PHOEBE_STATS {}", delta.to_json().render());
+    });
     let mut cfg = driver_cfg(wh, 16, true);
     cfg.duration = Duration::from_secs(env_or("PHOEBE_DURATION_SECS", 10));
     let stats = run_phoebe(&engine, &cfg);
+    reporter.stop();
     let rows = sampler.finish();
+    let headers = ["t (s)", "read MB/s", "write MB/s", "tpm"];
     print_table(
         &format!(
             "Exp 4 (Fig 7c,d): disk I/O over time, buffer {frames} frames ({} MiB) << data",
             frames * PAGE_SIZE / (1 << 20)
         ),
-        &["t (s)", "read MB/s", "write MB/s", "tpm"],
+        &headers,
         &rows,
     );
     let (r, w) = engine.db.pool.io_counts();
     println!("total page reads: {r}, page writes: {w}, committed: {}", stats.committed);
     println!("paper shape: exchange starts once the buffer fills; writes stabilize, reads ramp");
+    emit_json(
+        "exp4_diskio",
+        phoebe_common::Json::obj()
+            .with("buffer_frames", frames as u64)
+            .with("page_reads", r)
+            .with("page_writes", w)
+            .with("committed", stats.committed)
+            .with("series", rows_json(&headers, &rows))
+            .with("stats", kernel_stats_json(&engine.db)),
+    );
     engine.db.shutdown();
 }

@@ -10,7 +10,9 @@ use phoebe_tpcc::run_phoebe;
 fn main() {
     let wh: u32 = env_or("PHOEBE_WAREHOUSES", 2);
     let sweep: Vec<usize> = vec![96, 192, 384, 768, 1536, 3072];
+    let headers = ["frames", "MiB", "tpm", "page reads", "page writes"];
     let mut rows = Vec::new();
+    let mut percs = Vec::new();
     for &frames in &sweep {
         let engine = loaded_engine("exp5", 2, 16, frames, wh, phoebe_tpcc::TpccScale::mini());
         let cfg = driver_cfg(wh, 16, true);
@@ -23,12 +25,20 @@ fn main() {
             r.to_string(),
             w.to_string(),
         ]);
+        percs.push(
+            phoebe_common::Json::obj()
+                .with("frames", frames as u64)
+                .with("latency", latency_json(&engine.db.metrics.snapshot())),
+        );
         engine.db.shutdown();
     }
-    print_table(
-        "Exp 5 (Fig 10): throughput vs buffer size",
-        &["frames", "MiB", "tpm", "page reads", "page writes"],
-        &rows,
-    );
+    print_table("Exp 5 (Fig 10): throughput vs buffer size", &headers, &rows);
     println!("paper shape: steep rise until the hot set fits, then diminishing returns");
+    emit_json(
+        "exp5_buffer",
+        phoebe_common::Json::obj()
+            .with("warehouses", wh as u64)
+            .with("series", rows_json(&headers, &rows))
+            .with("percentiles", phoebe_common::Json::from(percs)),
+    );
 }

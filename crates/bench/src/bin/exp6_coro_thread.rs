@@ -17,7 +17,8 @@ fn main() {
     let mut rows = Vec::new();
 
     // Co-routine model: few workers, many task slots.
-    let engine = loaded_engine("exp6-coro", workers, slots, 4096, wh, phoebe_tpcc::TpccScale::mini());
+    let engine =
+        loaded_engine("exp6-coro", workers, slots, 4096, wh, phoebe_tpcc::TpccScale::mini());
     let mut cfg = driver_cfg(wh, concurrency, false);
     cfg.affinity = false;
     let coro = run_phoebe(&engine, &cfg);
@@ -27,10 +28,12 @@ fn main() {
         f(coro.tpm_total()),
         f(coro.tpmc()),
     ]);
+    let coro_latency = latency_json(&engine.db.metrics.snapshot());
     engine.db.shutdown();
 
     // Thread model: one OS thread (worker) per task, 1 slot each.
-    let engine = loaded_engine("exp6-thread", concurrency, 1, 4096, wh, phoebe_tpcc::TpccScale::mini());
+    let engine =
+        loaded_engine("exp6-thread", concurrency, 1, 4096, wh, phoebe_tpcc::TpccScale::mini());
     let mut cfg = driver_cfg(wh, concurrency, false);
     cfg.affinity = false;
     let thread = run_phoebe(&engine, &cfg);
@@ -40,15 +43,29 @@ fn main() {
         f(thread.tpm_total()),
         f(thread.tpmc()),
     ]);
+    let thread_latency = latency_json(&engine.db.metrics.snapshot());
     engine.db.shutdown();
 
+    let headers = ["model", "workers x slots", "tpm", "tpmC"];
     print_table(
         &format!("Exp 6 (Fig 11): co-routine vs thread model, concurrency {concurrency}"),
-        &["model", "workers x slots", "tpm", "tpmC"],
+        &headers,
         &rows,
     );
     println!(
         "co-routine / thread tpm ratio: {:.2}x (paper: co-routines clearly ahead)",
         coro.tpm_total() / thread.tpm_total().max(1e-9)
+    );
+    emit_json(
+        "exp6_coro_thread",
+        phoebe_common::Json::obj()
+            .with("concurrency", concurrency as u64)
+            .with("series", rows_json(&headers, &rows))
+            .with(
+                "percentiles",
+                phoebe_common::Json::obj()
+                    .with("co-routine", coro_latency)
+                    .with("thread", thread_latency),
+            ),
     );
 }

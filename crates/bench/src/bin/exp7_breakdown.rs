@@ -29,7 +29,7 @@ fn national_paren() -> char {
     ')'
 }
 
-fn run_one(affinity: bool) -> (Vec<(Component, f64)>, u64, f64) {
+fn run_one(affinity: bool) -> (Vec<(Component, f64)>, u64, f64, phoebe_common::Json) {
     let wh: u32 = env_or("PHOEBE_WAREHOUSES", 2);
     let workers: usize = env_or("PHOEBE_WORKERS", 2);
     let engine = loaded_engine(
@@ -48,13 +48,14 @@ fn run_one(affinity: bool) -> (Vec<(Component, f64)>, u64, f64) {
     let delta = engine.db.metrics.snapshot().delta_since(&before);
     let breakdown = delta.breakdown(busy_ns);
     let ns_per_txn = busy_ns as f64 / stats.committed.max(1) as f64;
+    let latency = latency_json(&delta);
     engine.db.shutdown();
-    (breakdown, stats.committed, ns_per_txn)
+    (breakdown, stats.committed, ns_per_txn, latency)
 }
 
 fn main() {
-    let (with_aff, commits_a, ns_a) = run_one(true);
-    let (without_aff, commits_n, ns_n) = run_one(false);
+    let (with_aff, commits_a, ns_a, lat_a) = run_one(true);
+    let (without_aff, commits_n, ns_n, lat_n) = run_one(false);
     let mut rows = Vec::new();
     for (i, &c) in COMPONENTS.iter().enumerate() {
         rows.push(vec![
@@ -63,12 +64,37 @@ fn main() {
             format!("{:.1}%", without_aff[i].1 * 100.0),
         ]);
     }
-    print_table(
-        "Exp 7 (Fig 12): per-transaction cost breakdown",
-        &["component", "affinity=on", "affinity=off"],
-        &rows,
-    );
+    let headers = ["component", "affinity=on", "affinity=off"];
+    print_table("Exp 7 (Fig 12): per-transaction cost breakdown", &headers, &rows);
     println!("committed: {commits_a} (affinity) vs {commits_n} (no affinity)");
     println!("cost per txn: {:.0} ns vs {:.0} ns", ns_a, ns_n);
     println!("paper shape: effective computation dominates (60.8% / 56.5%); locking visible only without affinity");
+    let shares = |b: &[(Component, f64)]| {
+        let mut obj = phoebe_common::Json::obj();
+        for (c, share) in b {
+            obj = obj.with(c.name(), *share);
+        }
+        obj
+    };
+    emit_json(
+        "exp7_breakdown",
+        phoebe_common::Json::obj()
+            .with("series", rows_json(&headers, &rows))
+            .with(
+                "affinity_on",
+                phoebe_common::Json::obj()
+                    .with("committed", commits_a)
+                    .with("ns_per_txn", ns_a)
+                    .with("shares", shares(&with_aff))
+                    .with("latency", lat_a),
+            )
+            .with(
+                "affinity_off",
+                phoebe_common::Json::obj()
+                    .with("committed", commits_n)
+                    .with("ns_per_txn", ns_n)
+                    .with("shares", shares(&without_aff))
+                    .with("latency", lat_n),
+            ),
+    );
 }

@@ -10,7 +10,9 @@ use phoebe_bench::*;
 use phoebe_runtime::block_on;
 use phoebe_tpcc::gen::TpccRng;
 use phoebe_tpcc::txns::{self, Params};
-use phoebe_tpcc::{load, run_baseline, run_phoebe, BaselineEngine, TpccConn, TpccEngine, TpccScale};
+use phoebe_tpcc::{
+    load, run_baseline, run_phoebe, BaselineEngine, TpccConn, TpccEngine, TpccScale,
+};
 use std::time::Instant;
 
 fn latency_us<E: TpccEngine>(engine: &E, params: &Params, payment: bool, iters: u32) -> f64 {
@@ -57,18 +59,28 @@ fn main() {
     let b_no = latency_us(&baseline, &params, false, 300);
     let b_pay = latency_us(&baseline, &params, true, 300);
 
-    print_table(
-        "Exp 8 (Fig 9 + text): PhoebeDB vs PostgreSQL-like baseline",
-        &["engine", "tpm", "tpmC", "NewOrder us/txn", "Payment us/txn"],
-        &[
-            vec!["PhoebeDB".into(), f(pstats.tpm_total()), f(pstats.tpmc()), f(p_no), f(p_pay)],
-            vec!["baseline".into(), f(bstats.tpm_total()), f(bstats.tpmc()), f(b_no), f(b_pay)],
-        ],
+    let headers = ["engine", "tpm", "tpmC", "NewOrder us/txn", "Payment us/txn"];
+    let rows = [
+        vec!["PhoebeDB".into(), f(pstats.tpm_total()), f(pstats.tpmc()), f(p_no), f(p_pay)],
+        vec!["baseline".into(), f(bstats.tpm_total()), f(bstats.tpmc()), f(b_no), f(b_pay)],
+    ];
+    print_table("Exp 8 (Fig 9 + text): PhoebeDB vs PostgreSQL-like baseline", &headers, &rows);
+    println!(
+        "throughput ratio: {:.1}x (paper: 27x)",
+        pstats.tpm_total() / bstats.tpm_total().max(1e-9)
     );
-    println!("throughput ratio: {:.1}x (paper: 27x)", pstats.tpm_total() / bstats.tpm_total().max(1e-9));
     println!(
         "cycle-proxy reduction: NewOrder {:.1}x (paper 5.6x), Payment {:.1}x (paper 2.5x)",
         b_no / p_no.max(1e-9),
         b_pay / p_pay.max(1e-9)
     );
+    emit_json(
+        "exp8_vs_postgres",
+        phoebe_common::Json::obj()
+            .with("series", rows_json(&headers, &rows))
+            .with("tpm_ratio", pstats.tpm_total() / bstats.tpm_total().max(1e-9))
+            .with("percentiles", latency_json(&phoebe.db.metrics.snapshot()))
+            .with("stats", kernel_stats_json(&phoebe.db)),
+    );
+    phoebe.db.shutdown();
 }

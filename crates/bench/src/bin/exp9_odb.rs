@@ -24,6 +24,7 @@ fn main() {
     let cfg = driver_cfg(wh, terminals, true);
     let pstats = run_phoebe(&phoebe, &cfg);
     rows.push(vec!["PhoebeDB".into(), f(pstats.tpm_total()), "unthrottled".into()]);
+    let phoebe_latency = latency_json(&phoebe.db.metrics.snapshot());
     phoebe.db.shutdown();
 
     // O-DB stand-in: baseline engine, ample memory, capped log bandwidth.
@@ -48,11 +49,16 @@ fn main() {
     ]);
     rows.push(vec!["baseline uncapped".into(), f(ustats.tpm_total()), "100%".into()]);
 
-    print_table(
-        "Exp 9: PhoebeDB vs commercial-style disk RDBMS (O-DB stand-in)",
-        &["engine", "tpm", "utilization"],
-        &rows,
-    );
+    let headers = ["engine", "tpm", "utilization"];
+    print_table("Exp 9: PhoebeDB vs commercial-style disk RDBMS (O-DB stand-in)", &headers, &rows);
     println!("elapsed (capped run): {wall:.1}s");
     println!("paper shape: O-DB I/O-bound below full CPU utilization (~77%), well under PhoebeDB");
+    emit_json(
+        "exp9_odb",
+        phoebe_common::Json::obj()
+            .with("log_cap_mbs", cap_mbs)
+            .with("capped_utilization_pct", util)
+            .with("series", rows_json(&headers, &rows))
+            .with("percentiles", phoebe_latency),
+    );
 }

@@ -6,7 +6,9 @@
 //! are overridable via environment variables (`PHOEBE_DURATION_SECS`,
 //! `PHOEBE_WAREHOUSES`, ...).
 
-use phoebe_common::KernelConfig;
+use phoebe_common::hist::SITES;
+use phoebe_common::metrics::MetricsSnapshot;
+use phoebe_common::{Json, KernelConfig};
 use phoebe_core::Database;
 use phoebe_tpcc::{load, DriverConfig, PhoebeEngine, TpccScale};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,10 +29,7 @@ pub fn bench_duration() -> Duration {
 pub fn fresh_dir(tag: &str) -> std::path::PathBuf {
     static NEXT: AtomicU64 = AtomicU64::new(0);
     let n = NEXT.fetch_add(1, Ordering::Relaxed);
-    let dir = std::env::temp_dir().join(format!(
-        "phoebe-bench-{tag}-{}-{n}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("phoebe-bench-{tag}-{}-{n}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create bench dir");
     dir
@@ -43,14 +42,14 @@ pub fn open_phoebe(
     slots_per_worker: usize,
     buffer_frames: usize,
 ) -> Arc<Database> {
-    let cfg = KernelConfig {
-        workers,
-        slots_per_worker,
-        buffer_frames,
-        data_dir: fresh_dir(tag),
-        wal_group_commit_us: 200,
-        ..KernelConfig::default()
-    };
+    let cfg = KernelConfig::builder()
+        .workers(workers)
+        .slots_per_worker(slots_per_worker)
+        .buffer_frames(buffer_frames)
+        .data_dir(fresh_dir(tag))
+        .wal_group_commit_us(200)
+        .build()
+        .expect("valid bench config");
     Database::open(cfg).expect("open kernel")
 }
 
@@ -145,4 +144,67 @@ pub fn f(x: f64) -> String {
     } else {
         format!("{x:.2}")
     }
+}
+
+// ---------------------------------------------------------------------
+// Machine-readable output
+// ---------------------------------------------------------------------
+
+/// Marker prefixing the one machine-readable line each binary emits.
+pub const JSON_MARKER: &str = "PHOEBE_JSON";
+
+/// A printed table as a JSON array of objects keyed by the headers.
+/// Numeric-looking cells become numbers; everything else stays a string.
+pub fn rows_json(headers: &[&str], rows: &[Vec<String>]) -> Json {
+    let arr: Vec<Json> = rows
+        .iter()
+        .map(|row| {
+            let mut obj = Json::obj();
+            for (h, cell) in headers.iter().zip(row) {
+                let v = if let Ok(n) = cell.parse::<u64>() {
+                    Json::from(n)
+                } else if let Ok(x) = cell.parse::<f64>() {
+                    Json::from(x)
+                } else {
+                    Json::from(cell.as_str())
+                };
+                obj = obj.with(*h, v);
+            }
+            obj
+        })
+        .collect();
+    Json::from(arr)
+}
+
+/// Per-site latency percentiles from a metrics snapshot, as one object
+/// keyed by the stable site names (`commit`, `wal_flush`, ...).
+pub fn latency_json(snap: &MetricsSnapshot) -> Json {
+    let mut obj = Json::obj();
+    for &site in SITES.iter() {
+        let h = snap.latency(site);
+        obj = obj.with(
+            site.name(),
+            Json::obj()
+                .with("count", h.count())
+                .with("mean_ns", h.mean_ns() as u64)
+                .with("max_ns", h.max_ns())
+                .with("p50_ns", h.p50())
+                .with("p95_ns", h.p95())
+                .with("p99_ns", h.p99()),
+        );
+    }
+    obj
+}
+
+/// The kernel's full stats snapshot (counters + components + percentiles),
+/// via the public `Database::stats()` API.
+pub fn kernel_stats_json(db: &Arc<Database>) -> Json {
+    db.stats().to_json()
+}
+
+/// Print the experiment's single machine-readable line:
+/// `PHOEBE_JSON {"experiment":...,...}` — compact, one line, greppable.
+pub fn emit_json(experiment: &str, doc: Json) {
+    let doc = Json::obj().with("experiment", experiment).with("data", doc);
+    println!("{JSON_MARKER} {}", doc.render());
 }

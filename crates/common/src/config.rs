@@ -5,6 +5,7 @@
 //! temperature thresholds, and WAL behaviour. Defaults are scaled to a small
 //! development machine; the benchmark harness overrides them per experiment.
 
+use crate::error::{PhoebeError, Result};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
@@ -73,17 +74,21 @@ impl Default for KernelConfig {
 }
 
 impl KernelConfig {
+    /// Start building a configuration from the defaults. `build()`
+    /// validates the result, so impossible shapes (zero workers, zero
+    /// task slots, a watermark above 1.0, ...) are caught at
+    /// construction instead of surfacing as kernel panics later.
+    pub fn builder() -> KernelConfigBuilder {
+        KernelConfigBuilder { cfg: KernelConfig::default() }
+    }
+
     /// A configuration suitable for unit tests: tiny buffers, one worker,
     /// a fresh unique temp directory, and synchronous-but-fast WAL.
     pub fn for_tests() -> Self {
         use std::sync::atomic::{AtomicU64, Ordering};
         static NEXT: AtomicU64 = AtomicU64::new(0);
         let n = NEXT.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "phoebedb-test-{}-{}",
-            std::process::id(),
-            n
-        ));
+        let dir = std::env::temp_dir().join(format!("phoebedb-test-{}-{}", std::process::id(), n));
         KernelConfig {
             workers: 2,
             slots_per_worker: 4,
@@ -103,6 +108,98 @@ impl KernelConfig {
     pub fn total_slots(&self) -> usize {
         self.workers * self.slots_per_worker
     }
+
+    /// Validate an already-constructed configuration (the builder's
+    /// `build()` and `Database::open` both call this).
+    pub fn validate(&self) -> Result<()> {
+        fn fail(msg: impl Into<String>) -> Result<()> {
+            Err(PhoebeError::Config(msg.into()))
+        }
+        if self.workers == 0 {
+            return fail("workers must be at least 1");
+        }
+        if self.slots_per_worker == 0 {
+            return fail("slots_per_worker must be at least 1");
+        }
+        if self.buffer_frames == 0 {
+            return fail("buffer_frames must be at least 1");
+        }
+        if !(0.0..1.0).contains(&self.free_frame_watermark) {
+            return fail(format!(
+                "free_frame_watermark must be in [0, 1), got {}",
+                self.free_frame_watermark
+            ));
+        }
+        if self.gc_every_txns == 0 {
+            return fail("gc_every_txns must be at least 1");
+        }
+        if self.freeze_batch_pages == 0 {
+            return fail("freeze_batch_pages must be at least 1");
+        }
+        if self.data_dir.as_os_str().is_empty() {
+            return fail("data_dir must not be empty");
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`KernelConfig`]; see [`KernelConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct KernelConfigBuilder {
+    cfg: KernelConfig,
+}
+
+macro_rules! builder_setters {
+    ($( $(#[$doc:meta])* $name:ident : $ty:ty ),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.cfg.$name = value;
+                self
+            }
+        )*
+    };
+}
+
+impl KernelConfigBuilder {
+    builder_setters! {
+        /// Worker threads in the co-routine pool.
+        workers: usize,
+        /// Task slots per worker (the paper uses 32).
+        slots_per_worker: usize,
+        /// Total Main Storage budget in buffer frames.
+        buffer_frames: usize,
+        /// Workload affinity: pin warehouses to home workers (§9).
+        affinity: bool,
+        /// Whether commits wait for WAL durability.
+        wal_sync: bool,
+        /// Group-commit window per slot WAL writer, microseconds.
+        wal_group_commit_us: u64,
+        /// Free-frame fraction that triggers page swaps, in `[0, 1)`.
+        free_frame_watermark: f64,
+        /// Run GC after this many transactions per worker.
+        gc_every_txns: u64,
+        /// Access-count threshold below which leaves freeze (§5.2).
+        freeze_access_threshold: u64,
+        /// Cold leaves compressed per frozen block (§5.2).
+        freeze_batch_pages: usize,
+        /// Reads that warm a frozen block back into hot storage.
+        warm_read_threshold: u64,
+        /// Lock wait budget before `LockTimeout`, milliseconds.
+        lock_timeout_ms: u64,
+    }
+
+    /// Directory for the Data Page File, Data Block File, and WAL.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.data_dir = dir.into();
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<KernelConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 #[cfg(test)]
@@ -120,9 +217,7 @@ mod tests {
 
     #[test]
     fn partition_math_never_returns_zero() {
-        let mut c = KernelConfig::default();
-        c.buffer_frames = 1;
-        c.workers = 64;
+        let c = KernelConfig { buffer_frames: 1, workers: 64, ..KernelConfig::default() };
         assert_eq!(c.frames_per_partition(), 1);
     }
 
@@ -139,5 +234,68 @@ mod tests {
         c.workers = 3;
         c.slots_per_worker = 5;
         assert_eq!(c.total_slots(), 15);
+    }
+
+    #[test]
+    fn builder_defaults_validate() {
+        let c = KernelConfig::builder().build().expect("defaults are valid");
+        assert_eq!(c.slots_per_worker, KernelConfig::default().slots_per_worker);
+    }
+
+    #[test]
+    fn builder_applies_every_setter() {
+        let c = KernelConfig::builder()
+            .workers(3)
+            .slots_per_worker(7)
+            .buffer_frames(512)
+            .affinity(false)
+            .data_dir("/tmp/phoebe-builder")
+            .wal_sync(false)
+            .wal_group_commit_us(99)
+            .free_frame_watermark(0.25)
+            .gc_every_txns(11)
+            .freeze_access_threshold(5)
+            .freeze_batch_pages(4)
+            .warm_read_threshold(9)
+            .lock_timeout_ms(123)
+            .build()
+            .unwrap();
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.slots_per_worker, 7);
+        assert_eq!(c.buffer_frames, 512);
+        assert!(!c.affinity);
+        assert_eq!(c.data_dir, PathBuf::from("/tmp/phoebe-builder"));
+        assert!(!c.wal_sync);
+        assert_eq!(c.wal_group_commit_us, 99);
+        assert_eq!(c.free_frame_watermark, 0.25);
+        assert_eq!(c.gc_every_txns, 11);
+        assert_eq!(c.freeze_access_threshold, 5);
+        assert_eq!(c.freeze_batch_pages, 4);
+        assert_eq!(c.warm_read_threshold, 9);
+        assert_eq!(c.lock_timeout_ms, 123);
+    }
+
+    #[test]
+    fn builder_rejects_zero_slots() {
+        let err = KernelConfig::builder().slots_per_worker(0).build().unwrap_err();
+        assert!(matches!(err, PhoebeError::Config(_)), "got {err:?}");
+        assert!(err.to_string().contains("slots_per_worker"));
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_shapes() {
+        assert!(KernelConfig::builder().workers(0).build().is_err());
+        assert!(KernelConfig::builder().buffer_frames(0).build().is_err());
+        assert!(KernelConfig::builder().free_frame_watermark(1.5).build().is_err());
+        assert!(KernelConfig::builder().free_frame_watermark(-0.1).build().is_err());
+        assert!(KernelConfig::builder().gc_every_txns(0).build().is_err());
+        assert!(KernelConfig::builder().freeze_batch_pages(0).build().is_err());
+        assert!(KernelConfig::builder().data_dir("").build().is_err());
+    }
+
+    #[test]
+    fn config_errors_are_not_retryable() {
+        let err = KernelConfig::builder().workers(0).build().unwrap_err();
+        assert!(!err.is_retryable());
     }
 }

@@ -16,8 +16,14 @@ use std::io;
 pub type Result<T> = std::result::Result<T, PhoebeError>;
 
 /// Every way a kernel operation can fail.
+///
+/// Marked `#[non_exhaustive]`: downstream code must keep a wildcard arm
+/// so new failure modes can be added without a breaking release.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum PhoebeError {
+    /// A configuration rejected by [`crate::config::KernelConfigBuilder`].
+    Config(String),
     /// A write-write conflict forced this transaction to abort (repeatable
     /// read semantics, §6.2: if the concurrent writer commits, we abort).
     WriteConflict { table: TableId, row: RowId, holder: Xid },
@@ -72,6 +78,7 @@ impl PhoebeError {
 impl fmt::Display for PhoebeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            PhoebeError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             PhoebeError::WriteConflict { table, row, holder } => {
                 write!(f, "write-write conflict on {table}/{row} held by {holder}")
             }
@@ -135,7 +142,7 @@ mod tests {
 
     #[test]
     fn io_errors_convert_and_chain() {
-        let e: PhoebeError = io::Error::new(io::ErrorKind::Other, "disk on fire").into();
+        let e: PhoebeError = io::Error::other("disk on fire").into();
         assert!(e.to_string().contains("disk on fire"));
         assert!(std::error::Error::source(&e).is_some());
     }

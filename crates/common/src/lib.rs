@@ -11,9 +11,13 @@
 
 pub mod config;
 pub mod error;
+pub mod hist;
 pub mod ids;
+pub mod json;
 pub mod metrics;
 
-pub use config::KernelConfig;
+pub use config::{KernelConfig, KernelConfigBuilder};
 pub use error::{PhoebeError, Result};
+pub use hist::{HistogramSnapshot, LatencySite};
 pub use ids::{Gsn, Lsn, PageId, RowId, SlotId, TableId, Timestamp, WorkerId, Xid};
+pub use json::Json;

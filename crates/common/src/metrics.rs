@@ -13,6 +13,7 @@
 //! [`set_current_worker`]; all other threads fall into a shared external
 //! shard. A snapshot sums the shards.
 
+use crate::hist::{HistogramSnapshot, LatencyHistogram, LatencySite, NSITES};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -121,6 +122,8 @@ struct Shard {
     comp_ns: [AtomicU64; NCOMP],
     comp_ops: [AtomicU64; NCOMP],
     counters: [AtomicU64; NCTR],
+    /// Per-site latency histograms (§ Exp 7: percentile substrate).
+    hists: [LatencyHistogram; NSITES],
 }
 
 thread_local! {
@@ -186,7 +189,22 @@ impl Metrics {
         self.add(counter, 1);
     }
 
-    /// Sum all shards into an immutable snapshot.
+    /// Record one latency observation (nanoseconds) at `site` into the
+    /// calling worker's lock-free histogram shard.
+    #[inline]
+    pub fn record_latency(&self, site: LatencySite, ns: u64) {
+        self.shard().hists[site as usize].record(ns);
+    }
+
+    /// Start a scoped timer that records its elapsed time into `site`'s
+    /// latency histogram when dropped.
+    #[inline]
+    pub fn latency_timer(&self, site: LatencySite) -> LatencyTimer<'_> {
+        LatencyTimer { metrics: self, site, start: Instant::now() }
+    }
+
+    /// Sum all shards into an immutable snapshot — O(workers) merges of
+    /// fixed-size arrays, no locks taken.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::default();
         for s in self.shards.iter() {
@@ -196,6 +214,9 @@ impl Metrics {
             }
             for i in 0..NCTR {
                 snap.counters[i] += s.counters[i].load(Ordering::Relaxed);
+            }
+            for i in 0..NSITES {
+                s.hists[i].merge_into(&mut snap.latency[i]);
             }
         }
         snap
@@ -216,12 +237,27 @@ impl Drop for ScopedTimer<'_> {
     }
 }
 
+/// RAII guard produced by [`Metrics::latency_timer`].
+pub struct LatencyTimer<'a> {
+    metrics: &'a Metrics,
+    site: LatencySite,
+    start: Instant,
+}
+
+impl Drop for LatencyTimer<'_> {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos() as u64;
+        self.metrics.record_latency(self.site, ns);
+    }
+}
+
 /// A summed, point-in-time view of a [`Metrics`] registry.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     comp_ns: [u64; NCOMP],
     comp_ops: [u64; NCOMP],
     counters: [u64; NCTR],
+    latency: [HistogramSnapshot; NSITES],
 }
 
 impl MetricsSnapshot {
@@ -237,6 +273,11 @@ impl MetricsSnapshot {
         self.counters[c as usize]
     }
 
+    /// The merged latency histogram for one instrumented site.
+    pub fn latency(&self, site: LatencySite) -> &HistogramSnapshot {
+        &self.latency[site as usize]
+    }
+
     /// `self - earlier`, element-wise (for interval reporting).
     pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         let mut out = MetricsSnapshot::default();
@@ -247,6 +288,9 @@ impl MetricsSnapshot {
         for i in 0..NCTR {
             out.counters[i] = self.counters[i].saturating_sub(earlier.counters[i]);
         }
+        for i in 0..NSITES {
+            out.latency[i] = self.latency[i].delta_since(&earlier.latency[i]);
+        }
         out
     }
 
@@ -254,8 +298,7 @@ impl MetricsSnapshot {
     /// `total_busy_ns` should be the transactions' total wall time; the part
     /// not claimed by any instrumented component is booked as Compute.
     pub fn breakdown(&self, total_busy_ns: u64) -> Vec<(Component, f64)> {
-        let instrumented: u64 =
-            COMPONENTS.iter().skip(1).map(|&c| self.component_ns(c)).sum();
+        let instrumented: u64 = COMPONENTS.iter().skip(1).map(|&c| self.component_ns(c)).sum();
         let total = total_busy_ns.max(instrumented);
         let compute = total - instrumented;
         let mut out = Vec::with_capacity(NCOMP);
@@ -323,11 +366,7 @@ mod tests {
         let shares = m.snapshot().breakdown(1_000);
         let total: f64 = shares.iter().map(|(_, f)| f).sum();
         assert!((total - 1.0).abs() < 1e-9);
-        let compute = shares
-            .iter()
-            .find(|(c, _)| *c == Component::Compute)
-            .unwrap()
-            .1;
+        let compute = shares.iter().find(|(c, _)| *c == Component::Compute).unwrap().1;
         assert!((compute - 0.5).abs() < 1e-9);
     }
 

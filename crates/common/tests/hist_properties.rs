@@ -1,0 +1,86 @@
+//! Property tests for the latency histogram: merging per-worker shards
+//! must preserve totals and keep quantiles sane — the invariant behind
+//! `Database::stats()` aggregating in O(workers).
+
+use phoebe_common::hist::{HistogramSnapshot, LatencyHistogram};
+use proptest::prelude::*;
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::default();
+    for &v in samples {
+        h.record(v);
+    }
+    let mut s = HistogramSnapshot::default();
+    h.merge_into(&mut s);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_preserves_totals(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let mut m = sa.clone();
+        m.merge(&sb);
+        prop_assert_eq!(m.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(m.sum_ns(), sa.sum_ns() + sb.sum_ns());
+        prop_assert_eq!(m.max_ns(), sa.max_ns().max(sb.max_ns()));
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..u64::MAX / 2, 0..100),
+        b in proptest::collection::vec(0u64..u64::MAX / 2, 0..100),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab.p50(), ba.p50());
+        prop_assert_eq!(ab.p99(), ba.p99());
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.sum_ns(), ba.sum_ns());
+    }
+
+    #[test]
+    fn quantiles_stay_monotone_and_within_range(
+        samples in proptest::collection::vec(1u64..1_000_000_000, 1..400),
+    ) {
+        let s = snapshot_of(&samples);
+        let (p50, p95, p99) = (s.p50(), s.p95(), s.p99());
+        prop_assert!(p50 <= p95 && p95 <= p99, "p50={} p95={} p99={}", p50, p95, p99);
+        // Quantiles are bucket lower bounds: never above the true max, and
+        // never below the largest lower bound under the true min.
+        prop_assert!(p99 <= s.max_ns());
+        let min = *samples.iter().min().unwrap();
+        prop_assert!(p50 <= s.max_ns() && s.max_ns() >= min);
+    }
+
+    #[test]
+    fn delta_since_merge_roundtrip(
+        early in proptest::collection::vec(0u64..1_000_000, 1..100),
+        late in proptest::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        // Recording `early` then `late` into one histogram and subtracting
+        // the first snapshot must report exactly the late interval's count.
+        let h = LatencyHistogram::default();
+        for &v in &early {
+            h.record(v);
+        }
+        let mut first = HistogramSnapshot::default();
+        h.merge_into(&mut first);
+        for &v in &late {
+            h.record(v);
+        }
+        let mut second = HistogramSnapshot::default();
+        h.merge_into(&mut second);
+        let d = second.delta_since(&first);
+        prop_assert_eq!(d.count(), late.len() as u64);
+        prop_assert_eq!(d.sum_ns(), late.iter().sum::<u64>());
+    }
+}

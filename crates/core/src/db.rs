@@ -42,6 +42,9 @@ pub struct Database {
     external_free: Mutex<Vec<usize>>,
     txns_since_gc: Vec<AtomicU64>,
     runtime: RwLock<Option<Arc<Runtime>>>,
+    /// Stop flags of live [`crate::stats::StatsReporter`] co-routines;
+    /// raised before the runtime drains so reporters never wedge shutdown.
+    reporter_stops: Mutex<Vec<Arc<std::sync::atomic::AtomicBool>>>,
 }
 
 struct HubBarrier(Arc<WalHub>);
@@ -99,12 +102,8 @@ impl Database {
     pub fn open(cfg: KernelConfig) -> Result<Arc<Self>> {
         std::fs::create_dir_all(&cfg.data_dir)?;
         let metrics = Arc::new(Metrics::new(cfg.workers));
-        let pool = BufferPool::new(
-            cfg.buffer_frames,
-            cfg.workers,
-            &cfg.data_dir,
-            Arc::clone(&metrics),
-        )?;
+        let pool =
+            BufferPool::new(cfg.buffer_frames, cfg.workers, &cfg.data_dir, Arc::clone(&metrics))?;
         let total_slots = cfg.total_slots() + EXTERNAL_SLOTS;
         let wal = WalHub::new(
             &cfg.data_dir.join("wal"),
@@ -127,11 +126,10 @@ impl Database {
             catalog: RwLock::new(Vec::new()),
             by_name: RwLock::new(HashMap::new()),
             next_table_id: AtomicU32::new(1),
-            external_free: Mutex::new(
-                (cfg.total_slots()..total_slots).rev().collect(),
-            ),
+            external_free: Mutex::new((cfg.total_slots()..total_slots).rev().collect()),
             txns_since_gc: (0..cfg.workers).map(|_| AtomicU64::new(0)).collect(),
             runtime: RwLock::new(None),
+            reporter_stops: Mutex::new(Vec::new()),
             clock: phoebe_txn::GlobalClock::new(),
             metrics,
             pool,
@@ -150,13 +148,29 @@ impl Database {
         self.runtime.read().clone().expect("runtime running")
     }
 
+    /// The runtime, or `None` once shutdown has taken it.
+    pub(crate) fn try_runtime(&self) -> Option<Arc<Runtime>> {
+        self.runtime.read().clone()
+    }
+
+    pub(crate) fn reporter_stops(&self) -> &Mutex<Vec<Arc<std::sync::atomic::AtomicBool>>> {
+        &self.reporter_stops
+    }
+
     /// Flush WAL, stop the runtime and background machinery.
     pub fn shutdown(&self) {
+        self.stop_reporters();
         if let Some(rt) = self.runtime.write().take() {
             rt.shutdown();
         }
         let _ = self.wal.flush_all();
         self.wal.shutdown();
+    }
+
+    fn stop_reporters(&self) {
+        for stop in self.reporter_stops.lock().drain(..) {
+            stop.store(true, Ordering::Release);
+        }
     }
 
     pub(crate) fn arena(&self, slot: usize) -> &Arc<UndoArena> {
@@ -195,17 +209,11 @@ impl Database {
     /// what ties WAL records back to relations at recovery.
     pub fn create_table(&self, name: &str, schema: Schema) -> Result<Arc<TableEntry>> {
         let id = TableId(self.next_table_id.fetch_add(1, Ordering::Relaxed));
-        let tree = BTree::create(
-            Arc::clone(&self.pool),
-            id,
-            TreeKind::Table,
-            Arc::clone(&self.metrics),
-        )?;
+        let tree =
+            BTree::create(Arc::clone(&self.pool), id, TreeKind::Table, Arc::clone(&self.metrics))?;
         let types: Vec<ColType> = schema.types().to_vec();
-        let frozen = FrozenStore::create(
-            &self.cfg.data_dir.join(format!("frozen_{}.db", id.raw())),
-            types,
-        )?;
+        let frozen =
+            FrozenStore::create(&self.cfg.data_dir.join(format!("frozen_{}.db", id.raw())), types)?;
         let entry = Arc::new(TableEntry::new(id, name.to_owned(), schema, tree, frozen));
         let mut cat = self.catalog.write();
         let idx = cat.len();
@@ -223,12 +231,8 @@ impl Database {
         unique: bool,
     ) -> Result<Arc<IndexEntry>> {
         let id = TableId(self.next_table_id.fetch_add(1, Ordering::Relaxed));
-        let tree = BTree::create(
-            Arc::clone(&self.pool),
-            id,
-            TreeKind::Index,
-            Arc::clone(&self.metrics),
-        )?;
+        let tree =
+            BTree::create(Arc::clone(&self.pool), id, TreeKind::Index, Arc::clone(&self.metrics))?;
         let entry = Arc::new(IndexEntry {
             id,
             def: IndexDef { name: name.to_owned(), key_cols, unique },
@@ -249,12 +253,7 @@ impl Database {
 
     /// Look a table up by id (WAL replay, GC callbacks).
     pub fn table_by_id(&self, id: TableId) -> Result<Arc<TableEntry>> {
-        self.catalog
-            .read()
-            .iter()
-            .find(|t| t.id == id)
-            .cloned()
-            .ok_or(PhoebeError::NoSuchTable(id))
+        self.catalog.read().iter().find(|t| t.id == id).cloned().ok_or(PhoebeError::NoSuchTable(id))
     }
 
     pub fn tables(&self) -> Vec<Arc<TableEntry>> {
@@ -361,9 +360,9 @@ impl Database {
                             t.frozen.mark_deleted(row);
                             continue;
                         }
-                        let image = t.tree.table_read(row, |leaf, idx, _, _| {
-                            leaf.read_row(&t.layout, idx)
-                        })?;
+                        let image = t
+                            .tree
+                            .table_read(row, |leaf, idx, _, _| leaf.read_row(&t.layout, idx))?;
                         if let Some(image) = image {
                             t.tree.table_modify(row, |leaf, idx, _, _| {
                                 leaf.mark_deleted(idx);
@@ -399,6 +398,7 @@ impl Database {
 
 impl Drop for Database {
     fn drop(&mut self) {
+        self.stop_reporters();
         if let Some(rt) = self.runtime.write().take() {
             rt.shutdown();
         }

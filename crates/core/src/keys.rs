@@ -57,8 +57,7 @@ impl KeyBuilder {
                 // Order-preserving f64: flip sign bit for positives, all
                 // bits for negatives (standard total-order trick).
                 let bits = x.to_bits();
-                let ordered =
-                    if bits >> 63 == 0 { bits ^ (1 << 63) } else { !bits };
+                let ordered = if bits >> 63 == 0 { bits ^ (1 << 63) } else { !bits };
                 self.buf.extend_from_slice(&ordered.to_be_bytes());
                 self
             }
@@ -105,7 +104,14 @@ mod tests {
     #[test]
     fn i64_order_is_preserved() {
         let values = [i64::MIN, -100, -1, 0, 1, 100, i64::MAX];
-        let keys: Vec<_> = values.iter().map(|&v| k(|b| { b.push_i64(v); })).collect();
+        let keys: Vec<_> = values
+            .iter()
+            .map(|&v| {
+                k(|b| {
+                    b.push_i64(v);
+                })
+            })
+            .collect();
         for w in keys.windows(2) {
             assert!(w[0] < w[1]);
         }
@@ -114,7 +120,14 @@ mod tests {
     #[test]
     fn i32_order_is_preserved() {
         let values = [i32::MIN, -5, 0, 7, i32::MAX];
-        let keys: Vec<_> = values.iter().map(|&v| k(|b| { b.push_i32(v); })).collect();
+        let keys: Vec<_> = values
+            .iter()
+            .map(|&v| {
+                k(|b| {
+                    b.push_i32(v);
+                })
+            })
+            .collect();
         for w in keys.windows(2) {
             assert!(w[0] < w[1]);
         }
@@ -123,8 +136,14 @@ mod tests {
     #[test]
     fn f64_order_is_preserved() {
         let values = [-1e9, -1.5, -0.0, 0.0, 2.5, 1e18];
-        let keys: Vec<_> =
-            values.iter().map(|&v| k(|b| { b.push_value(&Value::F64(v), 0); })).collect();
+        let keys: Vec<_> = values
+            .iter()
+            .map(|&v| {
+                k(|b| {
+                    b.push_value(&Value::F64(v), 0);
+                })
+            })
+            .collect();
         for w in keys.windows(2) {
             assert!(w[0] <= w[1]);
         }
@@ -133,8 +152,14 @@ mod tests {
     #[test]
     fn padded_strings_sort_like_strings() {
         let values = ["", "ABLE", "BAR", "BARBAR", "OUGHT"];
-        let keys: Vec<_> =
-            values.iter().map(|v| k(|b| { b.push_str_padded(v, 16); })).collect();
+        let keys: Vec<_> = values
+            .iter()
+            .map(|v| {
+                k(|b| {
+                    b.push_str_padded(v, 16);
+                })
+            })
+            .collect();
         for w in keys.windows(2) {
             assert!(w[0] < w[1]);
         }

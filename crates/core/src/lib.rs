@@ -37,6 +37,9 @@
 pub mod catalog;
 pub mod db;
 pub mod keys;
+pub mod prelude;
+pub mod row;
+pub mod stats;
 pub mod temperature;
 pub mod txn_api;
 
@@ -44,5 +47,9 @@ pub use catalog::{IndexDef, IndexEntry, TableEntry};
 pub use db::{Database, EXTERNAL_SLOTS};
 pub use keys::KeyBuilder;
 pub use phoebe_txn::locks::IsolationLevel;
+pub use row::Row;
+pub use stats::{
+    ComponentCost, CounterValue, KernelStats, LatencySummary, RuntimeGauges, StatsReporter,
+};
 pub use temperature::{FreezeStats, WarmStats};
 pub use txn_api::Transaction;

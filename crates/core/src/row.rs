@@ -1,0 +1,127 @@
+//! [`Row`]: a schema-aware view over a tuple returned by the read API.
+//!
+//! `Transaction::read`, `lookup_unique` and `scan_index` used to hand back
+//! bare `Vec<Value>` tuples, forcing callers to remember column positions.
+//! `Row` keeps the tuple *and* its table's schema, so columns can be
+//! addressed by name ([`Row::get`]) or with typed accessors, while staying
+//! positionally compatible: it derefs to `[Value]`, supports `row[i]`, and
+//! compares equal to a plain `Vec<Value>` with the same contents.
+
+use crate::catalog::TableEntry;
+use phoebe_storage::schema::Value;
+use std::fmt;
+use std::ops::{Deref, Index};
+use std::sync::Arc;
+
+/// One visible tuple plus the schema it was read through.
+#[derive(Clone)]
+pub struct Row {
+    table: Arc<TableEntry>,
+    values: Vec<Value>,
+}
+
+impl Row {
+    pub(crate) fn new(table: Arc<TableEntry>, values: Vec<Value>) -> Row {
+        Row { table, values }
+    }
+
+    /// The column named `col`, or `None` if the schema has no such column.
+    pub fn try_get(&self, col: &str) -> Option<&Value> {
+        self.table.schema.col_index(col).map(|i| &self.values[i])
+    }
+
+    /// The column named `col`.
+    ///
+    /// # Panics
+    /// If the table's schema has no column with that name — a programming
+    /// error on par with an out-of-bounds index.
+    pub fn get(&self, col: &str) -> &Value {
+        self.try_get(col)
+            .unwrap_or_else(|| panic!("no column '{col}' in table '{}'", self.table.name))
+    }
+
+    /// Typed accessor: the named column as `i64`.
+    pub fn i64(&self, col: &str) -> i64 {
+        self.get(col).as_i64()
+    }
+
+    /// Typed accessor: the named column as `i32`.
+    pub fn i32(&self, col: &str) -> i32 {
+        self.get(col).as_i32()
+    }
+
+    /// Typed accessor: the named column as `f64`.
+    pub fn f64(&self, col: &str) -> f64 {
+        self.get(col).as_f64()
+    }
+
+    /// Typed accessor: the named column as `&str`.
+    pub fn str(&self, col: &str) -> &str {
+        self.get(col).as_str()
+    }
+
+    /// The table this row was read from.
+    pub fn table(&self) -> &Arc<TableEntry> {
+        &self.table
+    }
+
+    /// The tuple as a slice, in schema column order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Unwrap into the positional tuple (the pre-`Row` representation).
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl Deref for Row {
+    type Target = [Value];
+
+    fn deref(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+impl Index<usize> for Row {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+impl PartialEq for Row {
+    fn eq(&self, other: &Row) -> bool {
+        self.values == other.values
+    }
+}
+
+impl PartialEq<Vec<Value>> for Row {
+    fn eq(&self, other: &Vec<Value>) -> bool {
+        self.values == *other
+    }
+}
+
+impl PartialEq<Row> for Vec<Value> {
+    fn eq(&self, other: &Row) -> bool {
+        *self == other.values
+    }
+}
+
+impl PartialEq<[Value]> for Row {
+    fn eq(&self, other: &[Value]) -> bool {
+        self.values.as_slice() == other
+    }
+}
+
+impl fmt::Debug for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut m = f.debug_map();
+        for (i, v) in self.values.iter().enumerate() {
+            m.entry(&self.table.schema.col_name(i), v);
+        }
+        m.finish()
+    }
+}

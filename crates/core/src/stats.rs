@@ -1,0 +1,301 @@
+//! Kernel-wide observability: [`KernelStats`] snapshots and the periodic
+//! [`StatsReporter`].
+//!
+//! [`Database::stats`] merges the per-worker metric shards — counters,
+//! Figure-12 component costs, and the per-site latency histograms — in
+//! O(workers), then decorates the result with runtime, WAL and buffer-pool
+//! gauges. The snapshot is plain data: serde-derived and convertible to a
+//! single-line JSON document via [`KernelStats::to_json`], which is what
+//! the benchmark binaries emit for machine consumption.
+//!
+//! The [`StatsReporter`] is a co-routine on the kernel's own runtime that
+//! wakes on a fixed cadence (via the runtime's timer service), computes the
+//! *delta* since its previous tick, and hands the interval snapshot to a
+//! caller-supplied sink. `Database::shutdown` stops all reporters before
+//! the pool drains, so a running reporter never wedges shutdown.
+
+use crate::db::Database;
+use phoebe_common::hist::{LatencySite, SITES};
+use phoebe_common::json::Json;
+use phoebe_common::metrics::{MetricsSnapshot, COMPONENTS, COUNTERS};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// Percentile summary of one instrumented latency site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Stable site name (e.g. `"commit"`, `"wal_flush"`).
+    pub site: &'static str,
+    pub count: u64,
+    pub mean_ns: u64,
+    pub max_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+}
+
+/// One Figure-12 cost component's accumulated busy time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComponentCost {
+    pub component: &'static str,
+    pub busy_ns: u64,
+    pub ops: u64,
+}
+
+/// A named operational counter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CounterValue {
+    pub name: &'static str,
+    pub value: u64,
+}
+
+/// Scheduler gauges lifted from [`phoebe_runtime::RuntimeStats`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RuntimeGauges {
+    pub tasks_completed: u64,
+    pub polls: u64,
+    pub parks: u64,
+    pub tasks_pulled_global: u64,
+    pub tasks_pulled_local: u64,
+    pub urgent_pull_stalls: u64,
+}
+
+/// A merged, point-in-time view of the whole kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Operational counters (commits, aborts, page I/O, WAL volume, ...).
+    pub counters: Vec<CounterValue>,
+    /// Per-component busy time (the paper's Figure 12 substrate).
+    pub components: Vec<ComponentCost>,
+    /// Latency percentiles for every instrumented site.
+    pub latency: Vec<LatencySummary>,
+    /// Co-routine scheduler gauges.
+    pub runtime: RuntimeGauges,
+    /// Bytes physically flushed across all slot WAL writers.
+    pub wal_bytes_flushed: u64,
+    /// The global durable GSN horizon, clamped to the current GSN (an
+    /// idle WAL is fully durable, not infinitely durable).
+    pub wal_durable_gsn: u64,
+    /// Physical (reads, writes) against the Data Page File.
+    pub page_file_reads: u64,
+    pub page_file_writes: u64,
+    /// Buffer pool shape and occupancy.
+    pub buffer_total_frames: u64,
+    pub buffer_free_frames: u64,
+}
+
+impl KernelStats {
+    /// Build the metric-derived part of a snapshot from a (possibly
+    /// delta'd) [`MetricsSnapshot`].
+    fn from_metrics(snap: &MetricsSnapshot) -> KernelStats {
+        let counters = COUNTERS
+            .iter()
+            .map(|&(c, name)| CounterValue { name, value: snap.counter(c) })
+            .collect();
+        let components = COMPONENTS
+            .iter()
+            .map(|&c| ComponentCost {
+                component: c.name(),
+                busy_ns: snap.component_ns(c),
+                ops: snap.component_ops(c),
+            })
+            .collect();
+        let latency = SITES
+            .iter()
+            .map(|&site| {
+                let h = snap.latency(site);
+                LatencySummary {
+                    site: site.name(),
+                    count: h.count(),
+                    mean_ns: h.mean_ns() as u64,
+                    max_ns: h.max_ns(),
+                    p50_ns: h.p50(),
+                    p95_ns: h.p95(),
+                    p99_ns: h.p99(),
+                }
+            })
+            .collect();
+        KernelStats {
+            counters,
+            components,
+            latency,
+            runtime: RuntimeGauges::default(),
+            wal_bytes_flushed: 0,
+            wal_durable_gsn: 0,
+            page_file_reads: 0,
+            page_file_writes: 0,
+            buffer_total_frames: 0,
+            buffer_free_frames: 0,
+        }
+    }
+
+    /// The summary for one latency site.
+    pub fn latency(&self, site: LatencySite) -> &LatencySummary {
+        // SITES order == construction order, so index by discriminant.
+        &self.latency[site as usize]
+    }
+
+    /// A named counter's value (0 for unknown names).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value)
+    }
+
+    /// Render as a JSON value tree (one object, no external deps).
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for c in &self.counters {
+            counters = counters.with(c.name, c.value);
+        }
+        let mut components = Json::obj();
+        for c in &self.components {
+            components = components
+                .with(c.component, Json::obj().with("busy_ns", c.busy_ns).with("ops", c.ops));
+        }
+        let mut latency = Json::obj();
+        for l in &self.latency {
+            latency = latency.with(
+                l.site,
+                Json::obj()
+                    .with("count", l.count)
+                    .with("mean_ns", l.mean_ns)
+                    .with("max_ns", l.max_ns)
+                    .with("p50_ns", l.p50_ns)
+                    .with("p95_ns", l.p95_ns)
+                    .with("p99_ns", l.p99_ns),
+            );
+        }
+        Json::obj()
+            .with("counters", counters)
+            .with("components", components)
+            .with("latency", latency)
+            .with(
+                "runtime",
+                Json::obj()
+                    .with("tasks_completed", self.runtime.tasks_completed)
+                    .with("polls", self.runtime.polls)
+                    .with("parks", self.runtime.parks)
+                    .with("tasks_pulled_global", self.runtime.tasks_pulled_global)
+                    .with("tasks_pulled_local", self.runtime.tasks_pulled_local)
+                    .with("urgent_pull_stalls", self.runtime.urgent_pull_stalls),
+            )
+            .with(
+                "wal",
+                Json::obj()
+                    .with("bytes_flushed", self.wal_bytes_flushed)
+                    .with("durable_gsn", self.wal_durable_gsn),
+            )
+            .with(
+                "buffer",
+                Json::obj()
+                    .with("page_file_reads", self.page_file_reads)
+                    .with("page_file_writes", self.page_file_writes)
+                    .with("total_frames", self.buffer_total_frames)
+                    .with("free_frames", self.buffer_free_frames),
+            )
+    }
+}
+
+impl Database {
+    /// Merge every worker's metric shard into one [`KernelStats`] snapshot.
+    /// O(workers) array merges plus a handful of atomic gauge loads; safe
+    /// to call from any thread at any frequency.
+    pub fn stats(&self) -> KernelStats {
+        self.stats_from_metrics(&self.metrics.snapshot())
+    }
+
+    /// Decorate a (possibly delta'd) metrics snapshot with the kernel's
+    /// live gauges. Used by both [`Database::stats`] and the reporter.
+    pub(crate) fn stats_from_metrics(&self, snap: &MetricsSnapshot) -> KernelStats {
+        let mut out = KernelStats::from_metrics(snap);
+        if let Some(rt) = self.try_runtime() {
+            let rs = rt.stats();
+            out.runtime = RuntimeGauges {
+                tasks_completed: rs.tasks_completed,
+                polls: rs.polls,
+                parks: rs.parks,
+                tasks_pulled_global: rs.tasks_pulled_global,
+                tasks_pulled_local: rs.tasks_pulled_local,
+                urgent_pull_stalls: rs.urgent_pull_stalls,
+            };
+        }
+        out.wal_bytes_flushed = self.wal.total_bytes_flushed();
+        out.wal_durable_gsn = self.wal.durable_gsn().min(self.wal.current_gsn());
+        let (r, w) = self.pool.io_counts();
+        out.page_file_reads = r;
+        out.page_file_writes = w;
+        out.buffer_total_frames = self.pool.total_frames() as u64;
+        out.buffer_free_frames =
+            (0..self.pool.partition_count()).map(|p| self.pool.free_frames(p) as u64).sum();
+        out
+    }
+
+    /// Spawn a [`StatsReporter`] on the kernel's runtime. Every `interval`
+    /// the sink receives the *delta* since the previous tick (counters,
+    /// component time and histograms subtracted; gauges absolute). The
+    /// reporter stops when its handle is dropped/stopped or at
+    /// `Database::shutdown`.
+    pub fn start_stats_reporter(
+        self: &Arc<Self>,
+        interval: Duration,
+        sink: impl Fn(KernelStats) + Send + 'static,
+    ) -> StatsReporter {
+        let stop = Arc::new(AtomicBool::new(false));
+        self.reporter_stops().lock().push(Arc::clone(&stop));
+        let weak: Weak<Database> = Arc::downgrade(self);
+        let stop_task = Arc::clone(&stop);
+        let rt = self.runtime();
+        rt.spawn(async move {
+            let mut prev = match weak.upgrade() {
+                Some(db) => db.metrics.snapshot(),
+                None => return,
+            };
+            'ticks: loop {
+                // Sleep in short slices so shutdown never waits a full
+                // interval for the slot to drain.
+                let deadline = Instant::now() + interval;
+                while Instant::now() < deadline {
+                    if stop_task.load(Ordering::Acquire) {
+                        break 'ticks;
+                    }
+                    let slice = Duration::from_millis(25)
+                        .min(deadline.saturating_duration_since(Instant::now()));
+                    phoebe_runtime::sleep(slice).await;
+                }
+                if stop_task.load(Ordering::Acquire) {
+                    break;
+                }
+                let Some(db) = weak.upgrade() else { break };
+                let now = db.metrics.snapshot();
+                let delta = now.delta_since(&prev);
+                prev = now;
+                sink(db.stats_from_metrics(&delta));
+            }
+        });
+        StatsReporter { stop }
+    }
+}
+
+/// Handle to a running stats reporter. Dropping it stops the reporter.
+pub struct StatsReporter {
+    stop: Arc<AtomicBool>,
+}
+
+impl StatsReporter {
+    /// Ask the reporter co-routine to exit at its next slice (≤25 ms).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Whether `stop` has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for StatsReporter {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

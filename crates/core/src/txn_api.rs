@@ -15,19 +15,25 @@
 
 use crate::catalog::{IndexEntry, TableEntry};
 use crate::db::Database;
+use crate::row::Row;
 use phoebe_common::error::{PhoebeError, Result};
+use phoebe_common::hist::LatencySite;
 use phoebe_common::ids::{RowId, Timestamp, Xid};
 use phoebe_common::metrics::{Component, Counter};
 use phoebe_storage::schema::Value;
 use phoebe_txn::clock::Snapshot;
 use phoebe_txn::locks::{IsolationLevel, TxnHandle, TxnOutcome};
-use phoebe_txn::visibility::{check_visibility, VisibleVersion};
 use phoebe_txn::undo::{UndoLog, UndoOp};
+use phoebe_txn::visibility::{check_visibility, VisibleVersion};
 use phoebe_wal::writer::RfaState;
 use phoebe_wal::RecordBody;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// A read-modify-write delta function: given the current (conflict-resolved)
+/// row image, produce the `(column, new_value)` pairs to apply.
+pub type DeltaFn<'a> = dyn Fn(&[Value]) -> Vec<(usize, Value)> + Sync + 'a;
 
 /// Outcome of one latched write attempt.
 enum WriteAttempt {
@@ -126,7 +132,16 @@ impl Transaction {
 
     /// Read the visible version of `row`, or `None` if no version is
     /// visible in this snapshot.
-    pub fn read(&mut self, table: &Arc<TableEntry>, row: RowId) -> Result<Option<Vec<Value>>> {
+    pub fn read(&mut self, table: &Arc<TableEntry>, row: RowId) -> Result<Option<Row>> {
+        Ok(self.read_values(table, row)?.map(|t| Row::new(Arc::clone(table), t)))
+    }
+
+    /// The positional-tuple read underneath [`Transaction::read`].
+    pub fn read_values(
+        &mut self,
+        table: &Arc<TableEntry>,
+        row: RowId,
+    ) -> Result<Option<Vec<Value>>> {
         let snapshot = self.stmt_snapshot();
         // Frozen rows are globally visible by construction (§5.2).
         if row.raw() <= table.frozen.max_frozen_row_id() {
@@ -155,7 +170,7 @@ impl Transaction {
         table: &Arc<TableEntry>,
         index: &Arc<IndexEntry>,
         key: &[Value],
-    ) -> Result<Option<(RowId, Vec<Value>)>> {
+    ) -> Result<Option<(RowId, Row)>> {
         debug_assert!(index.def.unique, "lookup_unique on a non-unique index");
         let encoded = index.prefix_for(&table.schema, key);
         let Some(row) = index.tree.index_get(&encoded)? else {
@@ -172,7 +187,7 @@ impl Transaction {
         index: &Arc<IndexEntry>,
         prefix: &[Value],
         limit: usize,
-    ) -> Result<Vec<(RowId, Vec<Value>)>> {
+    ) -> Result<Vec<(RowId, Row)>> {
         let (low, high) = index.range_for(&table.schema, prefix);
         let mut candidates = Vec::new();
         index.tree.index_range(&low, &high, |_, row| {
@@ -218,14 +233,8 @@ impl Transaction {
                 // Twin entry installed while the tuple is still invisible
                 // to readers (we hold the leaf exclusively).
                 let row = _leaf.row_id_at(_idx);
-                let log = UndoLog::new(
-                    table.id,
-                    row,
-                    first,
-                    UndoOp::Insert,
-                    Arc::clone(&handle),
-                    None,
-                );
+                let log =
+                    UndoLog::new(table.id, row, first, UndoOp::Insert, Arc::clone(&handle), None);
                 loop {
                     let twin = db.twins.get_or_create((table.id, first));
                     if twin.set_head(row, Arc::clone(&log), start_ts) {
@@ -312,7 +321,7 @@ impl Transaction {
         &mut self,
         table: &Arc<TableEntry>,
         row: RowId,
-        f: &(dyn Fn(&[Value]) -> Vec<(usize, Value)> + Sync),
+        f: &DeltaFn<'_>,
     ) -> Result<(RowId, Vec<Value>)> {
         if row.raw() <= table.frozen.max_frozen_row_id() {
             return self.write_frozen_rmw(table, row, Some(f)).await;
@@ -323,21 +332,24 @@ impl Transaction {
             let mut new_log = None;
             let mut observed: Option<Vec<Value>> = None;
             let observed_ref = &mut observed;
-            let attempt = self.latched_write(table, row, snapshot, |leaf, idx, layout| {
-                let current = leaf.read_row(layout, idx);
-                let delta = f(&current);
-                let before = delta
-                    .iter()
-                    .map(|(c, _)| (*c, current[*c].clone()))
-                    .collect();
-                let body = RecordBody::Update {
-                    table: table.id,
-                    row,
-                    delta: delta.iter().map(|(c, v)| (*c as u16, v.clone())).collect(),
-                };
-                *observed_ref = Some(current);
-                (UndoOp::Update { delta: before }, body, delta)
-            }, &mut new_log)?;
+            let attempt = self.latched_write(
+                table,
+                row,
+                snapshot,
+                |leaf, idx, layout| {
+                    let current = leaf.read_row(layout, idx);
+                    let delta = f(&current);
+                    let before = delta.iter().map(|(c, _)| (*c, current[*c].clone())).collect();
+                    let body = RecordBody::Update {
+                        table: table.id,
+                        row,
+                        delta: delta.iter().map(|(c, v)| (*c as u16, v.clone())).collect(),
+                    };
+                    *observed_ref = Some(current);
+                    (UndoOp::Update { delta: before }, body, delta)
+                },
+                &mut new_log,
+            )?;
             match attempt {
                 None => return Err(PhoebeError::RowNotFound { table: table.id, row }),
                 Some(WriteAttempt::Done) => {
@@ -372,14 +384,20 @@ impl Transaction {
         loop {
             let snapshot = self.stmt_snapshot();
             let mut new_log = None;
-            let attempt = self.latched_write(table, row, snapshot, |leaf, idx, layout| {
-                let image = leaf.read_row(layout, idx);
-                (
-                    UndoOp::Delete { row_image: image },
-                    RecordBody::Delete { table: table.id, row },
-                    Vec::new(),
-                )
-            }, &mut new_log)?;
+            let attempt = self.latched_write(
+                table,
+                row,
+                snapshot,
+                |leaf, idx, layout| {
+                    let image = leaf.read_row(layout, idx);
+                    (
+                        UndoOp::Delete { row_image: image },
+                        RecordBody::Delete { table: table.id, row },
+                        Vec::new(),
+                    )
+                },
+                &mut new_log,
+            )?;
             match attempt {
                 None => return Err(PhoebeError::RowNotFound { table: table.id, row }),
                 Some(WriteAttempt::Done) => {
@@ -464,8 +482,7 @@ impl Transaction {
             drop(lock_timer);
             let _mvcc = db.metrics.timer(Component::Mvcc);
             let (op, wal_body, apply) = build(leaf, idx, &table.layout);
-            let log =
-                UndoLog::new(table.id, row, first, op, Arc::clone(&handle), head.clone());
+            let log = UndoLog::new(table.id, row, first, op, Arc::clone(&handle), head.clone());
             if !twin.set_head(row, Arc::clone(&log), start_ts) {
                 db.tuple_locks[slot].release();
                 return WriteAttempt::Retry;
@@ -499,9 +516,13 @@ impl Transaction {
         holder: Arc<TxnHandle>,
     ) -> Result<()> {
         // The sleep itself is idle time, not lock-management instructions;
-        // only the occurrence is accounted (Figure 12 semantics).
+        // only the occurrence is accounted (Figure 12 semantics). The
+        // latency histogram, by contrast, wants the full stall.
         self.db.metrics.record(Component::Lock, 0);
-        let outcome = holder.wait(self.lock_timeout()).await?;
+        let t0 = std::time::Instant::now();
+        let wait_result = holder.wait(self.lock_timeout()).await;
+        self.db.metrics.record_latency(LatencySite::LockWait, t0.elapsed().as_nanos() as u64);
+        let outcome = wait_result?;
         match (self.iso, outcome) {
             (IsolationLevel::RepeatableRead, TxnOutcome::Committed(_)) => {
                 Err(PhoebeError::WriteConflict { table: table.id, row, holder: holder.xid })
@@ -516,7 +537,7 @@ impl Transaction {
         &mut self,
         table: &Arc<TableEntry>,
         row: RowId,
-        f: Option<&(dyn Fn(&[Value]) -> Vec<(usize, Value)> + Sync)>,
+        f: Option<&DeltaFn<'_>>,
     ) -> Result<(RowId, Vec<Value>)> {
         self.ensure_wal_begin();
         let Some(image) = table.frozen.get(row)? else {
@@ -532,12 +553,7 @@ impl Transaction {
             None,
         );
         let gsn = self.db.wal.current_gsn();
-        self.db.wal.log_op(
-            self.slot,
-            self.xid,
-            gsn,
-            RecordBody::Delete { table: table.id, row },
-        );
+        self.db.wal.log_op(self.slot, self.xid, gsn, RecordBody::Delete { table: table.id, row });
         self.rfa.max_gsn = self.rfa.max_gsn.max(gsn);
         self.db.arena(self.slot).push(Arc::clone(&log));
         self.undo.push(log);
@@ -563,10 +579,12 @@ impl Transaction {
     /// the RFA rules when `wal_sync` is on (§8).
     pub async fn commit(mut self) -> Result<Timestamp> {
         debug_assert!(!self.finished);
+        let t0 = std::time::Instant::now();
         if self.undo.is_empty() && !self.wal_begun {
             // Read-only: nothing to stamp or flush.
             self.finish_common(TxnOutcome::Committed(self.start_ts));
             self.db.metrics.incr(Counter::Commits);
+            self.db.metrics.record_latency(LatencySite::Commit, t0.elapsed().as_nanos() as u64);
             return Ok(self.start_ts);
         }
         let cts = self.db.clock.commit_ts();
@@ -583,6 +601,9 @@ impl Transaction {
         let wal_result = self.db.wal.commit(self.slot, self.xid, cts, &self.rfa).await;
         self.finish_slot_state();
         self.db.metrics.incr(Counter::Commits);
+        // Commit latency includes the durability wait: it is what a client
+        // of a synchronous commit observes.
+        self.db.metrics.record_latency(LatencySite::Commit, t0.elapsed().as_nanos() as u64);
         wal_result.map(|_| cts)
     }
 
@@ -596,6 +617,7 @@ impl Transaction {
         if self.finished {
             return;
         }
+        let t0 = std::time::Instant::now();
         for log in self.undo.iter().rev() {
             let Ok(table) = self.db.table_by_id(log.table) else {
                 continue;
@@ -644,6 +666,7 @@ impl Transaction {
         }
         self.finish_common(TxnOutcome::Aborted);
         self.db.metrics.incr(Counter::Aborts);
+        self.db.metrics.record_latency(LatencySite::Abort, t0.elapsed().as_nanos() as u64);
     }
 
     fn finish_common(&mut self, outcome: TxnOutcome) {

@@ -2,10 +2,8 @@
 //! tiered storage engine, exercised both from external threads and from
 //! co-routines in the pool.
 
-use phoebe_common::KernelConfig;
-use phoebe_core::{Database, IsolationLevel, TableEntry};
+use phoebe_core::prelude::*;
 use phoebe_runtime::block_on;
-use phoebe_storage::schema::{ColType, Schema, Value};
 use std::sync::Arc;
 
 fn open_db() -> Arc<Database> {
@@ -13,11 +11,7 @@ fn open_db() -> Arc<Database> {
 }
 
 fn accounts_schema() -> Schema {
-    Schema::new(vec![
-        ("id", ColType::I64),
-        ("owner", ColType::Str(16)),
-        ("balance", ColType::I64),
-    ])
+    Schema::new(vec![("id", ColType::I64), ("owner", ColType::Str(16)), ("balance", ColType::I64)])
 }
 
 fn make_accounts(db: &Arc<Database>) -> Arc<TableEntry> {
@@ -153,10 +147,7 @@ fn delete_hides_row_then_gc_removes_it_physically() {
     // entry are physically removed.
     let stats = db.collect_all();
     assert!(stats.tuples_deleted >= 1, "GC must remove the deleted tuple");
-    let visible = t
-        .tree
-        .table_read(rid, |_, _, _, _| ())
-        .unwrap();
+    let visible = t.tree.table_read(rid, |_, _, _, _| ()).unwrap();
     assert!(visible.is_none(), "tuple physically gone from the leaf");
     let mut check = db.begin(IsolationLevel::ReadCommitted);
     assert!(check.lookup_unique(&t, &pk, &[Value::I64(7)]).unwrap().is_none());
@@ -280,14 +271,10 @@ fn concurrent_transfers_preserve_total_balance() {
                     // base) — the reason update_rmw exists.
                     let mut tx = db.begin(IsolationLevel::ReadCommitted);
                     let r1 = tx
-                        .update_rmw(&t, from, &|cur| {
-                            vec![(2, Value::I64(cur[2].as_i64() - 1))]
-                        })
+                        .update_rmw(&t, from, &|cur| vec![(2, Value::I64(cur[2].as_i64() - 1))])
                         .await;
                     let r2 = tx
-                        .update_rmw(&t, to, &|cur| {
-                            vec![(2, Value::I64(cur[2].as_i64() + 1))]
-                        })
+                        .update_rmw(&t, to, &|cur| vec![(2, Value::I64(cur[2].as_i64() + 1))])
                         .await;
                     match (r1, r2) {
                         (Ok(_), Ok(_)) => {
@@ -324,10 +311,7 @@ fn index_scans_respect_visibility() {
     let t = db
         .create_table(
             "orders",
-            Schema::new(vec![
-                ("customer", ColType::I32),
-                ("amount", ColType::I64),
-            ]),
+            Schema::new(vec![("customer", ColType::I32), ("amount", ColType::I64)]),
         )
         .unwrap();
     let by_cust = db.create_index(&t, "orders_by_customer", vec![0], false).unwrap();

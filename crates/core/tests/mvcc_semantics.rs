@@ -3,10 +3,8 @@
 //! through the public API.
 
 use phoebe_common::metrics::Counter;
-use phoebe_common::KernelConfig;
-use phoebe_core::{Database, IsolationLevel, TableEntry};
+use phoebe_core::prelude::*;
 use phoebe_runtime::block_on;
-use phoebe_storage::schema::{ColType, Schema, Value};
 use std::sync::Arc;
 
 fn open_db() -> Arc<Database> {
@@ -109,7 +107,7 @@ fn gc_reclaims_undo_and_twin_tables_end_to_end() {
             tx.commit().await.unwrap();
         }
     });
-    assert!(db.twins.len() > 0, "twin tables exist while versions live");
+    assert!(!db.twins.is_empty(), "twin tables exist while versions live");
     let stats = db.collect_all();
     assert!(stats.undo_reclaimed >= 20, "all committed undo reclaimable");
     // A second round may be needed for the twin watermark to advance.
@@ -187,10 +185,7 @@ fn cross_slot_writes_trigger_remote_flush_waits() {
 fn scan_sees_consistent_prefix_under_concurrent_inserts() {
     let db = open_db();
     let t = db
-        .create_table(
-            "events",
-            Schema::new(vec![("bucket", ColType::I32), ("n", ColType::I64)]),
-        )
+        .create_table("events", Schema::new(vec![("bucket", ColType::I32), ("n", ColType::I64)]))
         .unwrap();
     let idx = db.create_index(&t, "by_bucket", vec![0], false).unwrap();
     block_on(async {
@@ -208,9 +203,7 @@ fn scan_sees_consistent_prefix_under_concurrent_inserts() {
                 let mut i = 50i64;
                 while !stop.load(std::sync::atomic::Ordering::Acquire) {
                     let mut tx = db.begin(IsolationLevel::ReadCommitted);
-                    tx.insert(&t, vec![Value::I32((i % 5) as i32), Value::I64(i)])
-                        .await
-                        .unwrap();
+                    tx.insert(&t, vec![Value::I32((i % 5) as i32), Value::I64(i)]).await.unwrap();
                     tx.commit().await.unwrap();
                     i += 1;
                 }
@@ -285,9 +278,7 @@ fn abort_of_rmw_leaves_counter_untouched() {
     let r = seed(&db, &t, 1, 5);
     block_on(async {
         let mut tx = db.begin(IsolationLevel::ReadCommitted);
-        tx.update_rmw(&t, r, &|cur| vec![(1, Value::I64(cur[1].as_i64() + 100))])
-            .await
-            .unwrap();
+        tx.update_rmw(&t, r, &|cur| vec![(1, Value::I64(cur[1].as_i64() + 100))]).await.unwrap();
         assert_eq!(tx.read(&t, r).unwrap().unwrap()[1], Value::I64(105));
         tx.abort();
         let mut check = db.begin(IsolationLevel::ReadCommitted);

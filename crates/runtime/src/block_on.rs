@@ -31,10 +31,8 @@ impl Wake for ThreadWaker {
 /// condition-checking futures always make progress.
 pub fn block_on<F: Future>(future: F) -> F::Output {
     let mut future = pin!(future);
-    let tw = Arc::new(ThreadWaker {
-        thread: std::thread::current(),
-        notified: AtomicBool::new(false),
-    });
+    let tw =
+        Arc::new(ThreadWaker { thread: std::thread::current(), notified: AtomicBool::new(false) });
     let waker = Waker::from(tw.clone());
     let mut cx = Context::from_waker(&waker);
     loop {
@@ -64,10 +62,7 @@ mod tests {
         struct CountDown(u32);
         impl Future for CountDown {
             type Output = u32;
-            fn poll(
-                mut self: std::pin::Pin<&mut Self>,
-                cx: &mut Context<'_>,
-            ) -> Poll<u32> {
+            fn poll(mut self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
                 if self.0 == 0 {
                     Poll::Ready(0)
                 } else {

@@ -26,10 +26,12 @@ mod block_on;
 mod notify;
 mod runtime;
 mod task;
+mod timer;
 mod yield_point;
 
 pub use block_on::block_on;
 pub use notify::Notify;
 pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, WorkerHook};
 pub use task::{current_slot, JoinHandle};
+pub use timer::{sleep, sleep_until, Sleep};
 pub use yield_point::{yield_now, Urgency};

@@ -171,10 +171,7 @@ impl Runtime {
         F: Future<Output = T> + Send + 'static,
         T: Send + 'static,
     {
-        assert!(
-            !self.shared.shutdown.load(Ordering::Acquire),
-            "spawn on a shut-down runtime"
-        );
+        assert!(!self.shared.shutdown.load(Ordering::Acquire), "spawn on a shut-down runtime");
         let (handle, completer) = JoinHandle::pair();
         let wrapped = CompletionFuture { inner: Box::pin(future), completer: Some(completer) };
         let task = Task { future: Box::pin(wrapped) };
@@ -275,6 +272,9 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
         let mut progressed = false;
         let mut urgent_slots = 0usize;
         let mut occupied = 0usize;
+        // Index-driven on purpose: the body re-borrows `slots[i]` mutably
+        // and immutably across the poll, which `iter_mut` can't express.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..slots_n {
             let ready = match &slots[i] {
                 Some(seated) => seated.wake.ready.swap(false, Ordering::AcqRel),
@@ -311,6 +311,7 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
         // queue first, then the global queue — unless a high-urgency task is
         // pending resolution, in which case pause new-task acceptance.
         if urgent_slots == 0 {
+            #[allow(clippy::needless_range_loop)]
             for i in 0..slots_n {
                 if slots[i].is_some() {
                     continue;
@@ -434,10 +435,13 @@ mod tests {
         let mut handles = Vec::new();
         for w in 0..3usize {
             for _ in 0..10 {
-                handles.push((w, rt.spawn_on(w, async move {
-                    yield_now(Urgency::Low).await;
-                    crate::current_slot().expect("has slot").worker.raw() as usize
-                })));
+                handles.push((
+                    w,
+                    rt.spawn_on(w, async move {
+                        yield_now(Urgency::Low).await;
+                        crate::current_slot().expect("has slot").worker.raw() as usize
+                    }),
+                ));
             }
         }
         for (expect, h) in handles {

@@ -35,8 +35,8 @@ pub(crate) struct SlotGuard(Option<SlotId>);
 
 /// Set the thread-local slot for the duration of one poll.
 pub(crate) fn enter_slot(worker: usize, slot: usize) -> SlotGuard {
-    let prev = CURRENT_SLOT
-        .with(|c| c.replace(Some(SlotId::new(WorkerId(worker as u16), slot as u16))));
+    let prev =
+        CURRENT_SLOT.with(|c| c.replace(Some(SlotId::new(WorkerId(worker as u16), slot as u16))));
     SlotGuard(prev)
 }
 

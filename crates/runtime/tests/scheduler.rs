@@ -54,9 +54,8 @@ fn high_urgency_yields_pause_pulling() {
             }
         })
     };
-    let quick: Vec<_> = (0..100)
-        .map(|_| rt.spawn(async { yield_now(Urgency::Low).await }))
-        .collect();
+    let quick: Vec<_> =
+        (0..100).map(|_| rt.spawn(async { yield_now(Urgency::Low).await })).collect();
     spinner.join();
     for q in quick {
         q.join();

@@ -29,6 +29,7 @@ use crate::pax::{PaxLayout, PaxLeaf};
 use crate::schema::Value;
 use crate::swip::{FrameId, Swip, SwipState};
 use phoebe_common::error::{PhoebeError, Result};
+use phoebe_common::hist::LatencySite;
 use phoebe_common::ids::{RowId, TableId};
 use phoebe_common::metrics::{Counter, Metrics};
 use std::sync::atomic::Ordering;
@@ -129,6 +130,15 @@ impl BTree {
     ) -> Result<(FrameId, LeafGuard<'_>, Option<Vec<u8>>)> {
         // Figure 12's "latching" component: traversal latch work.
         let _t = self.metrics.timer(phoebe_common::metrics::Component::Latch);
+        // Each restarted attempt's wasted traversal time feeds the
+        // btree_restart latency histogram.
+        let mut attempt = std::time::Instant::now();
+        let restart = |attempt: &mut std::time::Instant| {
+            self.metrics.incr(Counter::LatchRestarts);
+            self.metrics
+                .record_latency(LatencySite::BtreeRestart, attempt.elapsed().as_nanos() as u64);
+            *attempt = std::time::Instant::now();
+        };
         'restart: loop {
             let Some(((root, height), meta_ver)) =
                 self.meta.optimistic_versioned(|m| (m.root, m.height))
@@ -168,7 +178,7 @@ impl BTree {
                     };
                     if !self.validate_parent(&parent, parent_ver) {
                         drop(guard);
-                        self.metrics.incr(Counter::LatchRestarts);
+                        restart(&mut attempt);
                         continue 'restart;
                     }
                     return Ok((fid, guard, next_sep));
@@ -177,23 +187,22 @@ impl BTree {
                 let Some((read, ver)) = frame.latch.optimistic_versioned(|p| match p {
                     Page::Inner(n) => {
                         let i = n.child_index(key);
-                        let sep =
-                            (i < n.count as usize).then(|| n.key(i).to_vec());
+                        let sep = (i < n.count as usize).then(|| n.key(i).to_vec());
                         Some((n.children[i], sep))
                     }
                     _ => None,
                 }) else {
-                    self.metrics.incr(Counter::LatchRestarts);
+                    restart(&mut attempt);
                     std::hint::spin_loop();
                     continue 'restart;
                 };
                 if !self.validate_parent(&parent, parent_ver) {
-                    self.metrics.incr(Counter::LatchRestarts);
+                    restart(&mut attempt);
                     continue 'restart;
                 }
                 let Some((child_raw, sep)) = read else {
                     // Frame was repurposed under us.
-                    self.metrics.incr(Counter::LatchRestarts);
+                    restart(&mut attempt);
                     continue 'restart;
                 };
                 if let Some(s) = sep {
@@ -348,17 +357,9 @@ impl BTree {
                             inner.insert_separator(0, &sep, Swip::hot(right_fid).raw());
                             *g = Page::Inner(inner);
                         }
-                        self.pool
-                            .frame(new_root)
-                            .meta
-                            .parent
-                            .store(NO_PARENT, Ordering::Relaxed);
+                        self.pool.frame(new_root).meta.parent.store(NO_PARENT, Ordering::Relaxed);
                         self.pool.frame(cur).meta.parent.store(new_root, Ordering::Relaxed);
-                        self.pool
-                            .frame(right_fid)
-                            .meta
-                            .parent
-                            .store(new_root, Ordering::Relaxed);
+                        self.pool.frame(right_fid).meta.parent.store(new_root, Ordering::Relaxed);
                         self.mark_dirty(new_root);
                         meta.root = Swip::hot(new_root);
                         meta.height += 1;
@@ -529,10 +530,7 @@ impl BTree {
 
     /// Visit every leaf left-to-right under shared latches (one at a time).
     /// `f` returns `false` to stop early. Used by temperature scans (§5.2).
-    pub fn table_for_each_leaf(
-        &self,
-        mut f: impl FnMut(FrameId, &PaxLeaf) -> bool,
-    ) -> Result<()> {
+    pub fn table_for_each_leaf(&self, mut f: impl FnMut(FrameId, &PaxLeaf) -> bool) -> Result<()> {
         debug_assert_eq!(self.kind, TreeKind::Table);
         let mut lo = vec![0u8; 8];
         loop {
@@ -623,17 +621,9 @@ impl BTree {
                             inner.insert_separator(0, &sep, Swip::hot(right_fid).raw());
                             *g = Page::Inner(inner);
                         }
-                        self.pool
-                            .frame(new_root)
-                            .meta
-                            .parent
-                            .store(NO_PARENT, Ordering::Relaxed);
+                        self.pool.frame(new_root).meta.parent.store(NO_PARENT, Ordering::Relaxed);
                         self.pool.frame(cur).meta.parent.store(new_root, Ordering::Relaxed);
-                        self.pool
-                            .frame(right_fid)
-                            .meta
-                            .parent
-                            .store(new_root, Ordering::Relaxed);
+                        self.pool.frame(right_fid).meta.parent.store(new_root, Ordering::Relaxed);
                         self.mark_dirty(new_root);
                         meta.root = Swip::hot(new_root);
                         meta.height += 1;
@@ -671,12 +661,9 @@ impl BTree {
                         let idx = n.child_index(&key);
                         let child = Swip::from_raw(n.children[idx]);
                         let full = match child.state() {
-                            SwipState::Hot(f) | SwipState::Cooling(f) => self
-                                .pool
-                                .frame(f)
-                                .latch
-                                .read()
-                                .table_leaf_full(layout),
+                            SwipState::Hot(f) | SwipState::Cooling(f) => {
+                                self.pool.frame(f).latch.read().table_leaf_full(layout)
+                            }
                             SwipState::Cold(_) => false, // must load to know
                         };
                         if !full {
@@ -912,17 +899,9 @@ impl BTree {
                             inner.insert_separator(0, &sep, Swip::hot(right_fid).raw());
                             *g = Page::Inner(inner);
                         }
-                        self.pool
-                            .frame(new_root)
-                            .meta
-                            .parent
-                            .store(NO_PARENT, Ordering::Relaxed);
+                        self.pool.frame(new_root).meta.parent.store(NO_PARENT, Ordering::Relaxed);
                         self.pool.frame(cur).meta.parent.store(new_root, Ordering::Relaxed);
-                        self.pool
-                            .frame(right_fid)
-                            .meta
-                            .parent
-                            .store(new_root, Ordering::Relaxed);
+                        self.pool.frame(right_fid).meta.parent.store(new_root, Ordering::Relaxed);
                         self.mark_dirty(new_root);
                         meta.root = Swip::hot(new_root);
                         meta.height += 1;
@@ -1103,14 +1082,12 @@ mod tests {
     fn table_page_identity_is_stable_across_splits() {
         let (t, l) = table_tree(256);
         t.table_append(&l, RowId(1), &tup(1), |_, _, _, _| {}).unwrap();
-        let first_identity =
-            t.table_read(RowId(1), |_, _, first, _| first).unwrap().unwrap();
+        let first_identity = t.table_read(RowId(1), |_, _, first, _| first).unwrap().unwrap();
         for i in 2..=4_000u64 {
             t.table_append(&l, RowId(i), &tup(i), |_, _, _, _| {}).unwrap();
         }
         // Row 1's leaf never changed identity despite thousands of appends.
-        let identity_after =
-            t.table_read(RowId(1), |_, _, first, _| first).unwrap().unwrap();
+        let identity_after = t.table_read(RowId(1), |_, _, first, _| first).unwrap().unwrap();
         assert_eq!(first_identity, identity_after);
     }
 
@@ -1294,11 +1271,9 @@ mod tests {
         let schema = Schema::new(vec![("v", ColType::I64)]);
         let l = PaxLayout::for_schema(&schema);
         let m = Arc::new(Metrics::new(2));
-        let t1 = Arc::new(
-            BTree::create(p.clone(), TableId(1), TreeKind::Table, m.clone()).unwrap(),
-        );
-        let t2 =
-            Arc::new(BTree::create(p, TableId(2), TreeKind::Table, m).unwrap());
+        let t1 =
+            Arc::new(BTree::create(p.clone(), TableId(1), TreeKind::Table, m.clone()).unwrap());
+        let t2 = Arc::new(BTree::create(p, TableId(2), TreeKind::Table, m).unwrap());
         let h1 = {
             let (t, l) = (t1.clone(), l.clone());
             std::thread::spawn(move || {
@@ -1311,7 +1286,8 @@ mod tests {
             let (t, l) = (t2.clone(), l.clone());
             std::thread::spawn(move || {
                 for i in 1..=5_000u64 {
-                    t.table_append(&l, RowId(i), &[Value::I64(-(i as i64))], |_, _, _, _| {}).unwrap();
+                    t.table_append(&l, RowId(i), &[Value::I64(-(i as i64))], |_, _, _, _| {})
+                        .unwrap();
                 }
             })
         };

@@ -25,8 +25,9 @@ use crate::swip::{FrameId, Swip, SwipState};
 use parking_lot::{Mutex, RwLock};
 use phoebe_common::config::PAGE_SIZE;
 use phoebe_common::error::{PhoebeError, Result};
-use phoebe_common::metrics::{Component, Counter, Metrics};
+use phoebe_common::hist::LatencySite;
 use phoebe_common::ids::PageId;
+use phoebe_common::metrics::{Component, Counter, Metrics};
 use std::collections::VecDeque;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -285,6 +286,9 @@ impl BufferPool {
 
     /// Fill a pre-allocated frame with the image of `page`.
     pub fn read_into_frame(&self, fid: FrameId, page: PageId, parent: FrameId) -> Result<()> {
+        // The whole fault — read I/O, decode, frame install — is what a
+        // transaction stalls on when it hits a cold swip.
+        let _fault = self.metrics.latency_timer(LatencySite::BufferFault);
         let mut buf = vec![0u8; PAGE_SIZE];
         self.page_file.read_page(page, &mut buf)?;
         let decoded = Page::decode(&buf)?;
@@ -410,6 +414,9 @@ impl BufferPool {
         let Some(vguard) = self.frames[fid as usize].latch.try_write() else {
             return Ok(false);
         };
+        // Past this point the eviction goes through; time the write-out,
+        // WAL barrier wait and unswizzle.
+        let _evict = self.metrics.latency_timer(LatencySite::Eviction);
         // Write out if dirty, honoring the WAL barrier.
         let disk_raw = meta.disk_page.load(Ordering::Relaxed);
         let disk = if disk_raw == NO_DISK { self.page_file.alloc() } else { PageId(disk_raw) };

@@ -56,7 +56,7 @@ impl<T> HybridLatch<T> {
     pub fn write(&self) -> WriteGuard<'_, T> {
         let guard = self.rw.write();
         let v = self.version.fetch_add(1, Ordering::AcqRel);
-        debug_assert!(v % 2 == 0, "version must be even before a writer enters");
+        debug_assert!(v.is_multiple_of(2), "version must be even before a writer enters");
         WriteGuard { latch: self, _guard: guard }
     }
 
@@ -82,7 +82,7 @@ impl<T> HybridLatch<T> {
     /// Current version if no writer is active; `None` while write-locked.
     pub fn optimistic_version(&self) -> Option<LatchVersion> {
         let v = self.version.load(Ordering::Acquire);
-        (v % 2 == 0).then_some(LatchVersion(v))
+        v.is_multiple_of(2).then_some(LatchVersion(v))
     }
 
     /// True if the version is still `seen` (no writer has intervened).
@@ -106,10 +106,7 @@ impl<T> HybridLatch<T> {
 
     /// Like [`HybridLatch::optimistic`], but also returns the version the
     /// read validated against — used for OLC parent/child handoff.
-    pub fn optimistic_versioned<R>(
-        &self,
-        f: impl FnOnce(&T) -> R,
-    ) -> Option<(R, LatchVersion)> {
+    pub fn optimistic_versioned<R>(&self, f: impl FnOnce(&T) -> R) -> Option<(R, LatchVersion)> {
         let seen = self.optimistic_version()?;
         // SAFETY: as in `optimistic`.
         let result = f(unsafe { &*self.data.get() });

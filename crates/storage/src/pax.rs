@@ -54,12 +54,7 @@ impl PaxLayout {
             at += w * capacity;
         }
         debug_assert!(at <= LEAF_BYTES);
-        PaxLayout {
-            capacity,
-            col_offsets,
-            widths,
-            types: schema.types().to_vec(),
-        }
+        PaxLayout { capacity, col_offsets, widths, types: schema.types().to_vec() }
     }
 
     #[inline]
@@ -174,15 +169,9 @@ impl PaxLeaf {
     pub fn read_col(&self, layout: &PaxLayout, row: usize, col: usize) -> Value {
         let bytes = &self.data[layout.slot(col, row)];
         match layout.types[col] {
-            ColType::I64 => {
-                Value::I64(i64::from_le_bytes(bytes[..8].try_into().expect("8")))
-            }
-            ColType::I32 => {
-                Value::I32(i32::from_le_bytes(bytes[..4].try_into().expect("4")))
-            }
-            ColType::F64 => {
-                Value::F64(f64::from_le_bytes(bytes[..8].try_into().expect("8")))
-            }
+            ColType::I64 => Value::I64(i64::from_le_bytes(bytes[..8].try_into().expect("8"))),
+            ColType::I32 => Value::I32(i32::from_le_bytes(bytes[..4].try_into().expect("4"))),
+            ColType::F64 => Value::F64(f64::from_le_bytes(bytes[..8].try_into().expect("8"))),
             ColType::Str(max) => {
                 let len = u16::from_le_bytes(bytes[..2].try_into().expect("2")) as usize;
                 let len = len.min(max as usize); // robust to torn optimistic reads

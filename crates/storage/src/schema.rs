@@ -221,8 +221,7 @@ mod tests {
     #[test]
     fn check_rejects_oversized_string() {
         let s = schema();
-        let t: Tuple =
-            vec![1i64.into(), 2i32.into(), 3.0.into(), "seventeen chars!!".into()];
+        let t: Tuple = vec![1i64.into(), 2i32.into(), 3.0.into(), "seventeen chars!!".into()];
         assert!(s.check(TableId(1), &t).is_err());
     }
 

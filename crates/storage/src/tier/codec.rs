@@ -33,9 +33,8 @@ fn get_varint(buf: &[u8], at: &mut usize) -> Result<u64> {
     let mut v = 0u64;
     let mut shift = 0;
     loop {
-        let byte = *buf
-            .get(*at)
-            .ok_or_else(|| PhoebeError::corruption("varint past end of block"))?;
+        let byte =
+            *buf.get(*at).ok_or_else(|| PhoebeError::corruption("varint past end of block"))?;
         *at += 1;
         v |= ((byte & 0x7f) as u64) << shift;
         if byte & 0x80 == 0 {
@@ -191,8 +190,7 @@ pub fn decode_block(buf: &[u8]) -> Result<(Vec<RowId>, Vec<Vec<Value>>)> {
                 while filled < n_rows {
                     let run = get_varint(buf, &mut at)? as usize;
                     let slen =
-                        u16::from_le_bytes(take(buf, &mut at, 2)?.try_into().expect("2"))
-                            as usize;
+                        u16::from_le_bytes(take(buf, &mut at, 2)?.try_into().expect("2")) as usize;
                     let bytes = take(buf, &mut at, slen)?;
                     let s = String::from_utf8(bytes)
                         .map_err(|_| PhoebeError::corruption("non-utf8 frozen string"))?;
@@ -253,12 +251,7 @@ mod tests {
         let blob = encode_block(&types, &ids, &rows);
         // Raw fixed-width: 8 (rowid) + 8 + 4 + 8 + 22 = 50 bytes per row.
         let raw = 1000 * 50;
-        assert!(
-            blob.len() < raw / 2,
-            "expected < {} bytes, got {}",
-            raw / 2,
-            blob.len()
-        );
+        assert!(blob.len() < raw / 2, "expected < {} bytes, got {}", raw / 2, blob.len());
     }
 
     #[test]

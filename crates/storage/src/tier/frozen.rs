@@ -62,12 +62,8 @@ impl FrozenStore {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         Ok(FrozenStore {
             file,
             append_at: AtomicU64::new(0),
@@ -246,11 +242,7 @@ mod tests {
 
     fn store() -> FrozenStore {
         let dir = phoebe_common::KernelConfig::for_tests().data_dir;
-        FrozenStore::create(
-            &dir.join("frozen.db"),
-            vec![ColType::I64, ColType::Str(10)],
-        )
-        .unwrap()
+        FrozenStore::create(&dir.join("frozen.db"), vec![ColType::I64, ColType::Str(10)]).unwrap()
     }
 
     fn rows(range: std::ops::Range<u64>) -> (Vec<RowId>, Vec<Vec<Value>>) {

@@ -19,11 +19,7 @@ pub trait TpccConn: Send + Sized {
         t: Tbl,
         row: RowId,
     ) -> impl Future<Output = Result<Option<Vec<Value>>>> + Send;
-    fn insert(
-        &mut self,
-        t: Tbl,
-        tuple: Vec<Value>,
-    ) -> impl Future<Output = Result<RowId>> + Send;
+    fn insert(&mut self, t: Tbl, tuple: Vec<Value>) -> impl Future<Output = Result<RowId>> + Send;
     fn update(
         &mut self,
         t: Tbl,
@@ -103,7 +99,7 @@ impl PhoebeEngine {
         &self.tables[t as usize]
     }
 
-    pub fn index(&self, i: Idx) -> &Arc<IndexEntry> {
+    pub fn index_entry(&self, i: Idx) -> &Arc<IndexEntry> {
         &self.indexes[i as usize]
     }
 }
@@ -129,7 +125,7 @@ impl TpccEngine for PhoebeEngine {
 
 impl TpccConn for PhoebeConn {
     async fn read(&mut self, t: Tbl, row: RowId) -> Result<Option<Vec<Value>>> {
-        self.tx.read(&self.tables[t as usize], row)
+        Ok(self.tx.read(&self.tables[t as usize], row)?.map(|r| r.into_values()))
     }
 
     async fn insert(&mut self, t: Tbl, tuple: Vec<Value>) -> Result<RowId> {
@@ -153,7 +149,10 @@ impl TpccConn for PhoebeConn {
 
     async fn lookup(&mut self, idx: Idx, key: Vec<Value>) -> Result<Option<(RowId, Vec<Value>)>> {
         let table = &self.tables[idx.table() as usize];
-        self.tx.lookup_unique(table, &self.indexes[idx as usize], &key)
+        Ok(self
+            .tx
+            .lookup_unique(table, &self.indexes[idx as usize], &key)?
+            .map(|(id, r)| (id, r.into_values())))
     }
 
     async fn scan(
@@ -163,7 +162,12 @@ impl TpccConn for PhoebeConn {
         limit: usize,
     ) -> Result<Vec<(RowId, Vec<Value>)>> {
         let table = &self.tables[idx.table() as usize];
-        self.tx.scan_index(table, &self.indexes[idx as usize], &prefix, limit)
+        Ok(self
+            .tx
+            .scan_index(table, &self.indexes[idx as usize], &prefix, limit)?
+            .into_iter()
+            .map(|(id, r)| (id, r.into_values()))
+            .collect())
     }
 
     async fn commit(self) -> Result<()> {

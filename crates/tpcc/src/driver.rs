@@ -121,17 +121,13 @@ async fn terminal_loop<E: TpccEngine>(
                     txns::payment(&mut conn, &mut rng, &params, home_w).await.map(|_| true)
                 }
                 TxnKind::OrderStatus => {
-                    txns::order_status(&mut conn, &mut rng, &params, home_w)
-                        .await
-                        .map(|_| true)
+                    txns::order_status(&mut conn, &mut rng, &params, home_w).await.map(|_| true)
                 }
                 TxnKind::Delivery => {
                     txns::delivery(&mut conn, &mut rng, &params, home_w).await.map(|_| true)
                 }
                 TxnKind::StockLevel => {
-                    txns::stock_level(&mut conn, &mut rng, &params, home_w)
-                        .await
-                        .map(|_| true)
+                    txns::stock_level(&mut conn, &mut rng, &params, home_w).await.map(|_| true)
                 }
             };
             match outcome {

@@ -73,9 +73,8 @@ impl TpccRng {
 
     /// Last name for a numeric code (clause 4.3.2.3).
     pub fn last_name_for(code: u32) -> String {
-        const SYL: [&str; 10] = [
-            "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
-        ];
+        const SYL: [&str; 10] =
+            ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
         let code = code as usize;
         format!("{}{}{}", SYL[code / 100 % 10], SYL[code / 10 % 10], SYL[code % 10])
     }

@@ -2,6 +2,10 @@
 //! specification's cardinalities and value domains at the configured
 //! scale; one transaction per district keeps commit batches bounded.
 
+// Money literals are fixed-point cents grouped as dollars_cents
+// (300_000_00 = $300,000.00), matching the spec's decimal columns.
+#![allow(clippy::inconsistent_digit_grouping)]
+
 use crate::conn::{TpccConn, TpccEngine};
 use crate::gen::TpccRng;
 use crate::schema::{Tbl, TpccScale};
@@ -36,11 +40,7 @@ pub async fn load<E: TpccEngine>(
     Ok(())
 }
 
-async fn load_items<E: TpccEngine>(
-    engine: &E,
-    rng: &mut TpccRng,
-    scale: TpccScale,
-) -> Result<()> {
+async fn load_items<E: TpccEngine>(engine: &E, rng: &mut TpccRng, scale: TpccScale) -> Result<()> {
     let mut conn = engine.begin();
     for i in 1..=scale.items {
         conn.insert(
@@ -188,9 +188,8 @@ async fn load_district<E: TpccEngine>(
     let mut conn = engine.begin();
     let mut cust_perm: Vec<u32> = (1..=scale.customers_per_district).collect();
     {
-        let mut shuffle_rng = rand::rngs::StdRng::seed_from_u64(
-            (w as u64) << 32 | (d as u64) << 16 | 0xC0FFEE,
-        );
+        let mut shuffle_rng =
+            rand::rngs::StdRng::seed_from_u64((w as u64) << 32 | (d as u64) << 16 | 0xC0FFEE);
         cust_perm.shuffle(&mut shuffle_rng);
     }
     let delivered_upto = orders * 7 / 10; // first 70% delivered
@@ -214,8 +213,7 @@ async fn load_district<E: TpccEngine>(
         )
         .await?;
         for ol in 1..=ol_cnt {
-            let amount =
-                if delivered { 0 } else { rng.uniform_i64(1, 999_999) };
+            let amount = if delivered { 0 } else { rng.uniform_i64(1, 999_999) };
             conn.insert(
                 Tbl::OrderLine,
                 vec![

@@ -140,11 +140,9 @@ impl Tbl {
                 ("h_amount", I64),
                 ("h_data", Str(24)),
             ]),
-            Tbl::NewOrder => Schema::new(vec![
-                ("no_o_id", I32),
-                ("no_d_id", I32),
-                ("no_w_id", I32),
-            ]),
+            Tbl::NewOrder => {
+                Schema::new(vec![("no_o_id", I32), ("no_d_id", I32), ("no_w_id", I32)])
+            }
             Tbl::Order => Schema::new(vec![
                 ("o_id", I32),
                 ("o_d_id", I32),
@@ -230,15 +228,15 @@ impl Idx {
     pub fn key_cols(self) -> Vec<usize> {
         match self {
             Idx::WarehousePk => vec![0],
-            Idx::DistrictPk => vec![1, 0],           // (w, d)
-            Idx::CustomerPk => vec![2, 1, 0],        // (w, d, c)
-            Idx::CustomerByName => vec![2, 1, 5],    // (w, d, last)
-            Idx::OrderPk => vec![2, 1, 0],           // (w, d, o)
-            Idx::OrderByCustomer => vec![2, 1, 3],   // (w, d, c)
-            Idx::NewOrderPk => vec![2, 1, 0],        // (w, d, o)
-            Idx::OrderLinePk => vec![2, 1, 0, 3],    // (w, d, o, ol)
+            Idx::DistrictPk => vec![1, 0],         // (w, d)
+            Idx::CustomerPk => vec![2, 1, 0],      // (w, d, c)
+            Idx::CustomerByName => vec![2, 1, 5],  // (w, d, last)
+            Idx::OrderPk => vec![2, 1, 0],         // (w, d, o)
+            Idx::OrderByCustomer => vec![2, 1, 3], // (w, d, c)
+            Idx::NewOrderPk => vec![2, 1, 0],      // (w, d, o)
+            Idx::OrderLinePk => vec![2, 1, 0, 3],  // (w, d, o, ol)
             Idx::ItemPk => vec![0],
-            Idx::StockPk => vec![1, 0],              // (w, i)
+            Idx::StockPk => vec![1, 0], // (w, i)
         }
     }
 
@@ -357,8 +355,9 @@ mod tests {
             for c in idx.key_cols() {
                 width += match schema.col_type(c) {
                     phoebe_storage::schema::ColType::I32 => 4,
-                    phoebe_storage::schema::ColType::I64
-                    | phoebe_storage::schema::ColType::F64 => 8,
+                    phoebe_storage::schema::ColType::I64 | phoebe_storage::schema::ColType::F64 => {
+                        8
+                    }
                     phoebe_storage::schema::ColType::Str(m) => m as usize,
                 };
             }

@@ -130,18 +130,12 @@ pub async fn new_order<C: TpccConn>(
         let (_, stock) = conn
             .update_rmw(Tbl::Stock, s_rid, move |stock| {
                 let s_qty = stock[cols::S_QUANTITY].as_i32();
-                let new_qty = if s_qty >= quantity + 10 {
-                    s_qty - quantity
-                } else {
-                    s_qty - quantity + 91
-                };
+                let new_qty =
+                    if s_qty >= quantity + 10 { s_qty - quantity } else { s_qty - quantity + 91 };
                 let mut delta = vec![
                     (cols::S_QUANTITY, Value::I32(new_qty)),
                     (cols::S_YTD, Value::I32(stock[cols::S_YTD].as_i32() + quantity)),
-                    (
-                        cols::S_ORDER_CNT,
-                        Value::I32(stock[cols::S_ORDER_CNT].as_i32() + 1),
-                    ),
+                    (cols::S_ORDER_CNT, Value::I32(stock[cols::S_ORDER_CNT].as_i32() + 1)),
                 ];
                 if remote {
                     delta.push((
@@ -174,8 +168,7 @@ pub async fn new_order<C: TpccConn>(
         .await?;
     }
     // Total with taxes/discount — computed to mirror the spec's work.
-    let _grand_total =
-        (total as f64) * (1.0 - c_discount) * (1.0 + w_tax + d_tax);
+    let _grand_total = (total as f64) * (1.0 - c_discount) * (1.0 + w_tax + d_tax);
     Ok(true)
 }
 
@@ -188,7 +181,7 @@ pub async fn payment<C: TpccConn>(
 ) -> Result<()> {
     let d_id = rng.uniform(1, p.scale.districts_per_warehouse);
     let amount = rng.uniform_i64(100, 500_000); // cents
-    // 15% of payments come from a remote customer (clause 2.5.1.2).
+                                                // 15% of payments come from a remote customer (clause 2.5.1.2).
     let (c_w, c_d) = if p.warehouses > 1 && rng.chance(15) {
         let mut other = rng.uniform(1, p.warehouses - 1);
         if other >= w_id {
@@ -230,11 +223,7 @@ pub async fn payment<C: TpccConn>(
     } else {
         let last = rng.run_last_name(p.scale.customers_per_district);
         let matches = conn
-            .scan(
-                Idx::CustomerByName,
-                vec![i32v(c_w), i32v(c_d), Value::Str(last)],
-                200,
-            )
+            .scan(Idx::CustomerByName, vec![i32v(c_w), i32v(c_d), Value::Str(last)], 200)
             .await?;
         if matches.is_empty() {
             // Name domain can be sparse at tiny scales; fall back by id.
@@ -253,14 +242,8 @@ pub async fn payment<C: TpccConn>(
         .update_rmw(Tbl::Customer, c_rid, move |customer| {
             let mut delta = vec![
                 (cols::C_BALANCE, Value::I64(customer[cols::C_BALANCE].as_i64() - amount)),
-                (
-                    cols::C_YTD_PAYMENT,
-                    Value::I64(customer[cols::C_YTD_PAYMENT].as_i64() + amount),
-                ),
-                (
-                    cols::C_PAYMENT_CNT,
-                    Value::I32(customer[cols::C_PAYMENT_CNT].as_i32() + 1),
-                ),
+                (cols::C_YTD_PAYMENT, Value::I64(customer[cols::C_YTD_PAYMENT].as_i64() + amount)),
+                (cols::C_PAYMENT_CNT, Value::I32(customer[cols::C_PAYMENT_CNT].as_i32() + 1)),
             ];
             // Bad credit: fold payment info into C_DATA (clause 2.5.2.2).
             if customer[cols::C_CREDIT].as_str() == "BC" {
@@ -308,11 +291,7 @@ pub async fn order_status<C: TpccConn>(
     } else {
         let last = rng.run_last_name(p.scale.customers_per_district);
         let matches = conn
-            .scan(
-                Idx::CustomerByName,
-                vec![i32v(w_id), i32v(d_id), Value::Str(last)],
-                200,
-            )
+            .scan(Idx::CustomerByName, vec![i32v(w_id), i32v(d_id), Value::Str(last)], 200)
             .await?;
         if matches.is_empty() {
             None
@@ -326,16 +305,13 @@ pub async fn order_status<C: TpccConn>(
     };
     let c_id = customer[cols::C_ID].as_i32() as u32;
     // Latest order of this customer.
-    let orders = conn
-        .scan(Idx::OrderByCustomer, vec![i32v(w_id), i32v(d_id), i32v(c_id)], 1_000)
-        .await?;
+    let orders =
+        conn.scan(Idx::OrderByCustomer, vec![i32v(w_id), i32v(d_id), i32v(c_id)], 1_000).await?;
     let Some((_, order)) = orders.last() else {
         return Ok(());
     };
     let o_id = order[cols::O_ID].as_i32() as u32;
-    let lines = conn
-        .scan(Idx::OrderLinePk, vec![i32v(w_id), i32v(d_id), i32v(o_id)], 20)
-        .await?;
+    let lines = conn.scan(Idx::OrderLinePk, vec![i32v(w_id), i32v(d_id), i32v(o_id)], 20).await?;
     // Reading the line data is the transaction's output.
     let _total: i64 = lines.iter().map(|(_, l)| l[cols::OL_AMOUNT].as_i64()).sum();
     Ok(())
@@ -352,9 +328,7 @@ pub async fn delivery<C: TpccConn>(
     let carrier = rng.uniform(1, 10);
     let mut delivered = 0;
     for d_id in 1..=p.scale.districts_per_warehouse {
-        let oldest = conn
-            .scan(Idx::NewOrderPk, vec![i32v(w_id), i32v(d_id)], 1)
-            .await?;
+        let oldest = conn.scan(Idx::NewOrderPk, vec![i32v(w_id), i32v(d_id)], 1).await?;
         let Some((no_rid, no)) = oldest.into_iter().next() else {
             continue; // no pending order for this district
         };
@@ -374,9 +348,8 @@ pub async fn delivery<C: TpccConn>(
         let c_id = order[cols::O_C_ID].as_i32() as u32;
         conn.update(Tbl::Order, o_rid, vec![(cols::O_CARRIER_ID, i32v(carrier))]).await?;
 
-        let lines = conn
-            .scan(Idx::OrderLinePk, vec![i32v(w_id), i32v(d_id), i32v(o_id)], 20)
-            .await?;
+        let lines =
+            conn.scan(Idx::OrderLinePk, vec![i32v(w_id), i32v(d_id), i32v(o_id)], 20).await?;
         let now = now_millis();
         let mut total = 0i64;
         for (ol_rid, line) in lines {
@@ -391,10 +364,7 @@ pub async fn delivery<C: TpccConn>(
         conn.update_rmw(Tbl::Customer, c_rid, move |customer| {
             vec![
                 (cols::C_BALANCE, Value::I64(customer[cols::C_BALANCE].as_i64() + total)),
-                (
-                    cols::C_DELIVERY_CNT,
-                    Value::I32(customer[cols::C_DELIVERY_CNT].as_i32() + 1),
-                ),
+                (cols::C_DELIVERY_CNT, Value::I32(customer[cols::C_DELIVERY_CNT].as_i32() + 1)),
             ]
         })
         .await?;
@@ -420,17 +390,15 @@ pub async fn stock_level<C: TpccConn>(
     let from = next_o.saturating_sub(20).max(1);
     let mut item_ids = std::collections::HashSet::new();
     for o_id in from..next_o {
-        let lines = conn
-            .scan(Idx::OrderLinePk, vec![i32v(w_id), i32v(d_id), i32v(o_id)], 20)
-            .await?;
+        let lines =
+            conn.scan(Idx::OrderLinePk, vec![i32v(w_id), i32v(d_id), i32v(o_id)], 20).await?;
         for (_, line) in lines {
             item_ids.insert(line[cols::OL_I_ID].as_i32() as u32);
         }
     }
     let mut low = 0;
     for i_id in item_ids {
-        if let Some((_, stock)) = conn.lookup(Idx::StockPk, vec![i32v(w_id), i32v(i_id)]).await?
-        {
+        if let Some((_, stock)) = conn.lookup(Idx::StockPk, vec![i32v(w_id), i32v(i_id)]).await? {
             if stock[cols::S_QUANTITY].as_i32() < threshold {
                 low += 1;
             }

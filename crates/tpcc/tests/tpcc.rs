@@ -46,10 +46,8 @@ async fn check_consistency<E: TpccEngine>(engine: &E, warehouses: u32, scale: Tp
                 .expect("district exists");
             let next_o = district[cols::D_NEXT_O_ID].as_i32() as u32;
             // Highest order id must be next_o - 1.
-            let orders = conn
-                .scan(Idx::OrderPk, vec![i32v(w), i32v(d)], usize::MAX - 1)
-                .await
-                .unwrap();
+            let orders =
+                conn.scan(Idx::OrderPk, vec![i32v(w), i32v(d)], usize::MAX - 1).await.unwrap();
             let max_o =
                 orders.iter().map(|(_, o)| o[cols::O_ID].as_i32() as u32).max().unwrap_or(0);
             assert_eq!(max_o, next_o - 1, "w{w} d{d}: order counter must be dense");
@@ -78,10 +76,7 @@ fn load_populates_spec_cardinalities_on_phoebe() {
     let items = db.approximate_row_count(engine.table(Tbl::Item)).unwrap();
     assert_eq!(items, scale.items as usize);
     let customers = db.approximate_row_count(engine.table(Tbl::Customer)).unwrap();
-    assert_eq!(
-        customers,
-        (scale.districts_per_warehouse * scale.customers_per_district) as usize
-    );
+    assert_eq!(customers, (scale.districts_per_warehouse * scale.customers_per_district) as usize);
     let stock = db.approximate_row_count(engine.table(Tbl::Stock)).unwrap();
     assert_eq!(stock, scale.items as usize);
     db.shutdown();
@@ -155,8 +150,7 @@ fn payment_moves_money_and_writes_history() {
     });
     assert!(ytd_after > ytd_before, "payments must accumulate in W_YTD");
     let history = engine.db.approximate_row_count(engine.table(Tbl::History)).unwrap();
-    let loaded =
-        (scale.districts_per_warehouse * scale.customers_per_district) as usize;
+    let loaded = (scale.districts_per_warehouse * scale.customers_per_district) as usize;
     assert_eq!(history, loaded + 10);
     engine.db.shutdown();
 }
@@ -168,8 +162,7 @@ fn delivery_consumes_new_orders() {
     block_on(load(&engine, 1, scale, 10)).unwrap();
     let params = Params { warehouses: 1, scale };
     let mut rng = TpccRng::seeded(3);
-    let pending_before =
-        engine.db.approximate_row_count(engine.table(Tbl::NewOrder)).unwrap();
+    let pending_before = engine.db.approximate_row_count(engine.table(Tbl::NewOrder)).unwrap();
     assert!(pending_before > 0, "loader must leave undelivered orders");
     let delivered = block_on(async {
         let mut conn = engine.begin();
@@ -180,8 +173,7 @@ fn delivery_consumes_new_orders() {
     assert!(delivered > 0);
     // GC makes deletions physical before counting.
     engine.db.collect_all();
-    let pending_after =
-        engine.db.approximate_row_count(engine.table(Tbl::NewOrder)).unwrap();
+    let pending_after = engine.db.approximate_row_count(engine.table(Tbl::NewOrder)).unwrap();
     assert_eq!(pending_after, pending_before - delivered as usize);
     engine.db.shutdown();
 }

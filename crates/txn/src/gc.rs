@@ -118,13 +118,7 @@ impl GcEngine {
     pub fn max_frozen(&self, min_active_start: Timestamp) -> Timestamp {
         self.arenas
             .iter()
-            .map(|a| {
-                if a.is_empty() {
-                    min_active_start
-                } else {
-                    a.last_reclaimed_cts()
-                }
-            })
+            .map(|a| if a.is_empty() { min_active_start } else { a.last_reclaimed_cts() })
             .min()
             .unwrap_or(min_active_start)
     }
@@ -214,13 +208,8 @@ mod tests {
         let gc = GcEngine::new(vec![Arc::clone(&arena)], Arc::clone(&registry));
 
         committed(&arena, &registry, 1, 5, UndoOp::Update { delta: vec![(0, Value::I64(1))] });
-        let newer = committed(
-            &arena,
-            &registry,
-            1,
-            40,
-            UndoOp::Update { delta: vec![(0, Value::I64(2))] },
-        );
+        let newer =
+            committed(&arena, &registry, 1, 40, UndoOp::Update { delta: vec![(0, Value::I64(2))] });
         let stats = gc.collect_all(10, |_| {});
         assert_eq!(stats.undo_reclaimed, 1);
         let twin = registry.get((TableId(1), RowId(0))).unwrap();
@@ -235,8 +224,7 @@ mod tests {
         let a0 = Arc::new(UndoArena::new());
         let a1 = Arc::new(UndoArena::new());
         let registry = Arc::new(TwinRegistry::new());
-        let gc =
-            GcEngine::new(vec![Arc::clone(&a0), Arc::clone(&a1)], Arc::clone(&registry));
+        let gc = GcEngine::new(vec![Arc::clone(&a0), Arc::clone(&a1)], Arc::clone(&registry));
         committed(&a0, &registry, 1, 5, UndoOp::Insert);
         committed(&a0, &registry, 2, 8, UndoOp::Insert);
         committed(&a1, &registry, 3, 6, UndoOp::Insert);

@@ -109,7 +109,9 @@ impl TxnHandle {
             if Instant::now() >= deadline {
                 return Err(PhoebeError::LockTimeout { waiting_for: self.xid });
             }
-            let notified = self.notify.notified();
+            // The subscription lives until the end of this iteration; the
+            // loop re-subscribes each time around.
+            let _notified = self.notify.notified();
             // Re-check after subscribing to close the race.
             if let Some(o) = self.outcome() {
                 return Ok(o);
@@ -117,7 +119,6 @@ impl TxnHandle {
             // Park on the notification; the level-triggered executor
             // re-polls periodically, which is what enforces the deadline.
             yield_now(Urgency::Low).await;
-            let _ = notified; // subscription dropped; loop re-subscribes
         }
     }
 }

@@ -114,9 +114,11 @@ impl TwinTable {
 
 const SHARDS: usize = 64;
 
+type TwinShard = Mutex<HashMap<TwinKey, Arc<TwinTable>>>;
+
 /// Sharded registry resolving page identities to twin tables.
 pub struct TwinRegistry {
-    shards: Box<[Mutex<HashMap<TwinKey, Arc<TwinTable>>>]>,
+    shards: Box<[TwinShard]>,
 }
 
 impl Default for TwinRegistry {
@@ -161,8 +163,8 @@ impl TwinRegistry {
                 // lands before (entries non-empty => retained) or observes
                 // `dead` and retries against a fresh table.
                 let entries = t.entries.lock();
-                let stale =
-                    entries.is_empty() && t.max_writer_start.load(Ordering::Acquire) <= max_frozen_start;
+                let stale = entries.is_empty()
+                    && t.max_writer_start.load(Ordering::Acquire) <= max_frozen_start;
                 if stale {
                     t.dead.store(true, Ordering::Release);
                     reclaimed += 1;

@@ -79,10 +79,7 @@ pub fn recover_dir(dir: &Path) -> Result<Vec<RecoveredTxn>> {
     for rec in merged {
         match rec.body {
             RecordBody::Begin => {
-                txns.insert(
-                    rec.xid.raw(),
-                    RecoveredTxn { xid: rec.xid, cts: 0, ops: Vec::new() },
-                );
+                txns.insert(rec.xid.raw(), RecoveredTxn { xid: rec.xid, cts: 0, ops: Vec::new() });
             }
             RecordBody::Commit { cts } => {
                 if let Some(mut t) = txns.remove(&rec.xid.raw()) {
@@ -140,11 +137,7 @@ mod tests {
             0,
             xid(1),
             g,
-            RecordBody::Insert {
-                table: TableId(1),
-                row: RowId(1),
-                tuple: vec![Value::I64(1)],
-            },
+            RecordBody::Insert { table: TableId(1), row: RowId(1), tuple: vec![Value::I64(1)] },
         );
         block_on(h.commit(0, xid(1), 20, &rfa)).unwrap();
         // Txn B on slot 1 commits earlier (@10).
@@ -196,10 +189,8 @@ mod tests {
             lsn: phoebe_common::ids::Lsn(lsn),
             body: RecordBody::Begin,
         };
-        let merged = merge_by_gsn(vec![
-            vec![mk(0, 1, 1), mk(0, 5, 2)],
-            vec![mk(1, 2, 1), mk(1, 3, 2)],
-        ]);
+        let merged =
+            merge_by_gsn(vec![vec![mk(0, 1, 1), mk(0, 5, 2)], vec![mk(1, 2, 1), mk(1, 3, 2)]]);
         let gsns: Vec<u64> = merged.iter().map(|r| r.gsn.raw()).collect();
         assert_eq!(gsns, vec![1, 2, 3, 5]);
     }

@@ -21,6 +21,7 @@ use crate::aio::{AioPool, AioRequest};
 use crate::record::{RecordBody, WalRecord};
 use parking_lot::Mutex;
 use phoebe_common::error::Result;
+use phoebe_common::hist::LatencySite;
 use phoebe_common::ids::{Gsn, Lsn, Timestamp, Xid};
 use phoebe_common::metrics::{Component, Counter, Metrics};
 use phoebe_runtime::{yield_now, Notify, Urgency};
@@ -47,12 +48,8 @@ pub struct WalWriter {
 
 impl WalWriter {
     fn create(slot: usize, path: &Path) -> Result<Arc<Self>> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         Ok(Arc::new(WalWriter {
             slot,
             file: Arc::new(file),
@@ -102,11 +99,7 @@ impl WalWriter {
         };
         let len = data.len() as u64;
         let off = self.file_off.fetch_add(len, Ordering::Relaxed);
-        let w = aio.submit(AioRequest::WriteAt {
-            file: Arc::clone(&self.file),
-            offset: off,
-            data,
-        });
+        let w = aio.submit(AioRequest::WriteAt { file: Arc::clone(&self.file), offset: off, data });
         w.wait()?;
         if sync {
             aio.submit(AioRequest::Fsync { file: Arc::clone(&self.file) }).wait()?;
@@ -121,8 +114,7 @@ impl WalWriter {
     /// Durable horizon for RFA: `u64::MAX` when nothing is pending,
     /// otherwise the highest GSN known durable.
     pub fn durable_horizon(&self) -> u64 {
-        if self.flushed_lsn.load(Ordering::Acquire) >= self.appended_lsn.load(Ordering::Acquire)
-        {
+        if self.flushed_lsn.load(Ordering::Acquire) >= self.appended_lsn.load(Ordering::Acquire) {
             u64::MAX
         } else {
             self.flushed_gsn.load(Ordering::Acquire)
@@ -144,13 +136,13 @@ impl WalWriter {
     /// Await durability of `lsn` (own-slot commit wait).
     pub async fn wait_lsn(&self, lsn: Lsn) {
         while self.flushed_lsn.load(Ordering::Acquire) < lsn.raw() {
-            let n = self.durable.notified();
+            // Subscription lives for the iteration; re-subscribe each round.
+            let _notified = self.durable.notified();
             if self.flushed_lsn.load(Ordering::Acquire) >= lsn.raw() {
                 return;
             }
             // Async-read-class wait: short, high urgency (§7.1).
             yield_now(Urgency::High).await;
-            let _ = n;
         }
     }
 }
@@ -309,13 +301,23 @@ impl WalHub {
     /// Returns total bytes flushed.
     pub fn flush_all(&self) -> Result<u64> {
         // Submit all writes first so they overlap, then fsync.
+        let round_start = std::time::Instant::now();
         let mut total = 0;
         for w in &self.writers {
-            total += w.flush(&self.aio, self.sync)?;
+            let t0 = std::time::Instant::now();
+            let n = w.flush(&self.aio, self.sync)?;
+            if n > 0 {
+                // Per-writer physical flush latency (write + fsync).
+                self.metrics.record_latency(LatencySite::WalFlush, t0.elapsed().as_nanos() as u64);
+            }
+            total += n;
         }
         if total > 0 {
             self.metrics.incr(Counter::WalFlushes);
             self.metrics.add(Counter::WalFlushedBytes, total);
+            // The whole round is one group-commit window's worth of work.
+            self.metrics
+                .record_latency(LatencySite::GroupCommit, round_start.elapsed().as_nanos() as u64);
         }
         Ok(total)
     }
@@ -376,15 +378,8 @@ mod tests {
 
     fn hub(slots: usize) -> Arc<WalHub> {
         let dir = phoebe_common::KernelConfig::for_tests().data_dir;
-        WalHub::new(
-            &dir,
-            slots,
-            2,
-            Duration::from_micros(100),
-            true,
-            Arc::new(Metrics::new(1)),
-        )
-        .unwrap()
+        WalHub::new(&dir, slots, 2, Duration::from_micros(100), true, Arc::new(Metrics::new(1)))
+            .unwrap()
     }
 
     fn xid(n: u64) -> Xid {

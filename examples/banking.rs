@@ -7,19 +7,15 @@
 //!
 //! Run with: `cargo run --example banking`
 
-use phoebe_common::KernelConfig;
-use phoebe_core::{Database, IsolationLevel};
-use phoebe_storage::schema::{ColType, Schema, Value};
+use phoebe_core::prelude::*;
 
 const ACCOUNTS: i64 = 10;
 const OPENING: i64 = 1_000;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut cfg = KernelConfig::default();
-    cfg.workers = 2;
-    cfg.slots_per_worker = 16;
-    cfg.data_dir = std::env::temp_dir().join("phoebe-banking");
-    let _ = std::fs::remove_dir_all(&cfg.data_dir);
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join("phoebe-banking");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = KernelConfig::builder().workers(2).slots_per_worker(16).data_dir(dir).build()?;
     let db = Database::open(cfg)?;
     let accounts = db.create_table(
         "accounts",

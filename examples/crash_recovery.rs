@@ -3,21 +3,17 @@
 //!
 //! Run with: `cargo run --example crash_recovery`
 
-use phoebe_common::KernelConfig;
-use phoebe_core::{Database, IsolationLevel};
-use phoebe_storage::schema::{ColType, Schema, Value};
+use phoebe_core::prelude::*;
 
 fn schema() -> Schema {
     Schema::new(vec![("k", ColType::I64), ("v", ColType::Str(24))])
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut cfg = KernelConfig::default();
-    cfg.workers = 2;
-    cfg.slots_per_worker = 4;
-    cfg.data_dir = std::env::temp_dir().join("phoebe-recovery");
-    let _ = std::fs::remove_dir_all(&cfg.data_dir);
-    let wal_dir = cfg.data_dir.join("wal");
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join("phoebe-recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = KernelConfig::builder().workers(2).slots_per_worker(4).data_dir(&dir).build()?;
+    let wal_dir = dir.join("wal");
 
     // Phase 1: do work, then "crash" (drop the kernel without checkpoint).
     let committed_row = {
@@ -49,11 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // Phase 2: a fresh kernel over a fresh data dir, same WAL.
-    let mut cfg2 = KernelConfig::default();
-    cfg2.workers = 2;
-    cfg2.slots_per_worker = 4;
-    cfg2.data_dir = std::env::temp_dir().join("phoebe-recovery-2");
-    let _ = std::fs::remove_dir_all(&cfg2.data_dir);
+    let dir2 = std::env::temp_dir().join("phoebe-recovery-2");
+    let _ = std::fs::remove_dir_all(&dir2);
+    let cfg2 = KernelConfig::builder().workers(2).slots_per_worker(4).data_dir(dir2).build()?;
     let db = Database::open(cfg2)?;
     let kv = db.create_table("kv", schema())?; // same catalog order
     let replayed = db.replay_wal(&wal_dir)?;

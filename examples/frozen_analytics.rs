@@ -5,19 +5,19 @@
 //!
 //! Run with: `cargo run --release --example frozen_analytics`
 
-use phoebe_common::KernelConfig;
-use phoebe_core::{Database, IsolationLevel};
-use phoebe_storage::schema::{ColType, Schema, Value};
+use phoebe_core::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut cfg = KernelConfig::default();
-    cfg.workers = 2;
-    cfg.slots_per_worker = 8;
-    cfg.buffer_frames = 512;
-    cfg.freeze_access_threshold = u64::MAX; // freeze everything cold+full
-    cfg.freeze_batch_pages = 16;
-    cfg.data_dir = std::env::temp_dir().join("phoebe-frozen-analytics");
-    let _ = std::fs::remove_dir_all(&cfg.data_dir);
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join("phoebe-frozen-analytics");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = KernelConfig::builder()
+        .workers(2)
+        .slots_per_worker(8)
+        .buffer_frames(512)
+        .freeze_access_threshold(u64::MAX) // freeze everything cold+full
+        .freeze_batch_pages(16)
+        .data_dir(dir)
+        .build()?;
     let db = Database::open(cfg)?;
 
     // A sales fact table.

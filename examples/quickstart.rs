@@ -3,17 +3,13 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use phoebe_common::KernelConfig;
-use phoebe_core::{Database, IsolationLevel};
-use phoebe_storage::schema::{ColType, Schema, Value};
+use phoebe_core::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<()> {
     // A kernel over a scratch directory: 2 workers x 8 task slots.
-    let mut cfg = KernelConfig::default();
-    cfg.workers = 2;
-    cfg.slots_per_worker = 8;
-    cfg.data_dir = std::env::temp_dir().join("phoebe-quickstart");
-    let _ = std::fs::remove_dir_all(&cfg.data_dir);
+    let dir = std::env::temp_dir().join("phoebe-quickstart");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = KernelConfig::builder().workers(2).slots_per_worker(8).data_dir(dir).build()?;
     let db = Database::open(cfg)?;
 
     // A table is one B-Tree keyed by an internal row id; user keys live in
@@ -52,15 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut tx = db3.begin(IsolationLevel::ReadCommitted);
         let alice = tx.read(&users3, alice_row)?.expect("alice exists");
         println!("read by row id: {alice:?}");
-        let (row, bob) = tx
-            .lookup_unique(&users3, &by_id, &[Value::I64(2)])?
-            .expect("bob exists");
+        let (row, bob) = tx.lookup_unique(&users3, &by_id, &[Value::I64(2)])?.expect("bob exists");
         println!("lookup by index: row={row} tuple={bob:?}");
         // +1 karma, atomically.
-        tx.update_rmw(&users3, row, &|cur| {
-            vec![(2, Value::I64(cur[2].as_i64() + 1))]
-        })
-        .await?;
+        tx.update_rmw(&users3, row, &|cur| vec![(2, Value::I64(cur[2].as_i64() + 1))]).await?;
         let cts = tx.commit().await?;
         println!("committed at timestamp {cts}");
         Ok::<_, phoebe_common::PhoebeError>(())

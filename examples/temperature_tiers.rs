@@ -5,20 +5,20 @@
 //! Run with: `cargo run --example temperature_tiers`
 
 use phoebe_common::ids::RowId;
-use phoebe_common::KernelConfig;
-use phoebe_core::{Database, IsolationLevel};
-use phoebe_storage::schema::{ColType, Schema, Value};
+use phoebe_core::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut cfg = KernelConfig::default();
-    cfg.workers = 1;
-    cfg.slots_per_worker = 4;
-    cfg.buffer_frames = 128; // small: forces hot->cold eviction
-    cfg.freeze_access_threshold = u64::MAX; // every full leaf qualifies
-    cfg.freeze_batch_pages = 8;
-    cfg.warm_read_threshold = 4;
-    cfg.data_dir = std::env::temp_dir().join("phoebe-tiers");
-    let _ = std::fs::remove_dir_all(&cfg.data_dir);
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join("phoebe-tiers");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = KernelConfig::builder()
+        .workers(1)
+        .slots_per_worker(4)
+        .buffer_frames(128) // small: forces hot->cold eviction
+        .freeze_access_threshold(u64::MAX) // every full leaf qualifies
+        .freeze_batch_pages(8)
+        .warm_read_threshold(4)
+        .data_dir(dir)
+        .build()?;
     let db = Database::open(cfg)?;
     let events = db.create_table(
         "events",
@@ -72,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The block got hot: warm it back into Main Storage under new row ids.
     let warm = db.warm_table(&events)?;
-    println!("warmed {} rows from {} hot blocks back into hot storage", warm.rows_warmed, warm.blocks_warmed);
+    println!(
+        "warmed {} rows from {} hot blocks back into hot storage",
+        warm.rows_warmed, warm.blocks_warmed
+    );
     println!("total visible rows: {}", db.approximate_row_count(&events)?);
     db.shutdown();
     Ok(())

@@ -3,20 +3,21 @@
 //!
 //! Run with: `cargo run --release --example tpcc_demo`
 
-use phoebe_common::KernelConfig;
-use phoebe_core::Database;
+use phoebe_core::prelude::*;
 use phoebe_runtime::block_on;
 use phoebe_tpcc::{load, run_phoebe, DriverConfig, PhoebeEngine, TpccScale};
 use std::time::Duration;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<()> {
     let warehouses = 2u32;
-    let mut cfg = KernelConfig::default();
-    cfg.workers = 2;
-    cfg.slots_per_worker = 32;
-    cfg.buffer_frames = 4096;
-    cfg.data_dir = std::env::temp_dir().join("phoebe-tpcc-demo");
-    let _ = std::fs::remove_dir_all(&cfg.data_dir);
+    let dir = std::env::temp_dir().join("phoebe-tpcc-demo");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = KernelConfig::builder()
+        .workers(2)
+        .slots_per_worker(32)
+        .buffer_frames(4096)
+        .data_dir(dir)
+        .build()?;
     let db = Database::open(cfg)?;
     let engine = PhoebeEngine::create(db)?;
 

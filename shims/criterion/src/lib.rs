@@ -1,0 +1,130 @@
+//! Offline stand-in for `criterion`. Runs each benchmark closure in a
+//! warm-up pass followed by timed sample batches and prints a mean
+//! ns/iter line — enough to compare hot paths locally without the real
+//! statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized; only a hint in the stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.measurement_time / self.sample_size as u32,
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mean = if b.samples.is_empty() {
+            0.0
+        } else {
+            b.samples.iter().sum::<f64>() / b.samples.len() as f64
+        };
+        println!("bench: {name:<44} {mean:>12.1} ns/iter ({} samples)", b.samples.len());
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct Bencher {
+    budget: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until this sample's budget is spent;
+    /// records mean ns/iter for the sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up + calibration: find an iteration count that fills the
+        // sample budget without calling Instant::now in the hot loop.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let one = t0.elapsed().max(Duration::from_nanos(10));
+        let iters = (self.budget.as_nanos() / one.as_nanos()).clamp(1, 10_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        let total = t1.elapsed();
+        self.samples.push(total.as_nanos() as f64 / iters as f64);
+    }
+
+    /// Batched form: `setup` is untimed, `routine` is timed per input.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.budget && iters < 10_000_000 {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t.elapsed();
+            iters += 1;
+        }
+        if iters > 0 {
+            self.samples.push(total.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// `criterion_group! { name = ..; config = ..; targets = .. }` and the
+/// positional form `criterion_group!(name, target, ..)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

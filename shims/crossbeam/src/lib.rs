@@ -1,0 +1,234 @@
+//! Offline stand-in for the `crossbeam` crate covering the two pieces
+//! this workspace uses: `deque::Injector` (a shared MPMC injector
+//! queue) and `channel::unbounded` (a cloneable-on-both-ends channel).
+//! Implemented with std mutexes — correctness-first, lock-free-second;
+//! the scheduler and AIO layers only need the semantics.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Result of a steal attempt, mirroring crossbeam's API.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// FIFO injector queue shared by all workers.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+        /// Approximate length maintained outside the lock so `is_empty`
+        /// stays cheap on the scheduler's idle path.
+        len: AtomicUsize,
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()), len: AtomicUsize::new(0) }
+        }
+
+        pub fn push(&self, task: T) {
+            let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(task);
+            self.len.store(q.len(), Ordering::Release);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            let Ok(mut q) = self.queue.try_lock() else {
+                return Steal::Retry;
+            };
+            match q.pop_front() {
+                Some(v) => {
+                    self.len.store(q.len(), Ordering::Release);
+                    Steal::Success(v)
+                }
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len.load(Ordering::Acquire) == 0
+        }
+
+        pub fn len(&self) -> usize {
+            self.len.load(Ordering::Acquire)
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+}
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        cv: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Create an unbounded MPMC channel. Both ends are cloneable; the
+    /// channel disconnects when every `Sender` is dropped.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.chan.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            let mut q = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(value);
+            drop(q);
+            self.chan.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.senders.fetch_add(1, Ordering::AcqRel);
+            Sender { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake all blocked receivers so they
+                // observe the disconnect.
+                self.chan.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.chan.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.chan.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match q.pop_front() {
+                Some(v) => Ok(v),
+                None if self.chan.senders.load(Ordering::Acquire) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use super::deque::{Injector, Steal};
+
+    #[test]
+    fn injector_fifo_and_empty() {
+        let inj = Injector::new();
+        assert!(inj.is_empty());
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.steal(), Steal::Success(1));
+        assert_eq!(inj.steal(), Steal::Success(2));
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn channel_disconnects_when_senders_drop() {
+        let (tx, rx) = channel::unbounded();
+        let rx2 = rx.clone();
+        tx.send(7u32).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx2.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn channel_blocking_recv_across_threads() {
+        let (tx, rx) = channel::unbounded();
+        let t = std::thread::spawn(move || rx.recv().unwrap());
+        tx.send(42u64).unwrap();
+        assert_eq!(t.join().unwrap(), 42);
+    }
+}

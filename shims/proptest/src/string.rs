@@ -1,0 +1,142 @@
+//! `string_regex` — a generator for the simple character-class regex
+//! subset the workspace's tests use (e.g. `"[a-zA-Z0-9 ]{0,12}"`).
+//! Supported syntax: literal characters and `[..]` classes (with `a-z`
+//! ranges), each optionally followed by `{m}`, `{m,n}`, `*`, `+`, `?`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported regex for string strategy: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize, // inclusive
+}
+
+pub struct RegexGeneratorStrategy {
+    atoms: Vec<Atom>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let n = rng.usize_in(atom.min, atom.max + 1);
+            for _ in 0..n {
+                let idx = rng.usize_in(0, atom.choices.len());
+                out.push(atom.choices[idx]);
+            }
+        }
+        out
+    }
+}
+
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0usize;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .ok_or_else(|| Error(pattern.into()))?
+                    + i;
+                let class = &chars[i + 1..close];
+                i = close + 1;
+                expand_class(class).ok_or_else(|| Error(pattern.into()))?
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).ok_or_else(|| Error(pattern.into()))?;
+                i += 1;
+                vec![c]
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => return Err(Error(pattern.into())),
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| Error(pattern.into()))?
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                let parts: Vec<&str> = body.split(',').collect();
+                match parts.as_slice() {
+                    [n] => {
+                        let n = n.parse().map_err(|_| Error(pattern.into()))?;
+                        (n, n)
+                    }
+                    [lo, hi] => (
+                        lo.parse().map_err(|_| Error(pattern.into()))?,
+                        hi.parse().map_err(|_| Error(pattern.into()))?,
+                    ),
+                    _ => return Err(Error(pattern.into())),
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        if max < min {
+            return Err(Error(pattern.into()));
+        }
+        atoms.push(Atom { choices, min, max });
+    }
+    Ok(RegexGeneratorStrategy { atoms })
+}
+
+fn expand_class(class: &[char]) -> Option<Vec<char>> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            if lo > hi {
+                return None;
+            }
+            for c in lo..=hi {
+                out.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            out.push(class[i]);
+            i += 1;
+        }
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}

@@ -1,0 +1,64 @@
+//! Deterministic RNG + per-test configuration for the proptest stand-in.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Runner configuration; only `cases` is meaningful in the stand-in.
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// splitmix64 generator seeded from the test path and case index, so
+/// every case of every test explores a distinct deterministic stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_case(test_path: &str, case: u64) -> Self {
+        let mut h = DefaultHasher::new();
+        test_path.hash(&mut h);
+        case.hash(&mut h);
+        TestRng { state: h.finish() | 1 }
+    }
+
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform draw in `[lo, hi)` over `usize`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo + 1 {
+            return lo;
+        }
+        lo + self.below((hi - lo) as u64) as usize
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`. The workspace derives
+//! `Serialize`/`Deserialize` as a forward-compatibility marker but has
+//! no wire format that goes through serde (JSON output is hand-rolled
+//! in `phoebe_common::json`). The traits are blanket-implemented so
+//! bounds are always satisfiable, and the derives are no-ops.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -5,11 +5,11 @@
 use phoebe_common::KernelConfig;
 use phoebe_core::Database;
 use phoebe_runtime::block_on;
+use phoebe_storage::schema::Value;
 use phoebe_tpcc::conn::TpccConn;
 use phoebe_tpcc::schema::{cols, Idx};
 use phoebe_tpcc::txns::{self, Params};
 use phoebe_tpcc::{gen::TpccRng, load, PhoebeEngine, TpccEngine, TpccScale};
-use phoebe_storage::schema::Value;
 
 fn fresh(tag: &str) -> KernelConfig {
     let mut cfg = KernelConfig::for_tests();
