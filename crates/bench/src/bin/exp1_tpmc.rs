@@ -3,13 +3,15 @@
 //! Paper: 349k / 3,362k / 6,903k / 11,578k / 13,690k tpmC at 1/10/25/50/100
 //! warehouses-and-workers. Shape to reproduce: tpmC grows with the
 //! warehouse/worker count, sublinearly at the top end.
+//!
+//! `PHOEBE_EXP1_POINTS=1,4` overrides the measured points (CI smoke).
 
 use phoebe_bench::*;
 use phoebe_tpcc::run_phoebe;
 
 fn main() {
-    let headers = ["warehouses", "workers", "tpmC", "tpm", "aborts"];
-    let points: Vec<usize> = vec![1, 2, 4, 8];
+    let headers = ["warehouses", "workers", "tpmC", "tpm", "tpm/worker", "aborts"];
+    let points = env_points("PHOEBE_EXP1_POINTS", &[1, 2, 4, 8]);
     let mut rows = Vec::new();
     let mut percs = Vec::new();
     let mut last_stats = None;
@@ -22,12 +24,15 @@ fn main() {
             n.to_string(),
             f(stats.tpmc()),
             f(stats.tpm_total()),
+            f(stats.tpm_total() / n as f64),
             stats.aborts.to_string(),
         ]);
+        let snap = engine.db.metrics.snapshot();
         percs.push(
             phoebe_common::Json::obj()
                 .with("warehouses", n as u64)
-                .with("latency", latency_json(&engine.db.metrics.snapshot())),
+                .with("top_p99", top_p99_sites(&snap, 3))
+                .with("latency", latency_json(&snap)),
         );
         last_stats = Some(kernel_stats_json(&engine.db));
         engine.db.shutdown();

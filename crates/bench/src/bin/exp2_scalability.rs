@@ -19,18 +19,31 @@ fn main() {
         workers *= 2;
     }
     let wh = env_or("PHOEBE_WAREHOUSES", 4u32);
-    let headers = ["workers", "tpm", "tpm/worker"];
+    let headers = ["workers", "tpm", "tpm/worker", "efficiency"];
     let mut rows = Vec::new();
     let mut percs = Vec::new();
+    let mut base_per_worker = None;
     for &n in &points {
         let engine = loaded_engine("exp2", n, 32, 4096, wh, phoebe_tpcc::TpccScale::mini());
         let cfg = driver_cfg(wh, n * 8, false);
         let stats = run_phoebe(&engine, &cfg);
-        rows.push(vec![n.to_string(), f(stats.tpm_total()), f(stats.tpm_total() / n as f64)]);
+        let per_worker = stats.tpm_total() / n as f64;
+        // Per-worker efficiency vs the first measured point (1.0 = perfect
+        // scaling, the paper's Figure 8 framing).
+        let base = *base_per_worker.get_or_insert(per_worker);
+        let efficiency = if base > 0.0 { per_worker / base } else { 0.0 };
+        rows.push(vec![
+            n.to_string(),
+            f(stats.tpm_total()),
+            f(per_worker),
+            format!("{efficiency:.3}"),
+        ]);
+        let snap = engine.db.metrics.snapshot();
         percs.push(
             phoebe_common::Json::obj()
                 .with("workers", n as u64)
-                .with("latency", latency_json(&engine.db.metrics.snapshot())),
+                .with("top_p99", top_p99_sites(&snap, 3))
+                .with("latency", latency_json(&snap)),
         );
         engine.db.shutdown();
     }

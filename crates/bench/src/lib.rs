@@ -20,6 +20,16 @@ pub fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+/// Read a comma-separated list override (`PHOEBE_EXP1_POINTS=1,4`) or fall
+/// back — lets CI smoke runs measure just the points they compare.
+pub fn env_points(name: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(name)
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect::<Vec<usize>>())
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
 /// Benchmark duration per measured point.
 pub fn bench_duration() -> Duration {
     Duration::from_secs(env_or("PHOEBE_DURATION_SECS", 3))
@@ -194,6 +204,25 @@ pub fn latency_json(snap: &MetricsSnapshot) -> Json {
         );
     }
     obj
+}
+
+/// The `k` sites with the highest p99 latency, worst first — the "where
+/// does tail latency live" summary every experiment now reports.
+pub fn top_p99_sites(snap: &MetricsSnapshot, k: usize) -> Json {
+    let mut sites: Vec<_> = SITES
+        .iter()
+        .map(|&site| (site.name(), snap.latency(site)))
+        .filter(|(_, h)| h.count() > 0)
+        .collect();
+    sites.sort_by_key(|(_, h)| std::cmp::Reverse(h.p99()));
+    let arr: Vec<Json> = sites
+        .into_iter()
+        .take(k)
+        .map(|(name, h)| {
+            Json::obj().with("site", name).with("p99_ns", h.p99()).with("count", h.count())
+        })
+        .collect();
+    Json::from(arr)
 }
 
 /// The kernel's full stats snapshot (counters + components + percentiles),

@@ -15,9 +15,11 @@ pub mod hist;
 pub mod ids;
 pub mod json;
 pub mod metrics;
+pub mod snapshot;
 
 pub use config::{KernelConfig, KernelConfigBuilder};
 pub use error::{PhoebeError, Result};
 pub use hist::{HistogramSnapshot, LatencySite};
 pub use ids::{Gsn, Lsn, PageId, RowId, SlotId, TableId, Timestamp, WorkerId, Xid};
 pub use json::Json;
+pub use snapshot::SnapshotList;

@@ -9,6 +9,7 @@
 use crate::keys::KeyBuilder;
 use phoebe_common::error::{PhoebeError, Result};
 use phoebe_common::ids::{RowId, TableId};
+use phoebe_common::snapshot::SnapshotList;
 use phoebe_storage::schema::{ColType, Schema, Value};
 use phoebe_storage::{BTree, FrozenStore, PaxLayout};
 use phoebe_txn::TableLock;
@@ -86,7 +87,9 @@ pub struct TableEntry {
     pub frozen: FrozenStore,
     pub lock: TableLock,
     next_row_id: AtomicU64,
-    pub indexes: parking_lot::RwLock<Vec<Arc<IndexEntry>>>,
+    /// Index list as an immutable snapshot: every insert/delete walks it,
+    /// so readers get a lock-free borrow instead of an `RwLock` + clone.
+    pub indexes: SnapshotList<Arc<IndexEntry>>,
 }
 
 impl TableEntry {
@@ -107,7 +110,7 @@ impl TableEntry {
             frozen,
             lock: TableLock::new(),
             next_row_id: AtomicU64::new(1),
-            indexes: parking_lot::RwLock::new(Vec::new()),
+            indexes: SnapshotList::default(),
         }
     }
 
@@ -129,15 +132,16 @@ impl TableEntry {
     /// Find an index by name.
     pub fn index(&self, name: &str) -> Result<Arc<IndexEntry>> {
         self.indexes
-            .read()
+            .load()
             .iter()
             .find(|i| i.def.name == name)
             .cloned()
             .ok_or_else(|| PhoebeError::internal(format!("no index '{name}' on {}", self.name)))
     }
 
-    /// All indexes (insert/delete maintenance).
-    pub fn all_indexes(&self) -> Vec<Arc<IndexEntry>> {
-        self.indexes.read().clone()
+    /// All indexes (insert/delete maintenance): lock-free snapshot borrow,
+    /// no per-operation `Vec` clone.
+    pub fn all_indexes(&self) -> &[Arc<IndexEntry>] {
+        self.indexes.load()
     }
 }

@@ -7,6 +7,7 @@ use parking_lot::{Mutex, RwLock};
 use phoebe_common::error::{PhoebeError, Result};
 use phoebe_common::ids::{TableId, Timestamp};
 use phoebe_common::metrics::{Component, Counter, Metrics};
+use phoebe_common::snapshot::SnapshotList;
 use phoebe_common::KernelConfig;
 use phoebe_runtime::{Runtime, RuntimeConfig, WorkerHook};
 use phoebe_storage::schema::{ColType, Schema};
@@ -36,7 +37,10 @@ pub struct Database {
     arenas: Vec<Arc<UndoArena>>,
     pub tuple_locks: Vec<phoebe_txn::locks::TupleLockSlot>,
     gc: GcEngine,
-    catalog: RwLock<Vec<Arc<TableEntry>>>,
+    /// Table list as an immutable snapshot (see [`SnapshotList`]):
+    /// `table_by_id` runs per UNDO log during rollback and GC, so it must
+    /// not serialize on a catalog lock.
+    catalog: SnapshotList<Arc<TableEntry>>,
     by_name: RwLock<HashMap<String, usize>>,
     next_table_id: AtomicU32,
     external_free: Mutex<Vec<usize>>,
@@ -123,7 +127,7 @@ impl Database {
             arenas,
             twins,
             gc,
-            catalog: RwLock::new(Vec::new()),
+            catalog: SnapshotList::default(),
             by_name: RwLock::new(HashMap::new()),
             next_table_id: AtomicU32::new(1),
             external_free: Mutex::new((cfg.total_slots()..total_slots).rev().collect()),
@@ -215,10 +219,12 @@ impl Database {
         let frozen =
             FrozenStore::create(&self.cfg.data_dir.join(format!("frozen_{}.db", id.raw())), types)?;
         let entry = Arc::new(TableEntry::new(id, name.to_owned(), schema, tree, frozen));
-        let mut cat = self.catalog.write();
-        let idx = cat.len();
-        cat.push(Arc::clone(&entry));
-        self.by_name.write().insert(name.to_owned(), idx);
+        // The name map's write lock serializes creations, so the index
+        // recorded here matches the snapshot position.
+        let mut by_name = self.by_name.write();
+        let idx = self.catalog.len();
+        self.catalog.push(Arc::clone(&entry));
+        by_name.insert(name.to_owned(), idx);
         Ok(entry)
     }
 
@@ -238,7 +244,7 @@ impl Database {
             def: IndexDef { name: name.to_owned(), key_cols, unique },
             tree,
         });
-        table.indexes.write().push(Arc::clone(&entry));
+        table.indexes.push(Arc::clone(&entry));
         Ok(entry)
     }
 
@@ -248,16 +254,16 @@ impl Database {
         let idx = *by_name
             .get(name)
             .ok_or_else(|| PhoebeError::internal(format!("no table named '{name}'")))?;
-        Ok(Arc::clone(&self.catalog.read()[idx]))
+        Ok(Arc::clone(&self.catalog.load()[idx]))
     }
 
     /// Look a table up by id (WAL replay, GC callbacks).
     pub fn table_by_id(&self, id: TableId) -> Result<Arc<TableEntry>> {
-        self.catalog.read().iter().find(|t| t.id == id).cloned().ok_or(PhoebeError::NoSuchTable(id))
+        self.catalog.load().iter().find(|t| t.id == id).cloned().ok_or(PhoebeError::NoSuchTable(id))
     }
 
     pub fn tables(&self) -> Vec<Arc<TableEntry>> {
-        self.catalog.read().clone()
+        self.catalog.load().to_vec()
     }
 
     // ------------------------------------------------------------------

@@ -24,7 +24,7 @@ use phoebe_storage::schema::Value;
 use phoebe_txn::clock::Snapshot;
 use phoebe_txn::locks::{IsolationLevel, TxnHandle, TxnOutcome};
 use phoebe_txn::undo::{UndoLog, UndoOp};
-use phoebe_txn::visibility::{check_visibility, VisibleVersion};
+use phoebe_txn::visibility::{resolve_visibility, Visibility};
 use phoebe_wal::writer::RfaState;
 use phoebe_wal::RecordBody;
 use std::sync::atomic::Ordering;
@@ -64,6 +64,10 @@ pub struct Transaction {
     rfa: RfaState,
     wal_begun: bool,
     finished: bool,
+    /// Reusable row-id buffer for index scans: one transaction runs many
+    /// scans (TPC-C order-status, stock-level), and this keeps the
+    /// candidate collection allocation-free after the first.
+    scan_scratch: Vec<RowId>,
 }
 
 impl Transaction {
@@ -90,6 +94,7 @@ impl Transaction {
             rfa: RfaState::default(),
             wal_begun: false,
             finished: false,
+            scan_scratch: Vec::new(),
         }
     }
 
@@ -152,14 +157,15 @@ impl Transaction {
             let head = self.db.twins.get((table.id, first)).and_then(|t| t.head(row));
             (tuple, head)
         })?;
-        let Some((tuple, head)) = pair else {
+        let Some((mut tuple, head)) = pair else {
             return Ok(None);
         };
         let _t = self.db.metrics.timer(Component::Mvcc);
-        Ok(match check_visibility(&tuple, head.as_ref(), self.xid, snapshot) {
-            VisibleVersion::Current => Some(tuple),
-            VisibleVersion::Rebuilt(t) => Some(t),
-            VisibleVersion::Invisible => None,
+        // In-place Algorithm 1: rebuilds reassemble the before image inside
+        // the row buffer we already materialized — no second allocation.
+        Ok(match resolve_visibility(&mut tuple, head.as_ref(), self.xid, snapshot) {
+            Visibility::Invisible => None,
+            Visibility::Current | Visibility::Rebuilt => Some(tuple),
         })
     }
 
@@ -189,13 +195,14 @@ impl Transaction {
         limit: usize,
     ) -> Result<Vec<(RowId, Row)>> {
         let (low, high) = index.range_for(&table.schema, prefix);
-        let mut candidates = Vec::new();
+        let mut candidates = std::mem::take(&mut self.scan_scratch);
+        candidates.clear();
         index.tree.index_range(&low, &high, |_, row| {
             candidates.push(row);
             true
         })?;
         let mut out = Vec::with_capacity(limit.min(candidates.len()));
-        for row in candidates {
+        for &row in &candidates {
             if let Some(t) = self.read(table, row)? {
                 out.push((row, t));
                 if out.len() >= limit {
@@ -203,6 +210,7 @@ impl Transaction {
                 }
             }
         }
+        self.scan_scratch = candidates;
         Ok(out)
     }
 

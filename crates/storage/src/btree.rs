@@ -27,6 +27,7 @@ use crate::latch::{LatchVersion, ReadGuard, WriteGuard};
 use crate::node::{IndexLeaf, InnerNode, Page};
 use crate::pax::{PaxLayout, PaxLeaf};
 use crate::schema::Value;
+use crate::smallkey::SmallKey;
 use crate::swip::{FrameId, Swip, SwipState};
 use phoebe_common::error::{PhoebeError, Result};
 use phoebe_common::hist::LatencySite;
@@ -121,13 +122,17 @@ impl BTree {
     /// Descend to the leaf responsible for `key` and latch it.
     ///
     /// Returns the leaf frame, its guard (shared or exclusive per `WRITE`),
-    /// and the *next separator*: the tightest upper bound on this leaf's key
-    /// range seen on the path, which is exactly the first key of the next
-    /// leaf — the resume point for range scans.
-    fn descend<const WRITE: bool>(
+    /// and — only when `FENCE` — the *next separator*: the tightest upper
+    /// bound on this leaf's key range seen on the path, which is exactly
+    /// the first key of the next leaf, the resume point for range scans.
+    /// Point operations pass `FENCE = false` so the hop loop never copies
+    /// separator bytes at all; range scans get the fence in a [`SmallKey`]
+    /// that keeps short separators (every table key, most index prefixes)
+    /// on the stack.
+    fn descend<const WRITE: bool, const FENCE: bool>(
         &self,
         key: &[u8],
-    ) -> Result<(FrameId, LeafGuard<'_>, Option<Vec<u8>>)> {
+    ) -> Result<(FrameId, LeafGuard<'_>, Option<SmallKey>)> {
         // Figure 12's "latching" component: traversal latch work.
         let _t = self.metrics.timer(phoebe_common::metrics::Component::Latch);
         // Each restarted attempt's wasted traversal time feeds the
@@ -150,7 +155,7 @@ impl BTree {
             let mut parent_ver = meta_ver;
             let mut cur = root;
             let mut level = height;
-            let mut next_sep: Option<Vec<u8>> = None;
+            let mut next_sep: Option<SmallKey> = None;
             loop {
                 let fid = match cur.state() {
                     SwipState::Hot(f) => f,
@@ -187,7 +192,8 @@ impl BTree {
                 let Some((read, ver)) = frame.latch.optimistic_versioned(|p| match p {
                     Page::Inner(n) => {
                         let i = n.child_index(key);
-                        let sep = (i < n.count as usize).then(|| n.key(i).to_vec());
+                        let sep =
+                            (FENCE && i < n.count as usize).then(|| SmallKey::from_slice(n.key(i)));
                         Some((n.children[i], sep))
                     }
                     _ => None,
@@ -278,7 +284,7 @@ impl BTree {
         // Rightmost descent: longer than any 8-byte row key.
         const MAX_KEY_SENTINEL: [u8; 9] = [0xff; 9];
         {
-            let (fid, mut guard, _) = self.descend::<true>(&MAX_KEY_SENTINEL)?;
+            let (fid, mut guard, _) = self.descend::<true, false>(&MAX_KEY_SENTINEL)?;
             if let Page::TableLeaf(leaf) = guard.page_mut() {
                 if !leaf.is_full(layout) {
                     let row_id = alloc();
@@ -465,7 +471,7 @@ impl BTree {
         debug_assert_eq!(self.kind, TreeKind::Table);
         let key = row_key(row_id);
         {
-            let (fid, mut guard, _) = self.descend::<true>(&key)?;
+            let (fid, mut guard, _) = self.descend::<true, false>(&key)?;
             if let Page::TableLeaf(leaf) = guard.page_mut() {
                 if !leaf.is_full(layout) {
                     let idx = leaf.append(layout, row_id, tuple);
@@ -491,7 +497,7 @@ impl BTree {
     ) -> Result<Option<R>> {
         debug_assert_eq!(self.kind, TreeKind::Table);
         let key = row_key(row_id);
-        let (fid, guard, _) = self.descend::<false>(&key)?;
+        let (fid, guard, _) = self.descend::<false, false>(&key)?;
         let Page::TableLeaf(leaf) = guard.page() else {
             return Err(PhoebeError::internal("table descend hit non-table leaf"));
         };
@@ -513,7 +519,7 @@ impl BTree {
     ) -> Result<Option<R>> {
         debug_assert_eq!(self.kind, TreeKind::Table);
         let key = row_key(row_id);
-        let (fid, mut guard, _) = self.descend::<true>(&key)?;
+        let (fid, mut guard, _) = self.descend::<true, false>(&key)?;
         let Page::TableLeaf(leaf) = guard.page_mut() else {
             return Err(PhoebeError::internal("table descend hit non-table leaf"));
         };
@@ -532,9 +538,9 @@ impl BTree {
     /// `f` returns `false` to stop early. Used by temperature scans (§5.2).
     pub fn table_for_each_leaf(&self, mut f: impl FnMut(FrameId, &PaxLeaf) -> bool) -> Result<()> {
         debug_assert_eq!(self.kind, TreeKind::Table);
-        let mut lo = vec![0u8; 8];
+        let mut lo = SmallKey::from_slice(&[0u8; 8]);
         loop {
-            let (fid, guard, next) = self.descend::<false>(&lo)?;
+            let (fid, guard, next) = self.descend::<false, true>(&lo)?;
             let Page::TableLeaf(leaf) = guard.page() else {
                 return Err(PhoebeError::internal("table descend hit non-table leaf"));
             };
@@ -755,7 +761,7 @@ impl BTree {
     pub fn index_insert(&self, key: &[u8], row_id: RowId) -> Result<()> {
         debug_assert_eq!(self.kind, TreeKind::Index);
         {
-            let (fid, mut guard, _) = self.descend::<true>(key)?;
+            let (fid, mut guard, _) = self.descend::<true, false>(key)?;
             if let Page::IndexLeaf(leaf) = guard.page_mut() {
                 if !leaf.is_full() {
                     return if leaf.insert(key, row_id.raw()) {
@@ -776,7 +782,7 @@ impl BTree {
     /// Exact lookup.
     pub fn index_get(&self, key: &[u8]) -> Result<Option<RowId>> {
         debug_assert_eq!(self.kind, TreeKind::Index);
-        let (_fid, guard, _) = self.descend::<false>(key)?;
+        let (_fid, guard, _) = self.descend::<false, false>(key)?;
         let Page::IndexLeaf(leaf) = guard.page() else {
             return Err(PhoebeError::internal("index descend hit non-index leaf"));
         };
@@ -786,7 +792,7 @@ impl BTree {
     /// Remove `key`; returns the row id it mapped to.
     pub fn index_remove(&self, key: &[u8]) -> Result<Option<RowId>> {
         debug_assert_eq!(self.kind, TreeKind::Index);
-        let (fid, mut guard, _) = self.descend::<true>(key)?;
+        let (fid, mut guard, _) = self.descend::<true, false>(key)?;
         let Page::IndexLeaf(leaf) = guard.page_mut() else {
             return Err(PhoebeError::internal("index descend hit non-index leaf"));
         };
@@ -807,9 +813,9 @@ impl BTree {
         mut f: impl FnMut(&[u8], RowId) -> bool,
     ) -> Result<()> {
         debug_assert_eq!(self.kind, TreeKind::Index);
-        let mut lo = low.to_vec();
+        let mut lo = SmallKey::from_slice(low);
         loop {
-            let (_fid, guard, next) = self.descend::<false>(&lo)?;
+            let (_fid, guard, next) = self.descend::<false, true>(&lo)?;
             let Page::IndexLeaf(leaf) = guard.page() else {
                 return Err(PhoebeError::internal("index descend hit non-index leaf"));
             };

@@ -205,9 +205,23 @@ impl BufferPool {
     }
 
     /// The partition the calling thread allocates from: its worker's own
-    /// partition, or partition 0 for external threads.
+    /// partition, or a thread-id-hashed one for external threads (a fixed
+    /// fallback would make one partition a contention magnet whenever many
+    /// non-worker threads allocate).
     pub fn home_partition(&self) -> usize {
-        phoebe_common::metrics::current_worker().unwrap_or(0) % self.partitions.len()
+        thread_local! {
+            static THREAD_HASH: usize = {
+                use std::hash::{Hash, Hasher};
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                std::thread::current().id().hash(&mut h);
+                h.finish() as usize
+            };
+        }
+        let slot = match phoebe_common::metrics::current_worker() {
+            Some(w) => w,
+            None => THREAD_HASH.with(|h| *h),
+        };
+        slot % self.partitions.len()
     }
 
     /// Allocate a free frame, evicting from the home partition if needed.

@@ -22,6 +22,7 @@ pub mod node;
 pub mod pagefile;
 pub mod pax;
 pub mod schema;
+pub mod smallkey;
 pub mod swip;
 pub mod tier;
 
@@ -30,5 +31,6 @@ pub use buffer::{BufferPool, WalBarrier};
 pub use latch::HybridLatch;
 pub use pax::{PaxLayout, PaxLeaf};
 pub use schema::{ColType, Schema, Tuple, Value};
+pub use smallkey::SmallKey;
 pub use swip::{FrameId, Swip, SwipState};
 pub use tier::FrozenStore;

@@ -31,4 +31,4 @@ pub use gc::{ActiveTxnTable, GcEngine, GcStats};
 pub use locks::{IsolationLevel, TableLock, TxnHandle, TxnOutcome};
 pub use twin::{TwinKey, TwinRegistry, TwinTable};
 pub use undo::{UndoArena, UndoLog, UndoOp};
-pub use visibility::{check_visibility, VisibleVersion};
+pub use visibility::{check_visibility, resolve_visibility, Visibility, VisibleVersion};

@@ -10,6 +10,14 @@
 //! leaves are append-only and never redistribute rows. A sharded registry
 //! resolves page identity to its twin table; sharding keeps this off the
 //! global-contention path the paper avoids.
+//!
+//! Both layers are built for the *clean read*: a visibility check on a
+//! tuple with no in-flight or recent writer. Each lock shard (registry and
+//! per-table) carries an atomic bloom-style summary of the keys it holds;
+//! a reader whose key hashes to a zero bit learns "definitely absent"
+//! from one atomic load and never touches the mutex. Only writers, and
+//! readers of genuinely versioned tuples, serialize on a shard lock — and
+//! sharding by row-id bits keeps even those mostly un-contended.
 
 use crate::undo::UndoLog;
 use parking_lot::Mutex;
@@ -21,12 +29,41 @@ use std::sync::Arc;
 /// Page identity: the relation and the leaf's first row id.
 pub type TwinKey = (TableId, RowId);
 
+/// Lock shards inside one twin table (power of two). Rows of a leaf are
+/// consecutive, so the low row-id bits spread them perfectly.
+const ENTRY_SHARDS: usize = 8;
+
+/// Fibonacci-hash mix for bloom-bit selection.
+const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One lock shard: a guarded map plus an atomic bloom summary of the row
+/// ids present. `summary == 0` means the shard is definitely empty; a set
+/// bit means "possibly present — take the lock". Bits are set under the
+/// shard lock and the whole word is reset to zero whenever the map drains,
+/// so the summary never goes stale in the direction that matters (a clean
+/// read can see a spurious 1, never a spurious 0 for a present key).
+struct EntryShard {
+    summary: AtomicU64,
+    map: Mutex<HashMap<u64, Arc<UndoLog>>>,
+}
+
+impl EntryShard {
+    fn new() -> Self {
+        EntryShard { summary: AtomicU64::new(0), map: Mutex::new(HashMap::new()) }
+    }
+}
+
+#[inline]
+fn row_bloom_bit(row: u64) -> u64 {
+    1u64 << (row.wrapping_mul(MIX) >> 58)
+}
+
 /// Per-page mapping from row id to version-chain head, plus the metadata
 /// the paper hangs off it: the largest writer XID (twin GC watermark) and
 /// tuple-lock grant accounting (§7.2 "tuple lock metadata ... stored in the
 /// twin table").
 pub struct TwinTable {
-    entries: Mutex<HashMap<u64, Arc<UndoLog>>>,
+    shards: [EntryShard; ENTRY_SHARDS],
     /// Largest start-ts among writers that modified this page (§7.3).
     max_writer_start: AtomicU64,
     /// Tuple-lock grants recorded against tuples of this page.
@@ -39,27 +76,39 @@ pub struct TwinTable {
 impl TwinTable {
     fn new() -> Arc<Self> {
         Arc::new(TwinTable {
-            entries: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| EntryShard::new()),
             max_writer_start: AtomicU64::new(0),
             lock_grants: AtomicU64::new(0),
             dead: AtomicBool::new(false),
         })
     }
 
-    /// Version-chain head for `row`, if any.
+    #[inline]
+    fn shard(&self, row: RowId) -> &EntryShard {
+        &self.shards[row.raw() as usize & (ENTRY_SHARDS - 1)]
+    }
+
+    /// Version-chain head for `row`, if any. The common "clean tuple" case
+    /// answers from the shard summary alone — no lock.
     pub fn head(&self, row: RowId) -> Option<Arc<UndoLog>> {
-        self.entries.lock().get(&row.raw()).cloned()
+        let shard = self.shard(row);
+        if shard.summary.load(Ordering::Acquire) & row_bloom_bit(row.raw()) == 0 {
+            return None;
+        }
+        shard.map.lock().get(&row.raw()).cloned()
     }
 
     /// Install a new chain head. Returns false if this table was reclaimed
     /// concurrently (caller re-fetches from the registry and retries).
     #[must_use]
     pub fn set_head(&self, row: RowId, log: Arc<UndoLog>, writer_start: Timestamp) -> bool {
-        let mut e = self.entries.lock();
+        let shard = self.shard(row);
+        let mut map = shard.map.lock();
         if self.dead.load(Ordering::Acquire) {
             return false;
         }
-        e.insert(row.raw(), log);
+        map.insert(row.raw(), log);
+        shard.summary.fetch_or(row_bloom_bit(row.raw()), Ordering::Release);
         self.max_writer_start.fetch_max(writer_start, Ordering::AcqRel);
         true
     }
@@ -67,18 +116,22 @@ impl TwinTable {
     /// Abort rollback: if `row`'s head is exactly `log`, replace it with
     /// the predecessor (or drop the entry).
     pub fn pop_head_if(&self, row: RowId, log: &Arc<UndoLog>) {
-        let mut e = self.entries.lock();
-        if let Some(cur) = e.get(&row.raw()) {
+        let shard = self.shard(row);
+        let mut map = shard.map.lock();
+        if let Some(cur) = map.get(&row.raw()) {
             if Arc::ptr_eq(cur, log) {
                 match log.next_version() {
                     Some(prev) if prev.is_valid() => {
-                        e.insert(row.raw(), prev);
+                        map.insert(row.raw(), prev);
                     }
                     _ => {
-                        e.remove(&row.raw());
+                        map.remove(&row.raw());
                     }
                 }
             }
+        }
+        if map.is_empty() {
+            shard.summary.store(0, Ordering::Release);
         }
     }
 
@@ -86,11 +139,17 @@ impl TwinTable {
     /// pointer-validation-by-address, §7.3 remark). Once the head itself is
     /// globally visible, the base tuple alone serves every snapshot.
     pub fn clear_if_head(&self, row: RowId, log: &Arc<UndoLog>) {
-        let mut e = self.entries.lock();
-        if let Some(cur) = e.get(&row.raw()) {
+        let shard = self.shard(row);
+        let mut map = shard.map.lock();
+        if let Some(cur) = map.get(&row.raw()) {
             if Arc::ptr_eq(cur, log) {
-                e.remove(&row.raw());
+                map.remove(&row.raw());
             }
+        }
+        // Bloom bits can't be cleared individually (other rows may share
+        // them); a drained shard resets the whole summary.
+        if map.is_empty() {
+            shard.summary.store(0, Ordering::Release);
         }
     }
 
@@ -108,17 +167,37 @@ impl TwinTable {
     }
 
     pub fn live_entries(&self) -> usize {
-        self.entries.lock().len()
+        self.shards.iter().map(|s| s.map.lock().len()).sum()
+    }
+
+    /// Registry GC helper: atomically verify the table is empty and below
+    /// the watermark, and if so mark it dead. Holds every shard lock for
+    /// the check+mark so a racing `set_head` either landed before (some
+    /// shard non-empty ⇒ not stale) or observes `dead` and retries against
+    /// a fresh table from the registry.
+    fn try_retire(&self, max_frozen_start: Timestamp) -> bool {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.map.lock()).collect();
+        let stale = guards.iter().all(|m| m.is_empty())
+            && self.max_writer_start.load(Ordering::Acquire) <= max_frozen_start;
+        if stale {
+            self.dead.store(true, Ordering::Release);
+        }
+        stale
     }
 }
 
 const SHARDS: usize = 64;
 
-type TwinShard = Mutex<HashMap<TwinKey, Arc<TwinTable>>>;
+/// One registry shard: guarded key→table map plus an atomic bloom summary
+/// of the page keys present, so "page never written" reads skip the lock.
+struct RegistryShard {
+    summary: AtomicU64,
+    map: Mutex<HashMap<TwinKey, Arc<TwinTable>>>,
+}
 
 /// Sharded registry resolving page identities to twin tables.
 pub struct TwinRegistry {
-    shards: Box<[TwinShard]>,
+    shards: Box<[RegistryShard]>,
 }
 
 impl Default for TwinRegistry {
@@ -127,28 +206,52 @@ impl Default for TwinRegistry {
     }
 }
 
+#[inline]
+fn key_hash(key: &TwinKey) -> u64 {
+    (key.0.raw() as u64 ^ key.1.raw()).wrapping_mul(MIX)
+}
+
+#[inline]
+fn key_bloom_bit(h: u64) -> u64 {
+    1u64 << ((h >> 32) & 63)
+}
+
 impl TwinRegistry {
     pub fn new() -> Self {
         let mut shards = Vec::with_capacity(SHARDS);
-        shards.resize_with(SHARDS, || Mutex::new(HashMap::new()));
+        shards.resize_with(SHARDS, || RegistryShard {
+            summary: AtomicU64::new(0),
+            map: Mutex::new(HashMap::new()),
+        });
         TwinRegistry { shards: shards.into_boxed_slice() }
     }
 
-    fn shard(&self, key: &TwinKey) -> &Mutex<HashMap<TwinKey, Arc<TwinTable>>> {
-        let h = key.0.raw() as u64 ^ key.1.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(h as usize) % SHARDS]
+    #[inline]
+    fn shard(&self, h: u64) -> &RegistryShard {
+        &self.shards[(h >> 58) as usize % SHARDS]
     }
 
-    /// The page's twin table, if it has one (Algorithm 1 line 2).
+    /// The page's twin table, if it has one (Algorithm 1 line 2). Pages
+    /// never modified under MVCC — the overwhelming majority — answer from
+    /// the shard summary with a single atomic load and no lock.
     pub fn get(&self, key: TwinKey) -> Option<Arc<TwinTable>> {
-        self.shard(&key).lock().get(&key).cloned()
+        let h = key_hash(&key);
+        let shard = self.shard(h);
+        if shard.summary.load(Ordering::Acquire) & key_bloom_bit(h) == 0 {
+            return None;
+        }
+        shard.map.lock().get(&key).cloned()
     }
 
     /// The page's twin table, created lazily on first modification (§6.2
     /// "a twin table is created if it doesn't already exist").
     pub fn get_or_create(&self, key: TwinKey) -> Arc<TwinTable> {
-        let mut shard = self.shard(&key).lock();
-        Arc::clone(shard.entry(key).or_insert_with(TwinTable::new))
+        let h = key_hash(&key);
+        let shard = self.shard(h);
+        let mut map = shard.map.lock();
+        let t = Arc::clone(map.entry(key).or_insert_with(TwinTable::new));
+        shard.summary.fetch_or(key_bloom_bit(h), Ordering::Release);
+        t
     }
 
     /// Twin-table GC (§7.3): reclaim tables with no live entries whose
@@ -157,27 +260,26 @@ impl TwinRegistry {
     pub fn reclaim_stale(&self, max_frozen_start: Timestamp) -> usize {
         let mut reclaimed = 0;
         for shard in self.shards.iter() {
-            let mut map = shard.lock();
-            map.retain(|_, t| {
-                // Take the entries lock so a concurrent set_head either
-                // lands before (entries non-empty => retained) or observes
-                // `dead` and retries against a fresh table.
-                let entries = t.entries.lock();
-                let stale = entries.is_empty()
-                    && t.max_writer_start.load(Ordering::Acquire) <= max_frozen_start;
-                if stale {
-                    t.dead.store(true, Ordering::Release);
-                    reclaimed += 1;
+            let mut map = shard.map.lock();
+            let before = map.len();
+            map.retain(|_, t| !t.try_retire(max_frozen_start));
+            reclaimed += before - map.len();
+            if before != map.len() {
+                // Rebuild the summary from the survivors (still under the
+                // shard lock, so no insert can race the recomputation).
+                let mut summary = 0u64;
+                for key in map.keys() {
+                    summary |= key_bloom_bit(key_hash(key));
                 }
-                !stale
-            });
+                shard.summary.store(summary, Ordering::Release);
+            }
         }
         reclaimed
     }
 
     /// Total registered twin tables (diagnostics).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.map.lock().len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -301,5 +403,36 @@ mod tests {
         t.record_lock_grant();
         t.record_lock_grant();
         assert_eq!(t.lock_grants(), 2);
+    }
+
+    #[test]
+    fn clean_read_fast_path_after_drain() {
+        let t = TwinTable::new();
+        // Many rows in one shard, then drain: the summary resets and the
+        // lock-free miss path serves every row again.
+        let logs: Vec<_> = (0..32u64).map(|i| mklog(i * 8, i + 1)).collect();
+        for (i, l) in logs.iter().enumerate() {
+            assert!(t.set_head(RowId(i as u64 * 8), Arc::clone(l), i as u64 + 1));
+        }
+        assert_eq!(t.live_entries(), 32);
+        for (i, l) in logs.iter().enumerate() {
+            t.clear_if_head(RowId(i as u64 * 8), l);
+        }
+        assert_eq!(t.live_entries(), 0);
+        assert_eq!(t.shards[0].summary.load(Ordering::Acquire), 0);
+        assert!(t.head(RowId(0)).is_none());
+    }
+
+    #[test]
+    fn registry_summary_rebuilt_after_reclaim() {
+        let reg = TwinRegistry::new();
+        // Two keys, drive one stale and reclaim it; the other must still
+        // be reachable through the (rebuilt) summary.
+        let _stale = reg.get_or_create((TableId(1), RowId(0)));
+        let live = reg.get_or_create((TableId(1), RowId(64)));
+        assert!(live.set_head(RowId(64), mklog(64, 9), 9));
+        assert_eq!(reg.reclaim_stale(u64::MAX >> 2), 1);
+        assert!(reg.get((TableId(1), RowId(0))).is_none());
+        assert!(reg.get((TableId(1), RowId(64))).is_some());
     }
 }

@@ -36,60 +36,75 @@ fn head_visible(head: &UndoLog, xid: Xid, snapshot: Snapshot) -> bool {
     }
 }
 
-/// Algorithm 1. `current` is the tuple read from the page (full row);
-/// `head` the twin-table entry (None ⇒ no twin table / no entry).
-pub fn check_visibility(
-    current: &[Value],
+/// The outcome of the in-place visibility check: whether the caller's
+/// buffer now holds a visible version. Unlike [`VisibleVersion`] this
+/// carries no row data — the rebuilt image lands in the buffer the caller
+/// passed, so the hot read path allocates nothing for clean tuples and
+/// reuses the already-materialized row for rebuilds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// The stored tuple is visible as-is (buffer untouched).
+    Current,
+    /// The buffer was rewritten in place to an older visible version.
+    Rebuilt,
+    /// No version is visible; the buffer contents are unspecified.
+    Invisible,
+}
+
+/// Algorithm 1, in place. `tuple` holds the row as read from the page and
+/// is mutated into the visible before-image when the chain walk rebuilds;
+/// `head` is the twin-table entry (None ⇒ no twin table / no entry).
+pub fn resolve_visibility(
+    tuple: &mut Vec<Value>,
     head: Option<&Arc<UndoLog>>,
     xid: Xid,
     snapshot: Snapshot,
-) -> VisibleVersion {
+) -> Visibility {
     // Lines 1–4: no twin entry, or a reclaimed head ⇒ the stored tuple is
     // globally visible.
     let Some(head) = head else {
-        return VisibleVersion::Current;
+        return Visibility::Current;
     };
     if !head.is_valid() {
-        return VisibleVersion::Current;
+        return Visibility::Current;
     }
     // Line 4: header committed inside the snapshot (or it is our own
     // write) ⇒ the in-place tuple is the visible version — unless that
     // newest version is a deletion.
     if head_visible(head, xid, snapshot) {
         return match head.op {
-            UndoOp::Delete { .. } | UndoOp::FrozenDelete { .. } => VisibleVersion::Invisible,
-            _ => VisibleVersion::Current,
+            UndoOp::Delete { .. } | UndoOp::FrozenDelete { .. } => Visibility::Invisible,
+            _ => Visibility::Current,
         };
     }
     // Lines 5–10: walk the chain, assembling before images until the
     // version is old enough.
-    let mut tuple = current.to_vec();
     let mut cur = Arc::clone(head);
     loop {
         match &cur.op {
             UndoOp::Update { delta } => {
                 for (col, v) in delta {
-                    tuple[*col] = v.clone();
+                    tuple[*col].clone_from(v);
                 }
             }
             UndoOp::Delete { row_image } => {
-                tuple = row_image.clone();
+                tuple.clone_from(row_image);
             }
             UndoOp::Insert => {
                 // Before image is "no tuple": if the pre-insert state is
                 // inside the snapshot, the row does not exist for us.
-                return VisibleVersion::Invisible;
+                return Visibility::Invisible;
             }
             UndoOp::FrozenDelete { .. } => {
                 // Frozen tombstones never join version chains; seeing one
                 // here means the caller already resolved the row as frozen.
-                return VisibleVersion::Invisible;
+                return Visibility::Invisible;
             }
         }
         // Line 8: the before image we just assembled was committed at
         // `sts`; 0 means its writer was reclaimed, i.e. globally visible.
         if snapshot.sees(cur.sts()) {
-            return VisibleVersion::Rebuilt(tuple);
+            return Visibility::Rebuilt;
         }
         match cur.next_version() {
             Some(next) if next.is_valid() => {
@@ -99,7 +114,7 @@ pub fn check_visibility(
                     // next's *after* image is what `tuple` currently holds?
                     // No: `tuple` currently holds next's after-image only
                     // after applying cur's before image, which we just did.
-                    return VisibleVersion::Rebuilt(tuple);
+                    return Visibility::Rebuilt;
                 }
                 cur = next;
             }
@@ -107,9 +122,26 @@ pub fn check_visibility(
                 // Chain ends (predecessor reclaimed): the assembled image
                 // is the oldest reachable version; sts==0 normally catches
                 // this, so reaching here is a benign race with GC.
-                return VisibleVersion::Rebuilt(tuple);
+                return Visibility::Rebuilt;
             }
         }
+    }
+}
+
+/// Algorithm 1, allocating form: clones `current` and delegates to
+/// [`resolve_visibility`]. Kept for callers (and the visibility oracle
+/// tests) that want the rebuilt row as an owned value.
+pub fn check_visibility(
+    current: &[Value],
+    head: Option<&Arc<UndoLog>>,
+    xid: Xid,
+    snapshot: Snapshot,
+) -> VisibleVersion {
+    let mut tuple = current.to_vec();
+    match resolve_visibility(&mut tuple, head, xid, snapshot) {
+        Visibility::Current => VisibleVersion::Current,
+        Visibility::Rebuilt => VisibleVersion::Rebuilt(tuple),
+        Visibility::Invisible => VisibleVersion::Invisible,
     }
 }
 

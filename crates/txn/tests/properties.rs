@@ -89,6 +89,42 @@ proptest! {
     }
 
     #[test]
+    fn reclaimed_twin_head_never_resurrected(
+        rows in proptest::collection::btree_set(0u64..64, 1..8),
+        watermark in 10u64..100,
+    ) {
+        use phoebe_txn::TwinRegistry;
+        let reg = TwinRegistry::new();
+        let key = (TableId(3), RowId(7));
+        let tw = reg.get_or_create(key);
+        let rows: Vec<u64> = rows.into_iter().collect();
+        let mut logs = Vec::new();
+        for &r in &rows {
+            let h = TxnHandle::new(Xid::from_start_ts(5));
+            let log = UndoLog::new(TableId(3), RowId(r), RowId(7), UndoOp::Insert, h, None);
+            prop_assert!(tw.set_head(RowId(r), Arc::clone(&log), 5));
+            logs.push((r, log));
+        }
+        // Not reclaimable while entries are live.
+        prop_assert_eq!(reg.reclaim_stale(watermark), 0);
+        for (r, log) in &logs {
+            tw.clear_if_head(RowId(*r), log);
+        }
+        prop_assert_eq!(reg.reclaim_stale(watermark), 1);
+        // The dead table refuses new heads forever...
+        let h = TxnHandle::new(Xid::from_start_ts(watermark + 1));
+        let log = UndoLog::new(TableId(3), RowId(1), RowId(7), UndoOp::Insert, h, None);
+        prop_assert!(!tw.set_head(RowId(1), log, watermark + 1));
+        // ...and the registry hands out a genuinely fresh table, never the
+        // reclaimed Arc, with no leftover chain heads.
+        let fresh = reg.get_or_create(key);
+        prop_assert!(!Arc::ptr_eq(&tw, &fresh));
+        for &r in &rows {
+            prop_assert!(fresh.head(RowId(r)).is_none());
+        }
+    }
+
+    #[test]
     fn arena_reclaim_respects_watermark(
         ctss in proptest::collection::btree_set(1u64..1000, 1..30),
         watermark in 1u64..1000,
@@ -108,5 +144,95 @@ proptest! {
         let expected = ctss.iter().take_while(|&&c| c < watermark).count();
         prop_assert_eq!(reclaimed, expected);
         prop_assert_eq!(arena.len(), ctss.len() - expected);
+    }
+}
+
+proptest! {
+    // Thread-spawning cases: keep the case count low, the schedules random.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Writers attach/verify/detach chain heads on disjoint rows while a
+    /// GC thread aggressively reclaims the (periodically empty) table.
+    /// Invariants: a successful `set_head` is immediately observable
+    /// through the registry for as long as the entry lives, a `set_head`
+    /// that lost to reclamation reports failure (never a silent drop), and
+    /// no reclaimed table is ever handed out again.
+    #[test]
+    fn concurrent_twin_attach_lookup_reclaim_integrity(
+        iters in 10usize..40,
+        writer_threads in 2usize..4,
+    ) {
+        use phoebe_txn::TwinRegistry;
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let reg = Arc::new(TwinRegistry::new());
+        let key = (TableId(9), RowId(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let gc = {
+            let (reg, stop) = (Arc::clone(&reg), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let mut dead = Vec::new();
+                while !stop.load(Ordering::Acquire) {
+                    let seen = reg.get(key);
+                    if reg.reclaim_stale(u64::MAX) > 0 {
+                        // The table we saw just before is the one retired.
+                        if let Some(t) = seen {
+                            dead.push(t);
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+                dead
+            })
+        };
+
+        let writers: Vec<_> = (0..writer_threads)
+            .map(|w| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for i in 0..iters {
+                        let row = RowId((w * 1000 + i) as u64);
+                        let mut attempts = 0;
+                        loop {
+                            attempts += 1;
+                            assert!(attempts < 100_000, "livelock attaching a chain head");
+                            let tw = reg.get_or_create(key);
+                            let h = TxnHandle::new(Xid::from_start_ts(1));
+                            let log = UndoLog::new(
+                                TableId(9), row, RowId(0), UndoOp::Insert, h, None,
+                            );
+                            if !tw.set_head(row, Arc::clone(&log), 1) {
+                                continue; // lost to reclamation: retry, never drop
+                            }
+                            // While our entry lives the table cannot retire,
+                            // so the registry must surface exactly our head.
+                            let seen = reg
+                                .get(key)
+                                .expect("live entry pins the table in the registry")
+                                .head(row)
+                                .expect("attached head must be visible");
+                            assert!(Arc::ptr_eq(&seen, &log), "chain head corrupted");
+                            tw.clear_if_head(row, &log);
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for wtr in writers {
+            wtr.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        let dead = gc.join().unwrap();
+
+        // No resurrection: every retired table stays dead and unreachable.
+        let current = reg.get_or_create(key);
+        for d in &dead {
+            prop_assert!(!Arc::ptr_eq(d, &current), "reclaimed table resurfaced");
+            let h = TxnHandle::new(Xid::from_start_ts(2));
+            let log = UndoLog::new(TableId(9), RowId(1), RowId(0), UndoOp::Insert, h, None);
+            prop_assert!(!d.set_head(RowId(1), log, 2), "dead table accepted a head");
+        }
     }
 }

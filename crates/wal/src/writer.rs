@@ -24,12 +24,61 @@ use phoebe_common::error::Result;
 use phoebe_common::hist::LatencySite;
 use phoebe_common::ids::{Gsn, Lsn, Timestamp, Xid};
 use phoebe_common::metrics::{Component, Counter, Metrics};
-use phoebe_runtime::{yield_now, Notify, Urgency};
+use phoebe_runtime::Notify;
 use std::fs::{File, OpenOptions};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The group-commit doorbell (event-driven flushing).
+///
+/// Committing transactions ring it; the flusher thread sleeps on the
+/// condvar with the group-commit window as a *timeout* instead of
+/// unconditionally sleeping the whole window. Under low load a commit
+/// therefore waits one physical flush, not one full window; under high
+/// load the flusher lingers briefly after each wake so concurrent
+/// commits still batch into one fsync.
+///
+/// Built on `std::sync` rather than `parking_lot` because the flusher
+/// must block *with a timeout*, which wants a real condvar.
+#[derive(Default)]
+struct Doorbell {
+    rings: std::sync::Mutex<u64>,
+    cv: std::sync::Condvar,
+}
+
+impl Doorbell {
+    /// Wake the flusher: a commit (or barrier) wants durability now.
+    fn ring(&self) {
+        *self.rings.lock().unwrap() += 1;
+        self.cv.notify_one();
+    }
+
+    /// Current ring count (a "have I seen everything" cursor).
+    fn rings(&self) -> u64 {
+        *self.rings.lock().unwrap()
+    }
+
+    /// Block until the ring count advances past `seen` or `timeout`
+    /// elapses. Returns the latest count.
+    fn wait(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut rings = self.rings.lock().unwrap();
+        let deadline = Instant::now() + timeout;
+        while *rings == seen {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (g, t) = self.cv.wait_timeout(rings, deadline - now).unwrap();
+            rings = g;
+            if t.timed_out() {
+                break;
+            }
+        }
+        *rings
+    }
+}
 
 /// One slot's WAL writer.
 pub struct WalWriter {
@@ -78,17 +127,24 @@ impl WalWriter {
         (lsn, n)
     }
 
-    /// Flush pending bytes through the AIO pool. Returns bytes flushed.
-    pub fn flush(&self, aio: &AioPool, sync: bool) -> Result<u64> {
+    /// Phase 1 of a group-commit wave: steal the pending buffer and submit
+    /// its write to the AIO pool *without waiting*, so the hub can overlap
+    /// every slot's physical I/O. `None` when nothing was pending.
+    fn submit_pending(&self, aio: &AioPool) -> Option<PendingFlush> {
         let (data, lsn_mark, gsn_mark) = {
             let mut buf = self.buf.lock();
             if buf.is_empty() {
                 // Nothing pending: the durable horizon catches up for free.
-                self.flushed_gsn
-                    .fetch_max(self.appended_gsn.load(Ordering::Acquire), Ordering::AcqRel);
-                self.flushed_lsn
-                    .fetch_max(self.appended_lsn.load(Ordering::Acquire), Ordering::AcqRel);
-                return Ok(0);
+                let gsn = self.appended_gsn.load(Ordering::Acquire);
+                let lsn = self.appended_lsn.load(Ordering::Acquire);
+                let prev_gsn = self.flushed_gsn.fetch_max(gsn, Ordering::AcqRel);
+                let prev_lsn = self.flushed_lsn.fetch_max(lsn, Ordering::AcqRel);
+                if prev_gsn < gsn || prev_lsn < lsn {
+                    // The horizon moved: parked `wait_lsn` callers must
+                    // hear about it even though no bytes hit disk.
+                    self.durable.notify_all();
+                }
+                return None;
             }
             let data = std::mem::take(&mut *buf);
             (
@@ -99,16 +155,30 @@ impl WalWriter {
         };
         let len = data.len() as u64;
         let off = self.file_off.fetch_add(len, Ordering::Relaxed);
-        let w = aio.submit(AioRequest::WriteAt { file: Arc::clone(&self.file), offset: off, data });
-        w.wait()?;
+        let write =
+            aio.submit(AioRequest::WriteAt { file: Arc::clone(&self.file), offset: off, data });
+        Some(PendingFlush { len, lsn_mark, gsn_mark, write })
+    }
+
+    /// Final phase: publish durability once the write (and fsync) landed.
+    fn complete_flush(&self, p: &PendingFlush) {
+        self.flushed_lsn.fetch_max(p.lsn_mark, Ordering::AcqRel);
+        self.flushed_gsn.fetch_max(p.gsn_mark, Ordering::AcqRel);
+        self.bytes_flushed.fetch_add(p.len, Ordering::Relaxed);
+        self.durable.notify_all();
+    }
+
+    /// Flush pending bytes through the AIO pool. Returns bytes flushed.
+    pub fn flush(&self, aio: &AioPool, sync: bool) -> Result<u64> {
+        let Some(p) = self.submit_pending(aio) else {
+            return Ok(0);
+        };
+        p.write.wait()?;
         if sync {
             aio.submit(AioRequest::Fsync { file: Arc::clone(&self.file) }).wait()?;
         }
-        self.flushed_lsn.fetch_max(lsn_mark, Ordering::AcqRel);
-        self.flushed_gsn.fetch_max(gsn_mark, Ordering::AcqRel);
-        self.bytes_flushed.fetch_add(len, Ordering::Relaxed);
-        self.durable.notify_all();
-        Ok(len)
+        self.complete_flush(&p);
+        Ok(p.len)
     }
 
     /// Durable horizon for RFA: `u64::MAX` when nothing is pending,
@@ -134,17 +204,33 @@ impl WalWriter {
     }
 
     /// Await durability of `lsn` (own-slot commit wait).
+    ///
+    /// Parks the co-routine on the writer's durable [`Notify`] rather than
+    /// spin-yielding: on a loaded machine a spinning committer competes
+    /// with the flusher for CPU, which is exactly backwards. The subscribe
+    /// → re-check → await order makes the wakeup race-free (the `Notify`
+    /// is generation-counted, so a notification between the re-check and
+    /// the await is never lost).
     pub async fn wait_lsn(&self, lsn: Lsn) {
-        while self.flushed_lsn.load(Ordering::Acquire) < lsn.raw() {
-            // Subscription lives for the iteration; re-subscribe each round.
-            let _notified = self.durable.notified();
+        loop {
             if self.flushed_lsn.load(Ordering::Acquire) >= lsn.raw() {
                 return;
             }
-            // Async-read-class wait: short, high urgency (§7.1).
-            yield_now(Urgency::High).await;
+            let notified = self.durable.notified();
+            if self.flushed_lsn.load(Ordering::Acquire) >= lsn.raw() {
+                return;
+            }
+            notified.await;
         }
     }
+}
+
+/// One writer's in-flight contribution to a group-commit wave.
+struct PendingFlush {
+    len: u64,
+    lsn_mark: u64,
+    gsn_mark: u64,
+    write: Arc<crate::aio::Completion>,
 }
 
 /// Per-transaction RFA state (§8 "decoupled dependencies").
@@ -167,6 +253,11 @@ pub struct WalHub {
     sync: bool,
     shutdown: Arc<AtomicBool>,
     flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Commit-side wakeup for the flusher thread.
+    doorbell: Doorbell,
+    /// Notified after every flush round; remote-dependency commits park
+    /// here instead of polling `durable_gsn`.
+    round_done: Notify,
 }
 
 impl WalHub {
@@ -193,15 +284,38 @@ impl WalHub {
             sync,
             shutdown: Arc::new(AtomicBool::new(false)),
             flusher: Mutex::new(None),
+            doorbell: Doorbell::default(),
+            round_done: Notify::new(),
         });
         let h = Arc::clone(&hub);
         *hub.flusher.lock() = Some(
             std::thread::Builder::new()
                 .name("phoebe-wal-flusher".into())
                 .spawn(move || {
+                    // Event-driven group commit: sleep on the doorbell with
+                    // the configured window as an upper bound. A commit at
+                    // an idle moment is flushed immediately; a commit storm
+                    // is absorbed by lingering for roughly the cost of the
+                    // previous physical flush (adaptive batching) so many
+                    // commits share one fsync without adding more latency
+                    // than the flush itself already costs.
+                    let mut seen = 0u64;
+                    let mut last_round = Duration::ZERO;
                     while !h.shutdown.load(Ordering::Acquire) {
-                        let _ = h.flush_all();
-                        std::thread::sleep(group_commit);
+                        let rings = h.doorbell.wait(seen, group_commit);
+                        if h.shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let rung = rings != seen;
+                        if rung && !last_round.is_zero() {
+                            std::thread::sleep(last_round.min(group_commit));
+                        }
+                        // Re-read after the linger so the commits that
+                        // arrived during it don't trigger a redundant round.
+                        seen = h.doorbell.rings();
+                        let t0 = Instant::now();
+                        let flushed = h.flush_all().map(|n| n > 0).unwrap_or(false);
+                        last_round = if flushed { t0.elapsed() } else { Duration::ZERO };
                     }
                     let _ = h.flush_all();
                 })
@@ -287,6 +401,9 @@ impl WalHub {
         if !self.sync {
             return Ok(());
         }
+        // Ring the doorbell *before* parking so the flusher starts a round
+        // for this commit rather than waiting out the group-commit window.
+        self.doorbell.ring();
         if rfa.needs_remote {
             self.metrics.incr(Counter::RemoteFlushWaits);
             self.ensure_durable_gsn_async(rfa.max_gsn).await;
@@ -300,17 +417,37 @@ impl WalHub {
     /// Flush every writer once, in parallel (one group-commit round).
     /// Returns total bytes flushed.
     pub fn flush_all(&self) -> Result<u64> {
-        // Submit all writes first so they overlap, then fsync.
         let round_start = std::time::Instant::now();
-        let mut total = 0;
-        for w in &self.writers {
-            let t0 = std::time::Instant::now();
-            let n = w.flush(&self.aio, self.sync)?;
-            if n > 0 {
-                // Per-writer physical flush latency (write + fsync).
-                self.metrics.record_latency(LatencySite::WalFlush, t0.elapsed().as_nanos() as u64);
+        // Wave 1: steal every writer's pending bytes and submit all the
+        // writes at once so the AIO pool overlaps them — draining slots
+        // one write+fsync at a time made the round cost scale linearly
+        // with the active slot count, which is what commit latency waits on.
+        let pending: Vec<_> = self
+            .writers
+            .iter()
+            .filter_map(|w| w.submit_pending(&self.aio).map(|p| (w, p)))
+            .collect();
+        for (_, p) in &pending {
+            p.write.wait()?;
+        }
+        // Wave 2: overlap the fsyncs the same way.
+        if self.sync {
+            let syncs: Vec<_> = pending
+                .iter()
+                .map(|(w, _)| self.aio.submit(AioRequest::Fsync { file: Arc::clone(&w.file) }))
+                .collect();
+            for s in &syncs {
+                s.wait()?;
             }
-            total += n;
+        }
+        let mut total = 0;
+        for (w, p) in &pending {
+            w.complete_flush(p);
+            // Per-writer durability latency: with overlapped I/O every
+            // writer's flush effectively costs the whole wave.
+            self.metrics
+                .record_latency(LatencySite::WalFlush, round_start.elapsed().as_nanos() as u64);
+            total += p.len;
         }
         if total > 0 {
             self.metrics.incr(Counter::WalFlushes);
@@ -319,6 +456,9 @@ impl WalHub {
             self.metrics
                 .record_latency(LatencySite::GroupCommit, round_start.elapsed().as_nanos() as u64);
         }
+        // Wake remote-dependency waiters: the global horizon may have moved
+        // even when this round flushed zero bytes (idle writers catch up).
+        self.round_done.notify_all();
         Ok(total)
     }
 
@@ -329,15 +469,27 @@ impl WalHub {
     }
 
     /// Await global durability of `gsn` (remote-dependency commits).
+    ///
+    /// Parks on the per-round notification with the same subscribe →
+    /// re-check → await discipline as [`WalWriter::wait_lsn`]; spinning at
+    /// high urgency here starved the flusher of CPU on small machines.
     pub async fn ensure_durable_gsn_async(&self, gsn: u64) {
-        while self.durable_gsn() < gsn {
-            yield_now(Urgency::High).await;
+        loop {
+            if self.durable_gsn() >= gsn {
+                return;
+            }
+            let notified = self.round_done.notified();
+            if self.durable_gsn() >= gsn {
+                return;
+            }
+            notified.await;
         }
     }
 
     /// Blocking variant for the buffer pool's write barrier (Steal).
     pub fn ensure_durable_gsn_blocking(&self, gsn: u64) {
         while self.durable_gsn() < gsn {
+            self.doorbell.ring();
             std::thread::sleep(Duration::from_micros(50));
         }
     }
@@ -355,6 +507,9 @@ impl WalHub {
     /// Stop the flusher (final flush included).
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
+        // Wake the flusher out of its doorbell wait so shutdown does not
+        // stall for a full group-commit window.
+        self.doorbell.ring();
         if let Some(t) = self.flusher.lock().take() {
             let _ = t.join();
         }
@@ -476,6 +631,48 @@ mod tests {
         // Either the background flusher or this call drains the buffer.
         h.flush_all().unwrap();
         assert!(h.total_bytes_flushed() > 0);
+        h.shutdown();
+    }
+
+    #[test]
+    fn doorbell_commit_beats_the_group_commit_window() {
+        // With a 5 s window, a sleeping-flusher design would hold every
+        // sync commit for seconds; the doorbell must make it ~one flush.
+        let dir = phoebe_common::KernelConfig::for_tests().data_dir;
+        let h = WalHub::new(&dir, 1, 2, Duration::from_secs(5), true, Arc::new(Metrics::new(1)))
+            .unwrap();
+        let mut rfa = RfaState::default();
+        let g = h.stamp_write(&mut rfa, 0, None, 0);
+        h.log_op(0, xid(7), g, RecordBody::Begin);
+        let t0 = std::time::Instant::now();
+        block_on(h.commit(0, xid(7), 9, &rfa)).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "commit took {:?}: flusher still sleeping out the window",
+            t0.elapsed()
+        );
+        let t1 = std::time::Instant::now();
+        h.shutdown();
+        assert!(t1.elapsed() < Duration::from_secs(1), "shutdown must ring the doorbell");
+    }
+
+    #[test]
+    fn remote_dependent_commit_parks_until_round_done() {
+        // Same low-latency requirement for the ensure_durable_gsn path.
+        let dir = phoebe_common::KernelConfig::for_tests().data_dir;
+        let h = WalHub::new(&dir, 2, 2, Duration::from_secs(5), true, Arc::new(Metrics::new(1)))
+            .unwrap();
+        let mut rfa1 = RfaState::default();
+        let g1 = h.stamp_write(&mut rfa1, 0, None, 1);
+        h.log_op(1, xid(1), g1, RecordBody::Begin);
+        let mut rfa0 = RfaState::default();
+        let g0 = h.stamp_write(&mut rfa0, g1, Some(1), 0);
+        h.log_op(0, xid(2), g0, RecordBody::Begin);
+        assert!(rfa0.needs_remote);
+        let t0 = std::time::Instant::now();
+        block_on(h.commit(0, xid(2), 9, &rfa0)).unwrap();
+        assert!(h.durable_gsn() >= rfa0.max_gsn);
+        assert!(t0.elapsed() < Duration::from_secs(1), "remote wait took {:?}", t0.elapsed());
         h.shutdown();
     }
 

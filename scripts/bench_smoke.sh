@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI bench smoke: run exp1 at 1 and 4 workers and fail if throughput
+# scales inversely. Strict mode (default, PHOEBE_SMOKE_MIN_RATIO=1.0)
+# requires 4-worker tpmC >= 1-worker tpmC and assumes >= 4 cores; on
+# smaller hosts set e.g. PHOEBE_SMOKE_MIN_RATIO=0.5 — the seed kernel
+# retained only ~19% of 1-worker tpmC at 4 workers, so even the relaxed
+# guard catches a scalability regression.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PHOEBE_EXP1_POINTS="${PHOEBE_EXP1_POINTS:-1,4}"
+export PHOEBE_DURATION_SECS="${PHOEBE_DURATION_SECS:-3}"
+MIN_RATIO="${PHOEBE_SMOKE_MIN_RATIO:-1.0}"
+
+out=$(cargo run --release -q -p phoebe-bench --bin exp1_tpmc)
+echo "$out"
+
+echo "$out" | grep '^PHOEBE_JSON ' | sed 's/^PHOEBE_JSON //' | MIN_RATIO="$MIN_RATIO" python3 -c '
+import json, os, sys
+
+doc = json.load(sys.stdin)
+series = doc["data"]["series"]
+by_workers = {int(row["workers"]): float(row["tpmC"]) for row in series}
+lo, hi = min(by_workers), max(by_workers)
+ratio = by_workers[hi] / by_workers[lo] if by_workers[lo] else 0.0
+need = float(os.environ["MIN_RATIO"])
+print(f"bench-smoke: {lo}w tpmC={by_workers[lo]:.0f}  {hi}w tpmC={by_workers[hi]:.0f}  ratio={ratio:.2f} (need >= {need})")
+if ratio < need:
+    sys.exit(f"FAIL: tpmC at {hi} workers is {ratio:.2f}x the {lo}-worker figure (minimum {need}) — scaling regressed")
+print("bench-smoke: OK")
+'
