@@ -51,6 +51,11 @@ pub struct KernelConfig {
     pub warm_read_threshold: u64,
     /// Lock wait budget before a transaction gives up with `LockTimeout`.
     pub lock_timeout_ms: u64,
+    /// Deterministic fault injection for the persistence layer. `None`
+    /// (production) runs on [`crate::fault::OsFs`]; `Some` routes every
+    /// WAL/page-file byte through a seeded [`crate::fault::SimFs`] torture
+    /// disk (crash-consistency tests only).
+    pub fault: Option<crate::fault::FaultConfig>,
 }
 
 impl Default for KernelConfig {
@@ -69,6 +74,7 @@ impl Default for KernelConfig {
             freeze_batch_pages: 8,
             warm_read_threshold: 16,
             lock_timeout_ms: 2_000,
+            fault: None,
         }
     }
 }
@@ -192,6 +198,13 @@ impl KernelConfigBuilder {
     /// Directory for the Data Page File, Data Block File, and WAL.
     pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cfg.data_dir = dir.into();
+        self
+    }
+
+    /// Route all persistence through a seeded fault-injecting disk
+    /// (crash-consistency torture runs).
+    pub fn fault(mut self, fault: crate::fault::FaultConfig) -> Self {
+        self.cfg.fault = Some(fault);
         self
     }
 

@@ -46,6 +46,10 @@ pub enum PhoebeError {
     OutOfFrames,
     /// Underlying file I/O failed.
     Io(io::Error),
+    /// The WAL hub halted after a log write or fsync failed: the commit's
+    /// durability cannot be established and the kernel stops acknowledging
+    /// transactions (a crash/restart is the only way forward).
+    WalHalted,
     /// On-disk data failed a checksum or structural validation.
     Corruption(String),
     /// Internal invariant violation; indicates a kernel bug.
@@ -101,6 +105,9 @@ impl fmt::Display for PhoebeError {
             }
             PhoebeError::OutOfFrames => write!(f, "buffer pool has no evictable frame"),
             PhoebeError::Io(e) => write!(f, "i/o error: {e}"),
+            PhoebeError::WalHalted => {
+                write!(f, "wal halted after a log i/o failure; commit durability unknown")
+            }
             PhoebeError::Corruption(msg) => write!(f, "corruption detected: {msg}"),
             PhoebeError::Internal(msg) => write!(f, "internal error: {msg}"),
         }

@@ -11,6 +11,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod hist;
 pub mod ids;
 pub mod json;
@@ -19,6 +20,7 @@ pub mod snapshot;
 
 pub use config::{KernelConfig, KernelConfigBuilder};
 pub use error::{PhoebeError, Result};
+pub use fault::{FaultConfig, FaultFile, FaultFs, OsFs, SimFs};
 pub use hist::{HistogramSnapshot, LatencySite};
 pub use ids::{Gsn, Lsn, PageId, RowId, SlotId, TableId, Timestamp, WorkerId, Xid};
 pub use json::Json;

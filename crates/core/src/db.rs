@@ -2,9 +2,11 @@
 //! co-routine runtime into one database object (§4, Figure 1).
 
 use crate::catalog::{IndexDef, IndexEntry, TableEntry};
+use crate::manifest::{self, ManifestEntry};
 use crate::txn_api::Transaction;
 use parking_lot::{Mutex, RwLock};
 use phoebe_common::error::{PhoebeError, Result};
+use phoebe_common::fault::{FaultFs, OsFs, SimFs};
 use phoebe_common::ids::{TableId, Timestamp};
 use phoebe_common::metrics::{Component, Counter, Metrics};
 use phoebe_common::snapshot::SnapshotList;
@@ -14,8 +16,9 @@ use phoebe_storage::schema::{ColType, Schema};
 use phoebe_storage::{BTree, BufferPool, FrozenStore, TreeKind};
 use phoebe_txn::locks::IsolationLevel;
 use phoebe_txn::{ActiveTxnTable, GcEngine, GcStats, TwinRegistry, UndoArena, UndoLog, UndoOp};
-use phoebe_wal::{recover_dir, RecordBody, WalHub};
+use phoebe_wal::{recover_dir, RecordBody, RecoveredTxn, WalHub};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
@@ -24,6 +27,20 @@ use std::time::Duration;
 /// pool (loaders, tests, maintenance). They get their own UNDO arenas and
 /// WAL writers so the slot-serial invariants hold for them too.
 pub const EXTERNAL_SLOTS: usize = 8;
+
+/// What `Database::open` found and replayed from a previous incarnation's
+/// WAL (all zeros on a fresh directory).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryInfo {
+    /// Committed transactions replayed from the log.
+    pub txns: usize,
+    /// Highest recovered commit timestamp; the global clock resumes
+    /// strictly after it.
+    pub max_cts: Timestamp,
+    /// Highest GSN seen on any recovered record (must never exceed the
+    /// durable GSN the crashed incarnation acknowledged).
+    pub max_gsn: u64,
+}
 
 /// The database kernel.
 pub struct Database {
@@ -42,6 +59,17 @@ pub struct Database {
     /// not serialize on a catalog lock.
     catalog: SnapshotList<Arc<TableEntry>>,
     by_name: RwLock<HashMap<String, usize>>,
+    /// DDL operations in creation order — the source text of the on-disk
+    /// catalog manifest (see [`crate::manifest`]). Creation order matters:
+    /// it is what assigns table/index ids, and ids are how WAL records
+    /// name relations at replay.
+    ddl_log: Mutex<Vec<ManifestEntry>>,
+    /// The seeded torture disk when `cfg.fault` is set; `None` in
+    /// production. Exposed via [`Database::fault_sim`] so crash tests can
+    /// arm and trigger the simulated power cut.
+    sim: Option<Arc<SimFs>>,
+    /// What `open` replayed from the previous incarnation's WAL.
+    recovery: RecoveryInfo,
     next_table_id: AtomicU32,
     external_free: Mutex<Vec<usize>>,
     txns_since_gc: Vec<AtomicU64>,
@@ -100,22 +128,90 @@ impl WorkerHook for KernelHook {
     }
 }
 
+/// True when `dir` holds at least one non-empty per-slot WAL file — i.e. a
+/// previous incarnation left durable history behind.
+fn wal_dir_has_records(dir: &Path) -> bool {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return false;
+    };
+    rd.filter_map(|e| e.ok()).any(|e| {
+        e.path()
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("wal_slot_") && n.ends_with(".log"))
+            && e.metadata().map(|m| m.len() > 0).unwrap_or(false)
+    })
+}
+
 impl Database {
-    /// Open a kernel: build the buffer pool, WAL hub, runtime and GC, and
-    /// wire the cross-layer hooks (write barrier, worker duties).
+    /// Open a kernel: build the buffer pool, WAL hub, runtime and GC, wire
+    /// the cross-layer hooks (write barrier, worker duties) — and, when the
+    /// data directory holds a previous incarnation's WAL, replay every
+    /// committed transaction before accepting new work.
+    ///
+    /// Recovery protocol (crash-safe at every step):
+    ///
+    /// 1. If `wal/` holds records, it is renamed to `wal.recovering/`
+    ///    *before* the new hub truncates the slot files. If
+    ///    `wal.recovering/` already exists, a previous recovery itself
+    ///    crashed — that directory wins and any half-rebuilt `wal/` is
+    ///    discarded, which makes recovery idempotent.
+    /// 2. The catalog is rebuilt from the manifest (creation order ⇒ same
+    ///    table ids), then committed transactions are replayed in commit-
+    ///    timestamp order.
+    /// 3. The recovered history is re-logged into the fresh WAL and
+    ///    flushed (there is no checkpoint: the log is the only durable
+    ///    copy of hot data), the global clock is advanced past the highest
+    ///    recovered commit timestamp, and only then is
+    ///    `wal.recovering/` deleted.
     pub fn open(cfg: KernelConfig) -> Result<Arc<Self>> {
+        cfg.validate()?;
         std::fs::create_dir_all(&cfg.data_dir)?;
+        let (fs, sim): (Arc<dyn FaultFs>, Option<Arc<SimFs>>) = match &cfg.fault {
+            Some(fc) => {
+                let s = SimFs::new(fc.clone());
+                (Arc::clone(&s) as Arc<dyn FaultFs>, Some(s))
+            }
+            None => (Arc::new(OsFs), None),
+        };
+
+        // Step 1: secure the previous incarnation's log before the new
+        // writers truncate it.
+        let wal_dir = cfg.data_dir.join("wal");
+        let rec_dir = cfg.data_dir.join("wal.recovering");
+        if rec_dir.exists() {
+            if wal_dir.exists() {
+                std::fs::remove_dir_all(&wal_dir)?;
+            }
+        } else if wal_dir_has_records(&wal_dir) {
+            std::fs::rename(&wal_dir, &rec_dir)?;
+        }
+        // The durable image is plain files (even under SimFs the durable
+        // layer is a real file), so recovery always reads the real fs.
+        let recovered = if rec_dir.exists() { recover_dir(&rec_dir)? } else { Vec::new() };
+        let recovery = RecoveryInfo {
+            txns: recovered.len(),
+            max_cts: recovered.iter().map(|t| t.cts).max().unwrap_or(0),
+            max_gsn: recovered.iter().map(|t| t.max_gsn).max().unwrap_or(0),
+        };
+
         let metrics = Arc::new(Metrics::new(cfg.workers));
-        let pool =
-            BufferPool::new(cfg.buffer_frames, cfg.workers, &cfg.data_dir, Arc::clone(&metrics))?;
+        let pool = BufferPool::new_with_fs(
+            cfg.buffer_frames,
+            cfg.workers,
+            &cfg.data_dir,
+            Arc::clone(&metrics),
+            fs.as_ref(),
+        )?;
         let total_slots = cfg.total_slots() + EXTERNAL_SLOTS;
-        let wal = WalHub::new(
-            &cfg.data_dir.join("wal"),
+        let wal = WalHub::with_fs(
+            &wal_dir,
             total_slots,
             2,
             Duration::from_micros(cfg.wal_group_commit_us),
             cfg.wal_sync,
             Arc::clone(&metrics),
+            fs,
         )?;
         pool.set_wal_barrier(Arc::new(HubBarrier(Arc::clone(&wal))));
         let arenas: Vec<_> = (0..total_slots).map(|_| Arc::new(UndoArena::new())).collect();
@@ -129,6 +225,9 @@ impl Database {
             gc,
             catalog: SnapshotList::default(),
             by_name: RwLock::new(HashMap::new()),
+            ddl_log: Mutex::new(Vec::new()),
+            sim,
+            recovery,
             next_table_id: AtomicU32::new(1),
             external_free: Mutex::new((cfg.total_slots()..total_slots).rev().collect()),
             txns_since_gc: (0..cfg.workers).map(|_| AtomicU64::new(0)).collect(),
@@ -140,11 +239,36 @@ impl Database {
             wal,
             cfg,
         });
+
+        // Step 2: rebuild the catalog with the original creation order,
+        // then replay committed history in cts order.
+        db.load_manifest()?;
+        if !recovered.is_empty() {
+            db.apply_recovered(&recovered)?;
+            // Step 3: the fresh WAL must carry the full history again.
+            db.relog_recovered(&recovered)?;
+            db.clock.advance_to(recovery.max_cts);
+        }
+        if rec_dir.exists() {
+            std::fs::remove_dir_all(&rec_dir)?;
+        }
+
         // Start the co-routine pool and install the worker duties.
         let rt = Runtime::new(RuntimeConfig::new(db.cfg.workers, db.cfg.slots_per_worker));
         rt.set_hook(Arc::new(KernelHook { db: Arc::downgrade(&db) }));
         *db.runtime.write() = Some(rt);
         Ok(db)
+    }
+
+    /// The seeded fault-injection disk, when this kernel was opened with
+    /// `cfg.fault` set (crash-consistency tests arm and fire it).
+    pub fn fault_sim(&self) -> Option<&Arc<SimFs>> {
+        self.sim.as_ref()
+    }
+
+    /// What `open` found and replayed from a previous incarnation's WAL.
+    pub fn recovery_info(&self) -> RecoveryInfo {
+        self.recovery
     }
 
     /// The co-routine runtime (spawn transactions through this).
@@ -211,24 +335,54 @@ impl Database {
 
     /// Create a table. Table ids are assigned in creation order, which is
     /// what ties WAL records back to relations at recovery.
+    ///
+    /// Idempotent: re-creating an existing table with an identical schema
+    /// returns the live entry (so application setup code can run unchanged
+    /// against a recovered kernel); a schema mismatch is an error.
     pub fn create_table(&self, name: &str, schema: Schema) -> Result<Arc<TableEntry>> {
+        self.create_table_inner(name, schema, true)
+    }
+
+    fn create_table_inner(
+        &self,
+        name: &str,
+        schema: Schema,
+        persist: bool,
+    ) -> Result<Arc<TableEntry>> {
+        // The name map's write lock serializes all DDL, so the snapshot
+        // position recorded below matches the push and id assignment stays
+        // aligned with creation order.
+        let mut by_name = self.by_name.write();
+        if let Some(&idx) = by_name.get(name) {
+            let existing = Arc::clone(&self.catalog.load()[idx]);
+            return if existing.schema == schema {
+                Ok(existing)
+            } else {
+                Err(PhoebeError::Config(format!(
+                    "table '{name}' already exists with a different schema"
+                )))
+            };
+        }
         let id = TableId(self.next_table_id.fetch_add(1, Ordering::Relaxed));
         let tree =
             BTree::create(Arc::clone(&self.pool), id, TreeKind::Table, Arc::clone(&self.metrics))?;
         let types: Vec<ColType> = schema.types().to_vec();
         let frozen =
             FrozenStore::create(&self.cfg.data_dir.join(format!("frozen_{}.db", id.raw())), types)?;
-        let entry = Arc::new(TableEntry::new(id, name.to_owned(), schema, tree, frozen));
-        // The name map's write lock serializes creations, so the index
-        // recorded here matches the snapshot position.
-        let mut by_name = self.by_name.write();
+        let entry = Arc::new(TableEntry::new(id, name.to_owned(), schema.clone(), tree, frozen));
         let idx = self.catalog.len();
         self.catalog.push(Arc::clone(&entry));
         by_name.insert(name.to_owned(), idx);
+        if persist {
+            self.persist_ddl(ManifestEntry::Table { name: name.to_owned(), schema })?;
+        }
         Ok(entry)
     }
 
     /// Create a secondary index over `key_cols` of `table`.
+    ///
+    /// Idempotent like [`Database::create_table`]: an existing index with
+    /// the same name and definition is returned as-is.
     pub fn create_index(
         &self,
         table: &Arc<TableEntry>,
@@ -236,16 +390,73 @@ impl Database {
         key_cols: Vec<usize>,
         unique: bool,
     ) -> Result<Arc<IndexEntry>> {
+        self.create_index_inner(table, name, key_cols, unique, true)
+    }
+
+    fn create_index_inner(
+        &self,
+        table: &Arc<TableEntry>,
+        name: &str,
+        key_cols: Vec<usize>,
+        unique: bool,
+        persist: bool,
+    ) -> Result<Arc<IndexEntry>> {
+        let _by_name = self.by_name.write(); // serialize DDL (id order)
+        if let Some(existing) = table.all_indexes().iter().find(|i| i.def.name == name) {
+            return if existing.def.key_cols == key_cols && existing.def.unique == unique {
+                Ok(Arc::clone(existing))
+            } else {
+                Err(PhoebeError::Config(format!(
+                    "index '{name}' on '{}' already exists with a different definition",
+                    table.name
+                )))
+            };
+        }
         let id = TableId(self.next_table_id.fetch_add(1, Ordering::Relaxed));
         let tree =
             BTree::create(Arc::clone(&self.pool), id, TreeKind::Index, Arc::clone(&self.metrics))?;
         let entry = Arc::new(IndexEntry {
             id,
-            def: IndexDef { name: name.to_owned(), key_cols, unique },
+            def: IndexDef { name: name.to_owned(), key_cols: key_cols.clone(), unique },
             tree,
         });
         table.indexes.push(Arc::clone(&entry));
+        if persist {
+            self.persist_ddl(ManifestEntry::Index {
+                table: table.name.clone(),
+                name: name.to_owned(),
+                unique,
+                key_cols,
+            })?;
+        }
         Ok(entry)
+    }
+
+    /// Append a DDL op to the in-memory log and rewrite the on-disk
+    /// manifest atomically.
+    fn persist_ddl(&self, entry: ManifestEntry) -> Result<()> {
+        let mut log = self.ddl_log.lock();
+        log.push(entry);
+        manifest::store(&self.cfg.data_dir, &log)
+    }
+
+    /// Rebuild the catalog from the on-disk manifest (recovery step 2).
+    /// Re-runs the original DDL in creation order, so ids come out equal.
+    fn load_manifest(self: &Arc<Self>) -> Result<()> {
+        let entries = manifest::load(&self.cfg.data_dir)?;
+        for entry in &entries {
+            match entry {
+                ManifestEntry::Table { name, schema } => {
+                    self.create_table_inner(name, schema.clone(), false)?;
+                }
+                ManifestEntry::Index { table, name, unique, key_cols } => {
+                    let t = self.table(table)?;
+                    self.create_index_inner(&t, name, key_cols.clone(), *unique, false)?;
+                }
+            }
+        }
+        *self.ddl_log.lock() = entries;
+        Ok(())
     }
 
     /// Look a table up by name.
@@ -336,21 +547,50 @@ impl Database {
     /// contain the tables with the same creation order (catalog operations
     /// are not logged — the schema is application-defined, as with the
     /// paper's UDF-driven deployments). Returns replayed transaction count.
+    ///
+    /// `Database::open` runs this automatically on a directory with
+    /// history; the public method remains for replaying a foreign log into
+    /// a fresh kernel (diagnostics, log shipping).
     pub fn replay_wal(self: &Arc<Self>, dir: &std::path::Path) -> Result<usize> {
         let txns = recover_dir(dir)?;
-        let n = txns.len();
+        self.apply_recovered(&txns)?;
+        Ok(txns.len())
+    }
+
+    /// Apply recovered transactions (already filtered to committed ones,
+    /// sorted by cts) to the live tables.
+    ///
+    /// Two passes. Inserts go first, sorted by `(table, row)`: the PAX
+    /// leaves require ascending row-id appends, and commit-timestamp order
+    /// across concurrent writers does not follow row-id allocation order
+    /// (a later-allocated row can commit first). Reordering inserts is
+    /// safe — row ids are never reused and MVCC guarantees any update or
+    /// delete of a row commits after the insert that created it — so the
+    /// second pass replays updates/deletes in cts order on top and
+    /// reproduces the admitted serial history exactly.
+    fn apply_recovered(self: &Arc<Self>, txns: &[RecoveredTxn]) -> Result<()> {
+        let mut inserts: Vec<_> = txns
+            .iter()
+            .flat_map(|t| t.ops.iter())
+            .filter_map(|op| match op {
+                RecordBody::Insert { table, row, tuple } => Some((*table, *row, tuple)),
+                _ => None,
+            })
+            .collect();
+        inserts.sort_by_key(|(table, row, _)| (*table, *row));
+        for (table, row, tuple) in inserts {
+            let t = self.table_by_id(table)?;
+            t.bump_row_id(row);
+            t.tree.table_append(&t.layout, row, tuple, |_, _, _, _| {})?;
+            for index in t.all_indexes() {
+                let key = index.key_for(&t.schema, tuple, row);
+                index.tree.index_insert(&key, row)?;
+            }
+        }
         for txn in txns {
-            for op in txn.ops {
+            for op in txn.ops.iter().cloned() {
                 match op {
-                    RecordBody::Insert { table, row, tuple } => {
-                        let t = self.table_by_id(table)?;
-                        t.bump_row_id(row);
-                        t.tree.table_append(&t.layout, row, &tuple, |_, _, _, _| {})?;
-                        for index in t.all_indexes() {
-                            let key = index.key_for(&t.schema, &tuple, row);
-                            index.tree.index_insert(&key, row)?;
-                        }
-                    }
+                    RecordBody::Insert { .. } => {}
                     RecordBody::Update { table, row, delta } => {
                         let t = self.table_by_id(table)?;
                         t.tree.table_modify(row, |leaf, idx, _, _| {
@@ -383,7 +623,27 @@ impl Database {
                 }
             }
         }
-        Ok(n)
+        Ok(())
+    }
+
+    /// Re-log recovered history into the fresh WAL and flush it durable
+    /// (recovery step 3). Without this, deleting `wal.recovering/` would
+    /// leave the recovered rows with no durable copy anywhere — the kernel
+    /// has no checkpoint, the log *is* the database.
+    ///
+    /// Everything goes to slot 0 with a constant GSN: within one writer
+    /// the LSN preserves append order, and we append in cts order, so a
+    /// subsequent recovery reassembles the same history.
+    fn relog_recovered(&self, txns: &[RecoveredTxn]) -> Result<()> {
+        for t in txns {
+            self.wal.log_op(0, t.xid, 1, RecordBody::Begin);
+            for op in &t.ops {
+                self.wal.log_op(0, t.xid, 1, op.clone());
+            }
+            self.wal.log_op(0, t.xid, 1, RecordBody::Commit { cts: t.cts });
+        }
+        self.wal.flush_all()?;
+        Ok(())
     }
 
     /// Convenience for tests/diagnostics: count visible rows of a table by

@@ -37,6 +37,7 @@
 pub mod catalog;
 pub mod db;
 pub mod keys;
+pub mod manifest;
 pub mod prelude;
 pub mod row;
 pub mod stats;
@@ -44,7 +45,7 @@ pub mod temperature;
 pub mod txn_api;
 
 pub use catalog::{IndexDef, IndexEntry, TableEntry};
-pub use db::{Database, EXTERNAL_SLOTS};
+pub use db::{Database, RecoveryInfo, EXTERNAL_SLOTS};
 pub use keys::KeyBuilder;
 pub use phoebe_txn::locks::IsolationLevel;
 pub use row::Row;

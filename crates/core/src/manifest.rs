@@ -1,0 +1,212 @@
+//! The catalog manifest: crash-recoverable DDL state.
+//!
+//! PhoebeDB does not WAL-log catalog operations — the schema is
+//! application-defined (§8's logical records name tables by id, which is
+//! assigned in creation order). For `Database::open` to replay a WAL after
+//! a crash it must first rebuild the same catalog, so every successful
+//! `create_table`/`create_index` rewrites a small text manifest in the
+//! data directory (atomically, via write-to-temp + rename). On open the
+//! manifest is loaded *before* replay, recreating every relation with the
+//! same creation order and therefore the same ids.
+//!
+//! Format: one tab-separated line per entry, in creation order.
+//!
+//! ```text
+//! table\t<name>\t<col>:<ty>,<col>:<ty>,...
+//! index\t<table_name>\t<index_name>\t<0|1 unique>\t<col_idx>,<col_idx>,...
+//! ```
+//!
+//! Column types encode as `i64`, `i32`, `f64`, `str<max>`.
+
+use phoebe_common::error::{PhoebeError, Result};
+use phoebe_storage::schema::{ColType, Schema};
+use std::path::Path;
+
+/// File name of the manifest inside the data directory.
+pub const MANIFEST_FILE: &str = "catalog.manifest";
+
+/// One catalog operation, in creation order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManifestEntry {
+    Table { name: String, schema: Schema },
+    Index { table: String, name: String, unique: bool, key_cols: Vec<usize> },
+}
+
+fn encode_col_type(t: ColType) -> String {
+    match t {
+        ColType::I64 => "i64".into(),
+        ColType::I32 => "i32".into(),
+        ColType::F64 => "f64".into(),
+        ColType::Str(max) => format!("str{max}"),
+    }
+}
+
+fn parse_col_type(s: &str) -> Result<ColType> {
+    match s {
+        "i64" => Ok(ColType::I64),
+        "i32" => Ok(ColType::I32),
+        "f64" => Ok(ColType::F64),
+        _ => s
+            .strip_prefix("str")
+            .and_then(|m| m.parse::<u16>().ok())
+            .map(ColType::Str)
+            .ok_or_else(|| PhoebeError::corruption(format!("manifest: bad column type '{s}'"))),
+    }
+}
+
+/// Serialize entries to the manifest text.
+pub fn encode(entries: &[ManifestEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        match e {
+            ManifestEntry::Table { name, schema } => {
+                let cols: Vec<String> = (0..schema.num_cols())
+                    .map(|i| {
+                        format!("{}:{}", schema.col_name(i), encode_col_type(schema.col_type(i)))
+                    })
+                    .collect();
+                out.push_str(&format!("table\t{name}\t{}\n", cols.join(",")));
+            }
+            ManifestEntry::Index { table, name, unique, key_cols } => {
+                let cols: Vec<String> = key_cols.iter().map(|c| c.to_string()).collect();
+                out.push_str(&format!(
+                    "index\t{table}\t{name}\t{}\t{}\n",
+                    u8::from(*unique),
+                    cols.join(",")
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Parse the manifest text back into entries.
+pub fn parse(text: &str) -> Result<Vec<ManifestEntry>> {
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |what: &str| {
+            PhoebeError::corruption(format!("manifest line {}: {what}: '{line}'", lineno + 1))
+        };
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields.first().copied() {
+            Some("table") if fields.len() == 3 => {
+                let mut cols = Vec::new();
+                for col in fields[2].split(',').filter(|c| !c.is_empty()) {
+                    let (name, ty) = col.split_once(':').ok_or_else(|| bad("bad column"))?;
+                    cols.push((name, parse_col_type(ty)?));
+                }
+                entries.push(ManifestEntry::Table {
+                    name: fields[1].to_owned(),
+                    schema: Schema::new(cols),
+                });
+            }
+            Some("index") if fields.len() == 5 => {
+                let unique = match fields[3] {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(bad("bad unique flag")),
+                };
+                let key_cols = fields[4]
+                    .split(',')
+                    .filter(|c| !c.is_empty())
+                    .map(|c| c.parse::<usize>().map_err(|_| bad("bad key column")))
+                    .collect::<Result<Vec<_>>>()?;
+                entries.push(ManifestEntry::Index {
+                    table: fields[1].to_owned(),
+                    name: fields[2].to_owned(),
+                    unique,
+                    key_cols,
+                });
+            }
+            _ => return Err(bad("unrecognized entry")),
+        }
+    }
+    Ok(entries)
+}
+
+/// Atomically (write temp + rename) persist the manifest under `data_dir`.
+pub fn store(data_dir: &Path, entries: &[ManifestEntry]) -> Result<()> {
+    let tmp = data_dir.join(format!("{MANIFEST_FILE}.tmp"));
+    let dst = data_dir.join(MANIFEST_FILE);
+    std::fs::write(&tmp, encode(entries))?;
+    std::fs::rename(&tmp, &dst)?;
+    Ok(())
+}
+
+/// Load the manifest from `data_dir`; empty when none was ever written.
+pub fn load(data_dir: &Path) -> Result<Vec<ManifestEntry>> {
+    match std::fs::read_to_string(data_dir.join(MANIFEST_FILE)) {
+        Ok(text) => parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries() -> Vec<ManifestEntry> {
+        vec![
+            ManifestEntry::Table {
+                name: "accounts".into(),
+                schema: Schema::new(vec![
+                    ("id", ColType::I64),
+                    ("owner", ColType::Str(24)),
+                    ("cents", ColType::I64),
+                    ("tier", ColType::I32),
+                    ("score", ColType::F64),
+                ]),
+            },
+            ManifestEntry::Index {
+                table: "accounts".into(),
+                name: "by_owner".into(),
+                unique: false,
+                key_cols: vec![1, 0],
+            },
+            ManifestEntry::Table {
+                name: "ledger".into(),
+                schema: Schema::new(vec![("op", ColType::I64)]),
+            },
+            ManifestEntry::Index {
+                table: "ledger".into(),
+                name: "by_op".into(),
+                unique: true,
+                key_cols: vec![0],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrips_tables_and_indexes_in_order() {
+        let e = entries();
+        assert_eq!(parse(&encode(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = phoebe_common::KernelConfig::for_tests().data_dir;
+        std::fs::create_dir_all(&dir).unwrap();
+        let e = entries();
+        store(&dir, &e).unwrap();
+        assert_eq!(load(&dir).unwrap(), e);
+    }
+
+    #[test]
+    fn missing_manifest_loads_empty() {
+        let dir = phoebe_common::KernelConfig::for_tests().data_dir;
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load(&dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn garbage_lines_are_rejected_not_misparsed() {
+        assert!(parse("table\tonly_two_fields").is_err());
+        assert!(parse("index\ta\tb\t2\t0").is_err());
+        assert!(parse("table\tt\tcol:badtype").is_err());
+        assert!(parse("whatever\tx").is_err());
+    }
+}

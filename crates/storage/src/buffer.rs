@@ -127,12 +127,25 @@ pub struct BufferPool {
 
 impl BufferPool {
     /// Build a pool of `total_frames` split over `partitions` partitions,
-    /// backed by a Data Page File under `dir`.
+    /// backed by a Data Page File under `dir` on the real filesystem.
     pub fn new(
         total_frames: usize,
         partitions: usize,
         dir: &Path,
         metrics: Arc<Metrics>,
+    ) -> Result<Arc<Self>> {
+        Self::new_with_fs(total_frames, partitions, dir, metrics, &phoebe_common::fault::OsFs)
+    }
+
+    /// [`BufferPool::new`] over an injected filesystem — the seam the
+    /// crash-torture harness uses to route the Data Page File through a
+    /// [`phoebe_common::fault::SimFs`] torture disk.
+    pub fn new_with_fs(
+        total_frames: usize,
+        partitions: usize,
+        dir: &Path,
+        metrics: Arc<Metrics>,
+        fs: &dyn phoebe_common::fault::FaultFs,
     ) -> Result<Arc<Self>> {
         let partitions = partitions.max(1);
         let fpp = (total_frames / partitions).max(2);
@@ -153,7 +166,7 @@ impl BufferPool {
             frames: frames.into_boxed_slice(),
             partitions: parts,
             frames_per_partition: fpp,
-            page_file: PageFile::create(&dir.join("data_pages.db"))?,
+            page_file: PageFile::create_with(fs, &dir.join("data_pages.db"))?,
             barrier: RwLock::new(None),
             metrics,
             start: Instant::now(),

@@ -7,15 +7,15 @@
 use parking_lot::Mutex;
 use phoebe_common::config::PAGE_SIZE;
 use phoebe_common::error::Result;
+use phoebe_common::fault::{FaultFile, FaultFs, OsFs};
 use phoebe_common::ids::PageId;
-use std::fs::{File, OpenOptions};
-use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Slot-addressed page storage.
 pub struct PageFile {
-    file: File,
+    file: Arc<dyn FaultFile>,
     next: AtomicU64,
     free: Mutex<Vec<PageId>>,
     reads: AtomicU64,
@@ -23,13 +23,16 @@ pub struct PageFile {
 }
 
 impl PageFile {
-    /// Create (or truncate) the page file at `path`.
+    /// Create (or truncate) the page file at `path` on the real filesystem.
     pub fn create(path: &Path) -> Result<Self> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        let file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        Self::create_with(&OsFs, path)
+    }
+
+    /// [`PageFile::create`] over an injected filesystem — the seam the
+    /// crash-torture harness uses to route cold-page I/O through a
+    /// [`phoebe_common::fault::SimFs`] torture disk.
+    pub fn create_with(fs: &dyn FaultFs, path: &Path) -> Result<Self> {
+        let file = fs.create(path)?;
         Ok(PageFile {
             file,
             next: AtomicU64::new(0),
@@ -55,7 +58,7 @@ impl PageFile {
     /// Write a page image into its slot.
     pub fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
-        self.file.write_all_at(buf, id.raw() * PAGE_SIZE as u64)?;
+        self.file.write_all_at(id.raw() * PAGE_SIZE as u64, buf)?;
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -63,8 +66,14 @@ impl PageFile {
     /// Read a page image from its slot.
     pub fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
-        self.file.read_exact_at(buf, id.raw() * PAGE_SIZE as u64)?;
+        self.file.read_exact_at(id.raw() * PAGE_SIZE as u64, buf)?;
         self.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Durability barrier for every previously written page image.
+    pub fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
         Ok(())
     }
 

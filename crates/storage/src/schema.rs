@@ -118,7 +118,7 @@ impl From<String> for Value {
 pub type Tuple = Vec<Value>;
 
 /// Schema of one relation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Schema {
     cols: Vec<ColType>,
     names: Vec<String>,

@@ -12,18 +12,19 @@
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use phoebe_common::error::Result;
-use std::fs::File;
+use phoebe_common::fault::FaultFile;
 use std::io;
-use std::os::unix::fs::FileExt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// One I/O submission.
+/// One I/O submission. Files are [`FaultFile`] handles, so the whole AIO
+/// path runs unchanged over the real filesystem or the fault-injecting
+/// torture disk.
 pub enum AioRequest {
     /// Positional write of `data` at `offset`.
-    WriteAt { file: Arc<File>, offset: u64, data: Vec<u8> },
+    WriteAt { file: Arc<dyn FaultFile>, offset: u64, data: Vec<u8> },
     /// Durability barrier for everything previously written to `file`.
-    Fsync { file: Arc<File> },
+    Fsync { file: Arc<dyn FaultFile> },
 }
 
 /// Completion handle: one per submission.
@@ -89,7 +90,7 @@ impl AioPool {
                         while let Ok(sub) = rx.recv() {
                             let result = match sub.req {
                                 AioRequest::WriteAt { file, offset, data } => {
-                                    file.write_all_at(&data, offset).map(|_| data.len())
+                                    file.write_all_at(offset, &data).map(|_| data.len())
                                 }
                                 AioRequest::Fsync { file } => file.sync_data().map(|_| 0),
                             };
@@ -123,7 +124,12 @@ impl AioPool {
 
     /// Submit a write followed by an fsync and wait for both (the group
     /// commit tail).
-    pub fn write_and_sync(&self, file: &Arc<File>, offset: u64, data: Vec<u8>) -> Result<usize> {
+    pub fn write_and_sync(
+        &self,
+        file: &Arc<dyn FaultFile>,
+        offset: u64,
+        data: Vec<u8>,
+    ) -> Result<usize> {
         let w = self.submit(AioRequest::WriteAt { file: Arc::clone(file), offset, data });
         let n = w.wait()?;
         let s = self.submit(AioRequest::Fsync { file: Arc::clone(file) });
@@ -154,20 +160,11 @@ impl Drop for AioPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::fs::OpenOptions;
+    use phoebe_common::fault::{FaultFs, OsFs};
 
-    fn tmpfile(name: &str) -> Arc<File> {
+    fn tmpfile(name: &str) -> Arc<dyn FaultFile> {
         let dir = phoebe_common::KernelConfig::for_tests().data_dir;
-        std::fs::create_dir_all(&dir).unwrap();
-        Arc::new(
-            OpenOptions::new()
-                .read(true)
-                .write(true)
-                .create(true)
-                .truncate(true)
-                .open(dir.join(name))
-                .unwrap(),
-        )
+        OsFs.create(&dir.join(name)).unwrap()
     }
 
     #[test]
@@ -181,7 +178,7 @@ mod tests {
         });
         assert_eq!(c.wait().unwrap(), 5);
         let mut buf = [0u8; 5];
-        f.read_exact_at(&mut buf, 0).unwrap();
+        f.read_exact_at(0, &mut buf).unwrap();
         assert_eq!(&buf, b"hello");
     }
 
@@ -206,7 +203,7 @@ mod tests {
         assert_eq!(comp, 100);
         for i in 0..100u64 {
             let mut buf = [0u8; 8];
-            f.read_exact_at(&mut buf, i * 8).unwrap();
+            f.read_exact_at(i * 8, &mut buf).unwrap();
             assert_eq!(u64::from_le_bytes(buf), i);
         }
     }

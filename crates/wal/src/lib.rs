@@ -24,6 +24,6 @@ pub mod recovery;
 pub mod writer;
 
 pub use aio::{AioPool, AioRequest};
-pub use record::{RecordBody, WalRecord};
+pub use record::{crc32, RecordBody, WalRecord};
 pub use recovery::{recover_dir, RecoveredTxn};
-pub use writer::{CommitGuard, WalHub, WalWriter};
+pub use writer::{CommitGuard, RfaState, WalHub, WalWriter};

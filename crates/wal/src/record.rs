@@ -7,7 +7,10 @@
 //! writer), plus a CRC32 so torn tails are detected and cut off.
 //!
 //! Wire format: `[len u32][crc32 u32][payload]` with the CRC computed over
-//! the payload.
+//! the payload. The exact bytes are pinned by the golden fixture in
+//! `tests/fixtures/wal_records.hex` (see `tests/wal_golden.rs`): changing
+//! this layout breaks recovery of logs written by earlier builds, so the
+//! fixture test must be updated deliberately, never silently.
 
 use phoebe_common::error::{PhoebeError, Result};
 use phoebe_common::ids::{Gsn, Lsn, RowId, TableId, Timestamp, Xid};

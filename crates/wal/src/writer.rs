@@ -20,12 +20,12 @@
 use crate::aio::{AioPool, AioRequest};
 use crate::record::{RecordBody, WalRecord};
 use parking_lot::Mutex;
-use phoebe_common::error::Result;
+use phoebe_common::error::{PhoebeError, Result};
+use phoebe_common::fault::{FaultFile, FaultFs, OsFs};
 use phoebe_common::hist::LatencySite;
 use phoebe_common::ids::{Gsn, Lsn, Timestamp, Xid};
 use phoebe_common::metrics::{Component, Counter, Metrics};
 use phoebe_runtime::Notify;
-use std::fs::{File, OpenOptions};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -83,7 +83,7 @@ impl Doorbell {
 /// One slot's WAL writer.
 pub struct WalWriter {
     pub slot: usize,
-    file: Arc<File>,
+    file: Arc<dyn FaultFile>,
     buf: Mutex<Vec<u8>>,
     next_lsn: AtomicU64,
     appended_lsn: AtomicU64,
@@ -93,15 +93,28 @@ pub struct WalWriter {
     file_off: AtomicU64,
     bytes_flushed: AtomicU64,
     durable: Notify,
+    /// The hub's halt flag (log device failed): durability waiters check
+    /// it so they error out instead of parking forever.
+    halted: Arc<AtomicBool>,
+    /// Bytes stolen from `buf` whose write/fsync has not been confirmed
+    /// yet. While set, an empty buffer does NOT mean "everything appended
+    /// is durable", so the free horizon catch-up must not run — after a
+    /// failed round it would publish durability for bytes the device
+    /// never fsynced.
+    inflight: AtomicBool,
 }
 
 impl WalWriter {
-    fn create(slot: usize, path: &Path) -> Result<Arc<Self>> {
-        let file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+    fn create(
+        slot: usize,
+        fs: &dyn FaultFs,
+        path: &Path,
+        halted: Arc<AtomicBool>,
+    ) -> Result<Arc<Self>> {
+        let file = fs.create(path)?;
         Ok(Arc::new(WalWriter {
             slot,
-            file: Arc::new(file),
+            file,
             buf: Mutex::new(Vec::with_capacity(16 * 1024)),
             next_lsn: AtomicU64::new(1),
             appended_lsn: AtomicU64::new(0),
@@ -111,6 +124,8 @@ impl WalWriter {
             file_off: AtomicU64::new(0),
             bytes_flushed: AtomicU64::new(0),
             durable: Notify::new(),
+            halted,
+            inflight: AtomicBool::new(false),
         }))
     }
 
@@ -134,6 +149,13 @@ impl WalWriter {
         let (data, lsn_mark, gsn_mark) = {
             let mut buf = self.buf.lock();
             if buf.is_empty() {
+                if self.inflight.load(Ordering::Acquire) {
+                    // Another round stole this buffer and hasn't confirmed
+                    // the write+fsync: an empty buffer proves nothing.
+                    // Advancing the horizon here after a *failed* round
+                    // would acknowledge commits the crash already ate.
+                    return None;
+                }
                 // Nothing pending: the durable horizon catches up for free.
                 let gsn = self.appended_gsn.load(Ordering::Acquire);
                 let lsn = self.appended_lsn.load(Ordering::Acquire);
@@ -147,6 +169,7 @@ impl WalWriter {
                 return None;
             }
             let data = std::mem::take(&mut *buf);
+            self.inflight.store(true, Ordering::Release);
             (
                 data,
                 self.appended_lsn.load(Ordering::Acquire),
@@ -165,6 +188,7 @@ impl WalWriter {
         self.flushed_lsn.fetch_max(p.lsn_mark, Ordering::AcqRel);
         self.flushed_gsn.fetch_max(p.gsn_mark, Ordering::AcqRel);
         self.bytes_flushed.fetch_add(p.len, Ordering::Relaxed);
+        self.inflight.store(false, Ordering::Release);
         self.durable.notify_all();
     }
 
@@ -211,14 +235,23 @@ impl WalWriter {
     /// → re-check → await order makes the wakeup race-free (the `Notify`
     /// is generation-counted, so a notification between the re-check and
     /// the await is never lost).
-    pub async fn wait_lsn(&self, lsn: Lsn) {
+    ///
+    /// Errs with [`PhoebeError::WalHalted`] if the log device failed
+    /// before `lsn` became durable: the commit must NOT be acknowledged.
+    pub async fn wait_lsn(&self, lsn: Lsn) -> Result<()> {
         loop {
             if self.flushed_lsn.load(Ordering::Acquire) >= lsn.raw() {
-                return;
+                return Ok(());
+            }
+            if self.halted.load(Ordering::Acquire) {
+                return Err(PhoebeError::WalHalted);
             }
             let notified = self.durable.notified();
             if self.flushed_lsn.load(Ordering::Acquire) >= lsn.raw() {
-                return;
+                return Ok(());
+            }
+            if self.halted.load(Ordering::Acquire) {
+                return Err(PhoebeError::WalHalted);
             }
             notified.await;
         }
@@ -252,6 +285,9 @@ pub struct WalHub {
     metrics: Arc<Metrics>,
     sync: bool,
     shutdown: Arc<AtomicBool>,
+    /// Raised when a log write or fsync fails: the hub stops acknowledging
+    /// durability and every waiter errors with [`PhoebeError::WalHalted`].
+    halted: Arc<AtomicBool>,
     flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
     /// Commit-side wakeup for the flusher thread.
     doorbell: Doorbell,
@@ -261,8 +297,8 @@ pub struct WalHub {
 }
 
 impl WalHub {
-    /// Create writers for `slots` task slots under `dir` and start the
-    /// group-commit flusher.
+    /// Create writers for `slots` task slots under `dir` on the real
+    /// filesystem and start the group-commit flusher.
     pub fn new(
         dir: &Path,
         slots: usize,
@@ -271,9 +307,32 @@ impl WalHub {
         sync: bool,
         metrics: Arc<Metrics>,
     ) -> Result<Arc<Self>> {
+        Self::with_fs(dir, slots, aio_threads, group_commit, sync, metrics, Arc::new(OsFs))
+    }
+
+    /// [`WalHub::new`] over an injected filesystem — the seam the
+    /// crash-torture harness uses to put a [`phoebe_common::fault::SimFs`]
+    /// under every log writer.
+    pub fn with_fs(
+        dir: &Path,
+        slots: usize,
+        aio_threads: usize,
+        group_commit: Duration,
+        sync: bool,
+        metrics: Arc<Metrics>,
+        fs: Arc<dyn FaultFs>,
+    ) -> Result<Arc<Self>> {
         std::fs::create_dir_all(dir)?;
+        let halted = Arc::new(AtomicBool::new(false));
         let writers = (0..slots)
-            .map(|s| WalWriter::create(s, &dir.join(format!("wal_slot_{s:04}.log"))))
+            .map(|s| {
+                WalWriter::create(
+                    s,
+                    fs.as_ref(),
+                    &dir.join(format!("wal_slot_{s:04}.log")),
+                    Arc::clone(&halted),
+                )
+            })
             .collect::<Result<Vec<_>>>()?;
         let aio = AioPool::new(aio_threads);
         let hub = Arc::new(WalHub {
@@ -283,6 +342,7 @@ impl WalHub {
             metrics,
             sync,
             shutdown: Arc::new(AtomicBool::new(false)),
+            halted,
             flusher: Mutex::new(None),
             doorbell: Doorbell::default(),
             round_done: Notify::new(),
@@ -314,7 +374,12 @@ impl WalHub {
                         // arrived during it don't trigger a redundant round.
                         seen = h.doorbell.rings();
                         let t0 = Instant::now();
-                        let flushed = h.flush_all().map(|n| n > 0).unwrap_or(false);
+                        let flushed = match h.flush_all() {
+                            Ok(n) => n > 0,
+                            // flush_all already halted the hub; retrying
+                            // against a dead log device is pointless.
+                            Err(_) => break,
+                        };
                         last_round = if flushed { t0.elapsed() } else { Duration::ZERO };
                     }
                     let _ = h.flush_all();
@@ -406,17 +471,45 @@ impl WalHub {
         self.doorbell.ring();
         if rfa.needs_remote {
             self.metrics.incr(Counter::RemoteFlushWaits);
-            self.ensure_durable_gsn_async(rfa.max_gsn).await;
+            // Own slot first: RFA only relaxes which *remote* logs a
+            // commit waits on, never its own — the commit record itself
+            // must be durable before acknowledging. The global horizon
+            // can already cover `rfa.max_gsn` from earlier rounds while
+            // this record still sits in the volatile buffer.
+            self.writers[slot].wait_lsn(lsn).await?;
+            self.ensure_durable_gsn_async(rfa.max_gsn).await?;
         } else {
             self.metrics.incr(Counter::RfaEarlyCommits);
-            self.writers[slot].wait_lsn(lsn).await;
+            self.writers[slot].wait_lsn(lsn).await?;
         }
         Ok(())
+    }
+
+    /// True once the hub refused further durability after a log I/O error.
+    pub fn is_halted(&self) -> bool {
+        self.halted.load(Ordering::Acquire)
+    }
+
+    /// Stop acknowledging durability: a log write or fsync failed, so no
+    /// later commit can be proven durable. Wakes every parked waiter so
+    /// they observe the flag and error out instead of sleeping forever
+    /// on a disk that will never answer.
+    fn halt(&self) {
+        self.halted.store(true, Ordering::Release);
+        for w in &self.writers {
+            w.durable.notify_all();
+        }
+        self.round_done.notify_all();
     }
 
     /// Flush every writer once, in parallel (one group-commit round).
     /// Returns total bytes flushed.
     pub fn flush_all(&self) -> Result<u64> {
+        if self.halted.load(Ordering::Acquire) {
+            // After a log I/O failure no later flush can prove anything
+            // durable; stealing more bytes would only widen the loss.
+            return Err(PhoebeError::WalHalted);
+        }
         let round_start = std::time::Instant::now();
         // Wave 1: steal every writer's pending bytes and submit all the
         // writes at once so the AIO pool overlaps them — draining slots
@@ -428,7 +521,10 @@ impl WalHub {
             .filter_map(|w| w.submit_pending(&self.aio).map(|p| (w, p)))
             .collect();
         for (_, p) in &pending {
-            p.write.wait()?;
+            if let Err(e) = p.write.wait() {
+                self.halt();
+                return Err(e.into());
+            }
         }
         // Wave 2: overlap the fsyncs the same way.
         if self.sync {
@@ -437,7 +533,10 @@ impl WalHub {
                 .map(|(w, _)| self.aio.submit(AioRequest::Fsync { file: Arc::clone(&w.file) }))
                 .collect();
             for s in &syncs {
-                s.wait()?;
+                if let Err(e) = s.wait() {
+                    self.halt();
+                    return Err(e.into());
+                }
             }
         }
         let mut total = 0;
@@ -473,22 +572,33 @@ impl WalHub {
     /// Parks on the per-round notification with the same subscribe →
     /// re-check → await discipline as [`WalWriter::wait_lsn`]; spinning at
     /// high urgency here starved the flusher of CPU on small machines.
-    pub async fn ensure_durable_gsn_async(&self, gsn: u64) {
+    ///
+    /// Errs with [`PhoebeError::WalHalted`] if the log device failed
+    /// before the horizon reached `gsn`.
+    pub async fn ensure_durable_gsn_async(&self, gsn: u64) -> Result<()> {
         loop {
             if self.durable_gsn() >= gsn {
-                return;
+                return Ok(());
+            }
+            if self.halted.load(Ordering::Acquire) {
+                return Err(PhoebeError::WalHalted);
             }
             let notified = self.round_done.notified();
             if self.durable_gsn() >= gsn {
-                return;
+                return Ok(());
+            }
+            if self.halted.load(Ordering::Acquire) {
+                return Err(PhoebeError::WalHalted);
             }
             notified.await;
         }
     }
 
     /// Blocking variant for the buffer pool's write barrier (Steal).
+    /// Returns early (without reaching `gsn`) when the hub halted — the
+    /// caller's subsequent page write will surface its own I/O error.
     pub fn ensure_durable_gsn_blocking(&self, gsn: u64) {
-        while self.durable_gsn() < gsn {
+        while self.durable_gsn() < gsn && !self.halted.load(Ordering::Acquire) {
             self.doorbell.ring();
             std::thread::sleep(Duration::from_micros(50));
         }

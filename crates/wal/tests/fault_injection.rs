@@ -1,0 +1,161 @@
+//! WAL-layer fault injection: the hub over a [`SimFs`] torture disk.
+//!
+//! These tests pin the durability contract at its narrowest point — the
+//! hub itself, no kernel above it: a commit acknowledgment means the
+//! transaction's records survive any crash that happens afterwards, and
+//! once the log device fails, commits error with `WalHalted` instead of
+//! acknowledging.
+
+use phoebe_common::error::PhoebeError;
+use phoebe_common::fault::{FaultConfig, SimFs};
+use phoebe_common::ids::{RowId, TableId, Xid};
+use phoebe_common::metrics::Metrics;
+use phoebe_common::KernelConfig;
+use phoebe_runtime::block_on;
+use phoebe_storage::schema::Value;
+use phoebe_wal::{recover_dir, RecordBody, RfaState, WalHub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn hub_over(fs: Arc<SimFs>, dir: &std::path::Path, slots: usize) -> Arc<WalHub> {
+    WalHub::with_fs(dir, slots, 2, Duration::from_micros(50), true, Arc::new(Metrics::new(1)), fs)
+        .unwrap()
+}
+
+/// Acked commits survive a crash: hammer the hub from several slots,
+/// freeze the disk mid-flight, then recover from the durable image and
+/// check every acknowledged transaction is present.
+#[test]
+fn acked_commits_survive_crash() {
+    for seed in 0..24u64 {
+        let dir = KernelConfig::for_tests().data_dir;
+        let sim = SimFs::new(FaultConfig::crash_only(seed));
+        let hub = hub_over(Arc::clone(&sim), &dir, 4);
+        let acked: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let next_xid = Arc::new(AtomicU64::new(1));
+
+        let workers: Vec<_> = (0..4usize)
+            .map(|slot| {
+                let hub = Arc::clone(&hub);
+                let acked = Arc::clone(&acked);
+                let next_xid = Arc::clone(&next_xid);
+                std::thread::spawn(move || {
+                    loop {
+                        let x = next_xid.fetch_add(1, Ordering::Relaxed);
+                        if x > 10_000 {
+                            return;
+                        }
+                        let xid = Xid::from_start_ts(x);
+                        let mut rfa = RfaState::default();
+                        let gsn = hub.stamp_write(&mut rfa, 0, None, slot);
+                        // Odd transactions also claim a cross-slot
+                        // dependency on the current global GSN, driving
+                        // the remote-wait commit path.
+                        if x % 2 == 1 {
+                            rfa.needs_remote = true;
+                            rfa.max_gsn = rfa.max_gsn.max(hub.current_gsn());
+                        }
+                        hub.log_op(slot, xid, gsn, RecordBody::Begin);
+                        hub.log_op(
+                            slot,
+                            xid,
+                            gsn,
+                            RecordBody::Insert {
+                                table: TableId(1),
+                                row: RowId(x),
+                                tuple: vec![Value::I64(x as i64)],
+                            },
+                        );
+                        match block_on(hub.commit(slot, xid, x, &rfa)) {
+                            Ok(()) => acked.lock().unwrap().push(x),
+                            Err(_) => return,
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // Let some commits through, then pull the plug.
+        std::thread::sleep(Duration::from_millis(20));
+        sim.crash();
+        for w in workers {
+            w.join().unwrap();
+        }
+        hub.shutdown();
+
+        let committed: std::collections::HashSet<u64> =
+            recover_dir(&dir).unwrap().iter().map(|t| t.xid.start_ts()).collect();
+        let acked = acked.lock().unwrap();
+        for x in acked.iter() {
+            assert!(
+                committed.contains(x),
+                "seed {seed}: acked xid {x} missing from the durable image \
+                 ({} acked, {} recovered)",
+                acked.len(),
+                committed.len(),
+            );
+        }
+    }
+}
+
+/// After the disk dies, a commit must fail with `WalHalted` — never hang,
+/// never acknowledge.
+#[test]
+fn commit_after_crash_returns_wal_halted() {
+    let dir = KernelConfig::for_tests().data_dir;
+    let sim = SimFs::new(FaultConfig::crash_only(7));
+    let hub = hub_over(Arc::clone(&sim), &dir, 1);
+
+    let xid = Xid::from_start_ts(1);
+    hub.log_op(0, xid, 1, RecordBody::Begin);
+    block_on(hub.commit(0, xid, 1, &RfaState::default())).unwrap();
+
+    sim.crash();
+    let xid2 = Xid::from_start_ts(2);
+    hub.log_op(0, xid2, 2, RecordBody::Begin);
+    let err = block_on(hub.commit(0, xid2, 2, &RfaState::default())).unwrap_err();
+    assert!(matches!(err, PhoebeError::WalHalted), "got {err:?}");
+    assert!(hub.is_halted());
+    // The pre-crash commit is still in the durable image.
+    hub.shutdown();
+    assert_eq!(recover_dir(&dir).unwrap().len(), 1);
+}
+
+/// `flush_all` + the durable-GSN barrier form a real durability line:
+/// once `ensure_durable_gsn_blocking` returns for a GSN, a crash cannot
+/// lose records at or below it.
+#[test]
+fn durable_gsn_barrier_survives_crash() {
+    for seed in 100..110u64 {
+        let dir = KernelConfig::for_tests().data_dir;
+        let sim = SimFs::new(FaultConfig::crash_only(seed));
+        let hub = hub_over(Arc::clone(&sim), &dir, 2);
+
+        // Two committed transactions on different slots.
+        for (slot, x) in [(0u64, 1u64), (1, 2)] {
+            let xid = Xid::from_start_ts(x);
+            let mut rfa = RfaState::default();
+            let gsn = hub.stamp_write(&mut rfa, 0, None, slot as usize);
+            hub.log_op(slot as usize, xid, gsn, RecordBody::Begin);
+            block_on(hub.commit(slot as usize, xid, x * 10, &rfa)).unwrap();
+        }
+        let barrier_gsn = hub.current_gsn();
+        hub.ensure_durable_gsn_blocking(barrier_gsn);
+        assert!(hub.durable_gsn() >= barrier_gsn);
+
+        // Volatile tail after the barrier, then crash.
+        let xid = Xid::from_start_ts(3);
+        hub.log_op(0, xid, barrier_gsn + 1, RecordBody::Begin);
+        sim.crash();
+        hub.shutdown();
+
+        let recovered = recover_dir(&dir).unwrap();
+        assert_eq!(
+            recovered.len(),
+            2,
+            "seed {seed}: both barrier-covered transactions must survive"
+        );
+        assert!(recovered.iter().all(|t| t.max_gsn <= barrier_gsn));
+    }
+}

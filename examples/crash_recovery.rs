@@ -1,6 +1,11 @@
 //! Crash recovery: per-slot WAL files merged by GSN, committed transactions
 //! replayed, in-flight work discarded (§8).
 //!
+//! `Database::open` performs recovery automatically: when the data
+//! directory holds a previous incarnation's WAL, the catalog is rebuilt
+//! from the persisted manifest and every committed transaction is replayed
+//! before the kernel accepts new work.
+//!
 //! Run with: `cargo run --example crash_recovery`
 
 use phoebe_core::prelude::*;
@@ -13,7 +18,6 @@ fn main() -> Result<()> {
     let dir = std::env::temp_dir().join("phoebe-recovery");
     let _ = std::fs::remove_dir_all(&dir);
     let cfg = KernelConfig::builder().workers(2).slots_per_worker(4).data_dir(&dir).build()?;
-    let wal_dir = dir.join("wal");
 
     // Phase 1: do work, then "crash" (drop the kernel without checkpoint).
     let committed_row = {
@@ -44,15 +48,16 @@ fn main() -> Result<()> {
         row
     };
 
-    // Phase 2: a fresh kernel over a fresh data dir, same WAL.
-    let dir2 = std::env::temp_dir().join("phoebe-recovery-2");
-    let _ = std::fs::remove_dir_all(&dir2);
-    let cfg2 = KernelConfig::builder().workers(2).slots_per_worker(4).data_dir(dir2).build()?;
-    let db = Database::open(cfg2)?;
-    let kv = db.create_table("kv", schema())?; // same catalog order
-    let replayed = db.replay_wal(&wal_dir)?;
-    println!("replayed {replayed} committed transactions");
+    // Phase 2: reopen the same directory — recovery is automatic. The
+    // catalog comes back from the persisted manifest (create_table is
+    // idempotent on a recovered kernel) and committed history replays in
+    // commit-timestamp order before any new transaction runs.
+    let db = Database::open(cfg)?;
+    let info = db.recovery_info();
+    println!("replayed {} committed transactions (max cts {})", info.txns, info.max_cts);
+    assert_eq!(info.txns, 1, "one committed transaction in the log");
 
+    let kv = db.create_table("kv", schema())?; // idempotent: the recovered table
     let mut tx = db.begin(IsolationLevel::ReadCommitted);
     let row = tx.read(&kv, committed_row)?.expect("committed row recovered");
     println!("recovered: {row:?}");

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Crash-consistency torture: seeded fault injection + end-to-end WAL
+# recovery with oracle invariants (see crates/bench/src/bin/recovery_torture.rs).
+#
+# Usage:
+#   ./scripts/recovery_torture.sh             # default: seeds 1..50
+#   PHOEBE_TORTURE_SEEDS=200 ./scripts/recovery_torture.sh
+#   PHOEBE_TORTURE_START=1000 PHOEBE_TORTURE_SEEDS=16 ./scripts/recovery_torture.sh
+#
+# Every fault decision derives from the seed, so a failing run prints the
+# seed to replay it: `recovery_torture --seed N`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${PHOEBE_TORTURE_SEEDS:-50}"
+START="${PHOEBE_TORTURE_START:-1}"
+
+cargo run --release -q -p phoebe-bench --bin recovery_torture -- \
+  --start "$START" --seeds "$SEEDS"

@@ -89,6 +89,55 @@ fn tpcc_workload_survives_restart_via_wal_replay() {
     engine.db.shutdown();
 }
 
+/// Crash with fault injection, then reopen the *same* directory: recovery
+/// runs automatically inside `Database::open` — catalog from the manifest,
+/// data from the WAL — with committed rows visible and the uncommitted
+/// tail discarded. (The seeded many-seed version of this lives in
+/// `recovery_torture`; this pins the single deterministic path in-tree.)
+#[test]
+fn reopen_after_crash_recovers_automatically() {
+    use phoebe_common::fault::FaultConfig;
+    use phoebe_common::ids::RowId;
+    use phoebe_core::prelude::{row, ColType, IsolationLevel, Schema};
+
+    let mut cfg = fresh("auto-recover");
+    cfg.fault = Some(FaultConfig::crash_only(42));
+    let dir = cfg.data_dir.clone();
+
+    {
+        let db = Database::open(cfg).unwrap();
+        let t = db
+            .create_table("events", Schema::new(vec![("id", ColType::I64), ("v", ColType::I64)]))
+            .unwrap();
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+        block_on(tx.insert(&t, row![1i64, 10i64])).unwrap();
+        block_on(tx.insert(&t, row![2i64, 20i64])).unwrap();
+        block_on(tx.commit()).unwrap();
+
+        // An in-flight transaction that never commits before the crash.
+        let mut tx2 = db.begin(IsolationLevel::ReadCommitted);
+        block_on(tx2.insert(&t, row![3i64, 30i64])).unwrap();
+
+        db.fault_sim().expect("fault injection enabled").crash();
+        assert!(block_on(tx2.commit()).is_err(), "post-crash commit must not ack");
+        db.shutdown();
+    }
+
+    // Reopen the same directory, no fault layer: `Database::open` recovers.
+    let mut cfg2 = fresh("auto-recover-2");
+    cfg2.data_dir = dir;
+    let db = Database::open(cfg2).unwrap();
+    assert!(db.recovery_info().txns > 0, "recovery replayed the committed txn");
+    let t = db.table("events").expect("catalog restored from manifest");
+    let mut tx = db.begin(IsolationLevel::ReadCommitted);
+    let r1 = tx.read(&t, RowId(1)).unwrap().expect("committed row 1 survives");
+    assert_eq!(r1.i64("v"), 10);
+    let r2 = tx.read(&t, RowId(2)).unwrap().expect("committed row 2 survives");
+    assert_eq!(r2.i64("v"), 20);
+    assert!(tx.read(&t, RowId(3)).unwrap().is_none(), "uncommitted tail discarded");
+    db.shutdown();
+}
+
 #[test]
 fn metrics_breakdown_accounts_all_components() {
     use phoebe_common::metrics::{Component, COMPONENTS};
