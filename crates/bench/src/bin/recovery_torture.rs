@@ -188,93 +188,121 @@ fn run_seed(seed: u64) -> Result<String> {
         .slots_per_worker(4)
         .buffer_frames(512)
         .data_dir(&dir)
+        .trace(TraceConfig { path: None, ring_capacity: 4096 })
         .build()?;
     let db = Database::open(cfg2)?;
     let info = db.recovery_info();
     let fail = |msg: String| Err(PhoebeError::Internal(format!("seed {seed}: {msg}")));
 
-    if info.max_gsn > gsn_at_crash {
-        return fail(format!(
-            "recovered gsn {} exceeds last issued gsn {gsn_at_crash}",
-            info.max_gsn
-        ));
-    }
-
-    let accounts = db.table("accounts")?;
-    let ledger = db.table("ledger")?;
-    let mut tx = db.begin(IsolationLevel::ReadCommitted);
-
-    // The recovered ledger = the committed transfer set S.
-    let mut recovered: HashMap<i64, Transfer> = HashMap::new();
-    for rid in 1..ledger.row_id_high_water() {
-        if let Some(row) = tx.read(&ledger, RowId(rid))? {
-            recovered.insert(
-                row.i64("op"),
-                Transfer {
-                    src: row.i64("src") as u64,
-                    dst: row.i64("dst") as u64,
-                    amt: row.i64("amt"),
-                },
-            );
-        }
-    }
-
-    let attempted = oracle.attempted.lock().unwrap();
-    let acked = oracle.acked.lock().unwrap();
-    let aborted = oracle.aborted.lock().unwrap();
-
-    // Acked durability: every acknowledged commit survived.
-    for (op, t) in acked.iter() {
-        match recovered.get(op) {
-            Some(r) if r == t => {}
-            Some(r) => return fail(format!("acked op {op} recovered corrupted: {r:?} != {t:?}")),
-            None => return fail(format!("acked op {op} lost by recovery")),
-        }
-    }
-    // No fabrication, no resurrection.
-    for (op, t) in recovered.iter() {
-        if aborted.contains(op) {
-            return fail(format!("aborted op {op} resurrected by recovery"));
-        }
-        match attempted.get(op) {
-            Some(a) if a == t => {}
-            _ => return fail(format!("recovered op {op} was never attempted as {t:?}")),
-        }
-    }
-    // Atomicity: balances equal the initial state plus exactly S's effects.
-    let mut expected: HashMap<u64, i64> = (1..=ACCOUNTS).map(|a| (a, INITIAL_BALANCE)).collect();
-    for t in recovered.values() {
-        *expected.get_mut(&t.src).unwrap() -= t.amt;
-        *expected.get_mut(&t.dst).unwrap() += t.amt;
-    }
-    let mut total = 0i64;
-    for a in 1..=ACCOUNTS {
-        let row = tx
-            .read(&accounts, RowId(a))?
-            .ok_or_else(|| PhoebeError::internal(format!("seed {seed}: account {a} missing")))?;
-        let bal = row.i64("balance");
-        total += bal;
-        if bal != expected[&a] {
+    // Oracle checks run in a closure so a failed invariant can dump the
+    // flight recorder before the kernel (and its rings) go away.
+    let verdict = (|| -> Result<String> {
+        if info.max_gsn > gsn_at_crash {
             return fail(format!(
-                "account {a} balance {bal} != expected {} (atomicity torn)",
-                expected[&a]
+                "recovered gsn {} exceeds last issued gsn {gsn_at_crash}",
+                info.max_gsn
             ));
         }
+
+        let accounts = db.table("accounts")?;
+        let ledger = db.table("ledger")?;
+        let mut tx = db.begin(IsolationLevel::ReadCommitted);
+
+        // The recovered ledger = the committed transfer set S.
+        let mut recovered: HashMap<i64, Transfer> = HashMap::new();
+        for rid in 1..ledger.row_id_high_water() {
+            if let Some(row) = tx.read(&ledger, RowId(rid))? {
+                recovered.insert(
+                    row.i64("op"),
+                    Transfer {
+                        src: row.i64("src") as u64,
+                        dst: row.i64("dst") as u64,
+                        amt: row.i64("amt"),
+                    },
+                );
+            }
+        }
+
+        let attempted = oracle.attempted.lock().unwrap();
+        let acked = oracle.acked.lock().unwrap();
+        let aborted = oracle.aborted.lock().unwrap();
+
+        // Acked durability: every acknowledged commit survived.
+        for (op, t) in acked.iter() {
+            match recovered.get(op) {
+                Some(r) if r == t => {}
+                Some(r) => {
+                    return fail(format!("acked op {op} recovered corrupted: {r:?} != {t:?}"))
+                }
+                None => return fail(format!("acked op {op} lost by recovery")),
+            }
+        }
+        // No fabrication, no resurrection.
+        for (op, t) in recovered.iter() {
+            if aborted.contains(op) {
+                return fail(format!("aborted op {op} resurrected by recovery"));
+            }
+            match attempted.get(op) {
+                Some(a) if a == t => {}
+                _ => return fail(format!("recovered op {op} was never attempted as {t:?}")),
+            }
+        }
+        // Atomicity: balances equal the initial state plus exactly S's effects.
+        let mut expected: HashMap<u64, i64> =
+            (1..=ACCOUNTS).map(|a| (a, INITIAL_BALANCE)).collect();
+        for t in recovered.values() {
+            *expected.get_mut(&t.src).unwrap() -= t.amt;
+            *expected.get_mut(&t.dst).unwrap() += t.amt;
+        }
+        let mut total = 0i64;
+        for a in 1..=ACCOUNTS {
+            let row = tx.read(&accounts, RowId(a))?.ok_or_else(|| {
+                PhoebeError::internal(format!("seed {seed}: account {a} missing"))
+            })?;
+            let bal = row.i64("balance");
+            total += bal;
+            if bal != expected[&a] {
+                return fail(format!(
+                    "account {a} balance {bal} != expected {} (atomicity torn)",
+                    expected[&a]
+                ));
+            }
+        }
+        if total != ACCOUNTS as i64 * INITIAL_BALANCE {
+            return fail(format!("total balance {total} not conserved"));
+        }
+        block_on(tx.commit())?;
+        Ok(format!(
+            "acked={} committed={} aborted={} recovered_txns={}",
+            acked.len(),
+            recovered.len(),
+            aborted.len(),
+            info.txns
+        ))
+    })();
+
+    match verdict {
+        Ok(summary) => {
+            db.shutdown();
+            let _ = std::fs::remove_dir_all(&dir);
+            let _ = std::fs::remove_dir_all(&image);
+            Ok(summary)
+        }
+        Err(e) => {
+            // Post-mortem evidence: the crash image stays on disk, and the
+            // recovery run's flight-recorder trace lands next to it for
+            // Perfetto inspection.
+            let trace = dir.with_extension("trace.json");
+            match db.write_trace(&trace) {
+                Ok(()) => {
+                    eprintln!("seed {seed}: flight recorder dumped to {}", trace.display())
+                }
+                Err(we) => eprintln!("seed {seed}: trace dump failed: {we}"),
+            }
+            db.shutdown();
+            Err(e)
+        }
     }
-    if total != ACCOUNTS as i64 * INITIAL_BALANCE {
-        return fail(format!("total balance {total} not conserved"));
-    }
-    block_on(tx.commit())?;
-    db.shutdown();
-    let _ = std::fs::remove_dir_all(&dir);
-    let _ = std::fs::remove_dir_all(&image);
-    Ok(format!(
-        "acked={} committed={} aborted={} recovered_txns={}",
-        acked.len(),
-        recovered.len(),
-        aborted.len(),
-        info.txns
-    ))
 }
 
 fn copy_dir(from: &std::path::Path, to: &std::path::Path) -> Result<()> {

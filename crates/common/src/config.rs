@@ -56,6 +56,39 @@ pub struct KernelConfig {
     /// WAL/page-file byte through a seeded [`crate::fault::SimFs`] torture
     /// disk (crash-consistency tests only).
     pub fault: Option<crate::fault::FaultConfig>,
+    /// Flight-recorder configuration. `None` (default) installs the
+    /// disabled tracer: every emit site costs one relaxed atomic load.
+    /// `Some` records events into per-worker rings; see
+    /// [`crate::trace::Tracer`]. The `PHOEBE_TRACE=<path>` environment
+    /// variable enables this without touching code.
+    #[serde(default)]
+    pub trace: Option<TraceConfig>,
+}
+
+/// Flight-recorder tuning; see [`crate::trace`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Where to write the Chrome trace-event JSON at shutdown. `None`
+    /// keeps recording in memory for on-demand drains only.
+    pub path: Option<PathBuf>,
+    /// Events retained per worker ring (rounded up to a power of two).
+    /// Older events are overwritten; the recorder always holds the most
+    /// recent window.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { path: None, ring_capacity: 65_536 }
+    }
+}
+
+impl TraceConfig {
+    /// Record with default ring sizing and export to `path` at shutdown
+    /// (what `PHOEBE_TRACE=<path>` expands to).
+    pub fn to_file(path: impl Into<PathBuf>) -> Self {
+        TraceConfig { path: Some(path.into()), ..TraceConfig::default() }
+    }
 }
 
 impl Default for KernelConfig {
@@ -75,6 +108,7 @@ impl Default for KernelConfig {
             warm_read_threshold: 16,
             lock_timeout_ms: 2_000,
             fault: None,
+            trace: None,
         }
     }
 }
@@ -145,6 +179,11 @@ impl KernelConfig {
         if self.data_dir.as_os_str().is_empty() {
             return fail("data_dir must not be empty");
         }
+        if let Some(trace) = &self.trace {
+            if trace.ring_capacity == 0 {
+                return fail("trace.ring_capacity must be at least 1");
+            }
+        }
         Ok(())
     }
 }
@@ -205,6 +244,12 @@ impl KernelConfigBuilder {
     /// (crash-consistency torture runs).
     pub fn fault(mut self, fault: crate::fault::FaultConfig) -> Self {
         self.cfg.fault = Some(fault);
+        self
+    }
+
+    /// Enable the kernel flight recorder (see [`crate::trace::Tracer`]).
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.cfg.trace = Some(trace);
         self
     }
 
@@ -304,6 +349,19 @@ mod tests {
         assert!(KernelConfig::builder().gc_every_txns(0).build().is_err());
         assert!(KernelConfig::builder().freeze_batch_pages(0).build().is_err());
         assert!(KernelConfig::builder().data_dir("").build().is_err());
+    }
+
+    #[test]
+    fn trace_builder_and_validation() {
+        let c = KernelConfig::builder().trace(TraceConfig::to_file("/tmp/t.json")).build().unwrap();
+        let t = c.trace.expect("trace config set");
+        assert_eq!(t.path.as_deref(), Some(std::path::Path::new("/tmp/t.json")));
+        assert_eq!(t.ring_capacity, TraceConfig::default().ring_capacity);
+        let bad = KernelConfig::builder()
+            .trace(TraceConfig { path: None, ring_capacity: 0 })
+            .build()
+            .unwrap_err();
+        assert!(bad.to_string().contains("ring_capacity"), "got {bad}");
     }
 
     #[test]

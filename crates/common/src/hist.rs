@@ -42,9 +42,12 @@ pub enum LatencySite {
     BtreeRestart = 6,
     /// Time a transaction spent blocked on another writer's tuple lock.
     LockWait = 7,
+    /// End-to-end WAL recovery replay in `Database::open` (scan + apply
+    /// + re-log). At most one observation per crash-recovering open.
+    RecoveryReplay = 8,
 }
 
-pub const NSITES: usize = 8;
+pub const NSITES: usize = 9;
 
 /// All sites in display/report order.
 pub const SITES: [LatencySite; NSITES] = [
@@ -56,6 +59,7 @@ pub const SITES: [LatencySite; NSITES] = [
     LatencySite::Eviction,
     LatencySite::BtreeRestart,
     LatencySite::LockWait,
+    LatencySite::RecoveryReplay,
 ];
 
 impl LatencySite {
@@ -69,6 +73,7 @@ impl LatencySite {
             LatencySite::Eviction => "eviction",
             LatencySite::BtreeRestart => "btree_restart",
             LatencySite::LockWait => "lock_wait",
+            LatencySite::RecoveryReplay => "recovery_replay",
         }
     }
 }
@@ -348,7 +353,8 @@ mod tests {
                 "buffer_fault",
                 "eviction",
                 "btree_restart",
-                "lock_wait"
+                "lock_wait",
+                "recovery_replay"
             ]
         );
     }

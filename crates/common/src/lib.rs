@@ -17,11 +17,13 @@ pub mod ids;
 pub mod json;
 pub mod metrics;
 pub mod snapshot;
+pub mod trace;
 
-pub use config::{KernelConfig, KernelConfigBuilder};
+pub use config::{KernelConfig, KernelConfigBuilder, TraceConfig};
 pub use error::{PhoebeError, Result};
 pub use fault::{FaultConfig, FaultFile, FaultFs, OsFs, SimFs};
 pub use hist::{HistogramSnapshot, LatencySite};
 pub use ids::{Gsn, Lsn, PageId, RowId, SlotId, TableId, Timestamp, WorkerId, Xid};
 pub use json::Json;
 pub use snapshot::SnapshotList;
+pub use trace::{EventKind, TraceEvent, Tracer};

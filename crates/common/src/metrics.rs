@@ -95,9 +95,15 @@ pub enum Counter {
     PagesFrozen = 12,
     /// Frozen rows warmed back into hot storage.
     RowsWarmed = 13,
+    /// Committed WAL records replayed by crash recovery in
+    /// `Database::open`.
+    RecoveryRecordsReplayed = 14,
+    /// Bytes discarded from WAL tails during recovery (torn or partial
+    /// trailing records past the last CRC-valid one).
+    RecoveryTailBytesDiscarded = 15,
 }
 
-const NCTR: usize = 14;
+const NCTR: usize = 16;
 
 /// All counters with stable names (report order).
 pub const COUNTERS: [(Counter, &str); NCTR] = [
@@ -115,6 +121,8 @@ pub const COUNTERS: [(Counter, &str); NCTR] = [
     (Counter::LatchRestarts, "latch_restarts"),
     (Counter::PagesFrozen, "pages_frozen"),
     (Counter::RowsWarmed, "rows_warmed"),
+    (Counter::RecoveryRecordsReplayed, "recovery_records_replayed"),
+    (Counter::RecoveryTailBytesDiscarded, "recovery_tail_bytes_discarded"),
 ];
 
 #[derive(Default)]
@@ -145,15 +153,31 @@ pub fn current_worker() -> Option<usize> {
 /// Sharded metrics registry; one instance per kernel.
 pub struct Metrics {
     shards: Box<[Shard]>,
+    /// The kernel flight recorder, sharded the same way. Disabled by
+    /// default; riding on `Metrics` lets every subsystem that already
+    /// holds a metrics handle emit trace events without new plumbing.
+    tracer: std::sync::Arc<crate::trace::Tracer>,
 }
 
 impl Metrics {
     /// Create a registry for `workers` pool threads (plus one shard for
-    /// everything else: loaders, background threads, tests).
+    /// everything else: loaders, background threads, tests). The flight
+    /// recorder is disabled; see [`Metrics::with_tracer`].
     pub fn new(workers: usize) -> Self {
+        Metrics::with_tracer(workers, std::sync::Arc::new(crate::trace::Tracer::disabled()))
+    }
+
+    /// Create a registry with an attached flight recorder.
+    pub fn with_tracer(workers: usize, tracer: std::sync::Arc<crate::trace::Tracer>) -> Self {
         let mut shards = Vec::with_capacity(workers + 1);
         shards.resize_with(workers + 1, Shard::default);
-        Metrics { shards: shards.into_boxed_slice() }
+        Metrics { shards: shards.into_boxed_slice(), tracer }
+    }
+
+    /// The attached flight recorder (disabled unless configured).
+    #[inline]
+    pub fn tracer(&self) -> &crate::trace::Tracer {
+        &self.tracer
     }
 
     #[inline]

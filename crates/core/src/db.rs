@@ -7,21 +7,23 @@ use crate::txn_api::Transaction;
 use parking_lot::{Mutex, RwLock};
 use phoebe_common::error::{PhoebeError, Result};
 use phoebe_common::fault::{FaultFs, OsFs, SimFs};
+use phoebe_common::hist::LatencySite;
 use phoebe_common::ids::{TableId, Timestamp};
 use phoebe_common::metrics::{Component, Counter, Metrics};
 use phoebe_common::snapshot::SnapshotList;
-use phoebe_common::KernelConfig;
+use phoebe_common::trace::{EventKind, Tracer};
+use phoebe_common::{KernelConfig, TraceConfig};
 use phoebe_runtime::{Runtime, RuntimeConfig, WorkerHook};
 use phoebe_storage::schema::{ColType, Schema};
 use phoebe_storage::{BTree, BufferPool, FrozenStore, TreeKind};
 use phoebe_txn::locks::IsolationLevel;
 use phoebe_txn::{ActiveTxnTable, GcEngine, GcStats, TwinRegistry, UndoArena, UndoLog, UndoOp};
-use phoebe_wal::{recover_dir, RecordBody, RecoveredTxn, WalHub};
+use phoebe_wal::{recover_dir, recover_dir_stats, RecordBody, RecoveredTxn, WalHub, WalScanStats};
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Extra task-slot identities reserved for threads outside the co-routine
 /// pool (loaders, tests, maintenance). They get their own UNDO arenas and
@@ -40,6 +42,12 @@ pub struct RecoveryInfo {
     /// Highest GSN seen on any recovered record (must never exceed the
     /// durable GSN the crashed incarnation acknowledged).
     pub max_gsn: u64,
+    /// CRC-valid WAL records the recovery scan decoded (also surfaced as
+    /// the `recovery_records_replayed` counter in [`crate::KernelStats`]).
+    pub records: u64,
+    /// Torn tail bytes discarded across slot files (the
+    /// `recovery_tail_bytes_discarded` counter).
+    pub tail_bytes_discarded: u64,
 }
 
 /// The database kernel.
@@ -68,6 +76,13 @@ pub struct Database {
     /// production. Exposed via [`Database::fault_sim`] so crash tests can
     /// arm and trigger the simulated power cut.
     sim: Option<Arc<SimFs>>,
+    /// The kernel flight recorder (disabled unless `cfg.trace` or
+    /// `PHOEBE_TRACE` enabled it); every subsystem emits through the
+    /// metrics handle, this is the drain/export side.
+    tracer: Arc<Tracer>,
+    /// Where shutdown exports the trace, when a path was configured.
+    /// Taken (once) by the first shutdown/drop.
+    trace_path: Mutex<Option<PathBuf>>,
     /// What `open` replayed from the previous incarnation's WAL.
     recovery: RecoveryInfo,
     next_table_id: AtomicU32,
@@ -167,6 +182,16 @@ impl Database {
     pub fn open(cfg: KernelConfig) -> Result<Arc<Self>> {
         cfg.validate()?;
         std::fs::create_dir_all(&cfg.data_dir)?;
+        // Flight recorder: `cfg.trace` wins; `PHOEBE_TRACE=<path>` enables
+        // recording + shutdown export without touching code.
+        let trace_cfg = cfg.trace.clone().or_else(|| {
+            std::env::var("PHOEBE_TRACE").ok().filter(|s| !s.is_empty()).map(TraceConfig::to_file)
+        });
+        let tracer = Arc::new(match &trace_cfg {
+            Some(tc) => Tracer::new(cfg.workers, tc.ring_capacity),
+            None => Tracer::disabled(),
+        });
+        let trace_path = trace_cfg.and_then(|tc| tc.path);
         let (fs, sim): (Arc<dyn FaultFs>, Option<Arc<SimFs>>) = match &cfg.fault {
             Some(fc) => {
                 let s = SimFs::new(fc.clone());
@@ -188,14 +213,22 @@ impl Database {
         }
         // The durable image is plain files (even under SimFs the durable
         // layer is a real file), so recovery always reads the real fs.
-        let recovered = if rec_dir.exists() { recover_dir(&rec_dir)? } else { Vec::new() };
+        let had_recovery = rec_dir.exists();
+        let recovery_start = Instant::now();
+        let (recovered, scan) = if had_recovery {
+            recover_dir_stats(&rec_dir)?
+        } else {
+            (Vec::new(), WalScanStats::default())
+        };
         let recovery = RecoveryInfo {
             txns: recovered.len(),
             max_cts: recovered.iter().map(|t| t.cts).max().unwrap_or(0),
             max_gsn: recovered.iter().map(|t| t.max_gsn).max().unwrap_or(0),
+            records: scan.records,
+            tail_bytes_discarded: scan.tail_bytes_discarded,
         };
 
-        let metrics = Arc::new(Metrics::new(cfg.workers));
+        let metrics = Arc::new(Metrics::with_tracer(cfg.workers, Arc::clone(&tracer)));
         let pool = BufferPool::new_with_fs(
             cfg.buffer_frames,
             cfg.workers,
@@ -227,6 +260,8 @@ impl Database {
             by_name: RwLock::new(HashMap::new()),
             ddl_log: Mutex::new(Vec::new()),
             sim,
+            tracer,
+            trace_path: Mutex::new(trace_path),
             recovery,
             next_table_id: AtomicU32::new(1),
             external_free: Mutex::new((cfg.total_slots()..total_slots).rev().collect()),
@@ -252,9 +287,20 @@ impl Database {
         if rec_dir.exists() {
             std::fs::remove_dir_all(&rec_dir)?;
         }
+        if had_recovery {
+            // Recovery is the one open-path latency a user actually waits
+            // behind; book the end-to-end scan + apply + re-log cost.
+            let dur_ns = recovery_start.elapsed().as_nanos() as u64;
+            db.metrics.add(Counter::RecoveryRecordsReplayed, recovery.records);
+            db.metrics.add(Counter::RecoveryTailBytesDiscarded, recovery.tail_bytes_discarded);
+            db.metrics.record_latency(LatencySite::RecoveryReplay, dur_ns);
+            db.tracer.span_dur(EventKind::RecoveryReplay, 0, dur_ns, recovery.records);
+        }
 
         // Start the co-routine pool and install the worker duties.
-        let rt = Runtime::new(RuntimeConfig::new(db.cfg.workers, db.cfg.slots_per_worker));
+        let mut rt_cfg = RuntimeConfig::new(db.cfg.workers, db.cfg.slots_per_worker);
+        rt_cfg.tracer = Arc::clone(&db.tracer);
+        let rt = Runtime::new(rt_cfg);
         rt.set_hook(Arc::new(KernelHook { db: Arc::downgrade(&db) }));
         *db.runtime.write() = Some(rt);
         Ok(db)
@@ -269,6 +315,31 @@ impl Database {
     /// What `open` found and replayed from a previous incarnation's WAL.
     pub fn recovery_info(&self) -> RecoveryInfo {
         self.recovery
+    }
+
+    /// The kernel flight recorder — disabled (one relaxed atomic load per
+    /// emit site) unless `cfg.trace` or `PHOEBE_TRACE` enabled it.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Drain the flight recorder's rings and write Chrome trace-event
+    /// JSON to `path` (open it at `ui.perfetto.dev`). Draining does not
+    /// consume: the rings keep recording.
+    pub fn write_trace(&self, path: &Path) -> Result<()> {
+        self.tracer.write_chrome_json(path)?;
+        Ok(())
+    }
+
+    /// One-shot shutdown export to the configured trace path, if any.
+    fn export_trace_on_shutdown(&self) {
+        if let Some(path) = self.trace_path.lock().take() {
+            if let Err(e) = self.tracer.write_chrome_json(&path) {
+                eprintln!("phoebe: failed to write trace to {}: {e}", path.display());
+            } else {
+                eprintln!("phoebe: trace written to {}", path.display());
+            }
+        }
     }
 
     /// The co-routine runtime (spawn transactions through this).
@@ -293,6 +364,7 @@ impl Database {
         }
         let _ = self.wal.flush_all();
         self.wal.shutdown();
+        self.export_trace_on_shutdown();
     }
 
     fn stop_reporters(&self) {
@@ -669,6 +741,7 @@ impl Drop for Database {
             rt.shutdown();
         }
         self.wal.shutdown();
+        self.export_trace_on_shutdown();
     }
 }
 

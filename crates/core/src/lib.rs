@@ -47,10 +47,12 @@ pub mod txn_api;
 pub use catalog::{IndexDef, IndexEntry, TableEntry};
 pub use db::{Database, RecoveryInfo, EXTERNAL_SLOTS};
 pub use keys::KeyBuilder;
+pub use phoebe_common::{TraceConfig, Tracer};
 pub use phoebe_txn::locks::IsolationLevel;
 pub use row::Row;
 pub use stats::{
     ComponentCost, CounterValue, KernelStats, LatencySummary, RuntimeGauges, StatsReporter,
+    WorkerStateSummary,
 };
 pub use temperature::{FreezeStats, WarmStats};
 pub use txn_api::Transaction;

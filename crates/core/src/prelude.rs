@@ -12,7 +12,9 @@ pub use crate::db::Database;
 pub use crate::row::Row;
 pub use crate::stats::{KernelStats, LatencySummary, StatsReporter};
 pub use crate::txn_api::Transaction;
-pub use phoebe_common::{KernelConfig, KernelConfigBuilder, LatencySite, PhoebeError, Result};
+pub use phoebe_common::{
+    KernelConfig, KernelConfigBuilder, LatencySite, PhoebeError, Result, TraceConfig, Tracer,
+};
 pub use phoebe_storage::schema::{ColType, Schema, Value};
 pub use phoebe_txn::locks::IsolationLevel;
 

@@ -60,6 +60,31 @@ pub struct RuntimeGauges {
     pub tasks_pulled_global: u64,
     pub tasks_pulled_local: u64,
     pub urgent_pull_stalls: u64,
+    /// Task slots currently seated (gauge, sampled at snapshot time).
+    #[serde(default)]
+    pub occupied_slots: u64,
+    /// Spawned tasks waiting for a slot: global + local queues (gauge).
+    #[serde(default)]
+    pub ready_tasks: u64,
+    /// Depth of the global injector queue alone (gauge).
+    #[serde(default)]
+    pub global_queue_depth: u64,
+}
+
+/// One worker's scheduler time-in-state split (see
+/// [`phoebe_runtime::WorkerTimeInState`]): cumulative in
+/// [`Database::stats`], interval deltas from the [`StatsReporter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerStateSummary {
+    pub worker: usize,
+    /// Polling seated co-routines (useful work).
+    pub running_ns: u64,
+    /// Pull/bookkeeping between polls — scheduling overhead.
+    pub ready_ns: u64,
+    /// Parked with nothing runnable.
+    pub parked_ns: u64,
+    /// Worker-hook background duties: page swaps, GC.
+    pub io_ns: u64,
 }
 
 /// A merged, point-in-time view of the whole kernel.
@@ -73,6 +98,9 @@ pub struct KernelStats {
     pub latency: Vec<LatencySummary>,
     /// Co-routine scheduler gauges.
     pub runtime: RuntimeGauges,
+    /// Per-worker scheduler time-in-state (running/ready/parked/io).
+    #[serde(default)]
+    pub worker_states: Vec<WorkerStateSummary>,
     /// Bytes physically flushed across all slot WAL writers.
     pub wal_bytes_flushed: u64,
     /// The global durable GSN horizon, clamped to the current GSN (an
@@ -122,6 +150,7 @@ impl KernelStats {
             components,
             latency,
             runtime: RuntimeGauges::default(),
+            worker_states: Vec::new(),
             wal_bytes_flushed: 0,
             wal_durable_gsn: 0,
             page_file_reads: 0,
@@ -178,7 +207,24 @@ impl KernelStats {
                     .with("parks", self.runtime.parks)
                     .with("tasks_pulled_global", self.runtime.tasks_pulled_global)
                     .with("tasks_pulled_local", self.runtime.tasks_pulled_local)
-                    .with("urgent_pull_stalls", self.runtime.urgent_pull_stalls),
+                    .with("urgent_pull_stalls", self.runtime.urgent_pull_stalls)
+                    .with("occupied_slots", self.runtime.occupied_slots)
+                    .with("ready_tasks", self.runtime.ready_tasks)
+                    .with("global_queue_depth", self.runtime.global_queue_depth)
+                    .with(
+                        "workers",
+                        self.worker_states
+                            .iter()
+                            .map(|w| {
+                                Json::obj()
+                                    .with("worker", w.worker)
+                                    .with("running_ns", w.running_ns)
+                                    .with("ready_ns", w.ready_ns)
+                                    .with("parked_ns", w.parked_ns)
+                                    .with("io_ns", w.io_ns)
+                            })
+                            .collect::<Vec<Json>>(),
+                    ),
             )
             .with(
                 "wal",
@@ -218,7 +264,22 @@ impl Database {
                 tasks_pulled_global: rs.tasks_pulled_global,
                 tasks_pulled_local: rs.tasks_pulled_local,
                 urgent_pull_stalls: rs.urgent_pull_stalls,
+                occupied_slots: rs.occupied_slots,
+                ready_tasks: rs.ready_tasks,
+                global_queue_depth: rs.global_queue_depth,
             };
+            out.worker_states = rs
+                .worker_state_ns
+                .iter()
+                .enumerate()
+                .map(|(worker, s)| WorkerStateSummary {
+                    worker,
+                    running_ns: s.running_ns,
+                    ready_ns: s.ready_ns,
+                    parked_ns: s.parked_ns,
+                    io_ns: s.io_ns,
+                })
+                .collect();
         }
         out.wal_bytes_flushed = self.wal.total_bytes_flushed();
         out.wal_durable_gsn = self.wal.durable_gsn().min(self.wal.current_gsn());
@@ -251,6 +312,9 @@ impl Database {
                 Some(db) => db.metrics.snapshot(),
                 None => return,
             };
+            // Cumulative per-worker time-in-state at the previous tick, so
+            // intervals report where the workers spent *this* interval.
+            let mut prev_states: Vec<WorkerStateSummary> = Vec::new();
             'ticks: loop {
                 // Sleep in short slices so shutdown never waits a full
                 // interval for the slot to drain.
@@ -270,7 +334,16 @@ impl Database {
                 let now = db.metrics.snapshot();
                 let delta = now.delta_since(&prev);
                 prev = now;
-                sink(db.stats_from_metrics(&delta));
+                let mut stats = db.stats_from_metrics(&delta);
+                let absolute = stats.worker_states.clone();
+                for (ws, p) in stats.worker_states.iter_mut().zip(prev_states.iter()) {
+                    ws.running_ns = ws.running_ns.saturating_sub(p.running_ns);
+                    ws.ready_ns = ws.ready_ns.saturating_sub(p.ready_ns);
+                    ws.parked_ns = ws.parked_ns.saturating_sub(p.parked_ns);
+                    ws.io_ns = ws.io_ns.saturating_sub(p.io_ns);
+                }
+                prev_states = absolute;
+                sink(stats);
             }
         });
         StatsReporter { stop }

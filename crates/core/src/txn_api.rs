@@ -20,6 +20,7 @@ use phoebe_common::error::{PhoebeError, Result};
 use phoebe_common::hist::LatencySite;
 use phoebe_common::ids::{RowId, Timestamp, Xid};
 use phoebe_common::metrics::{Component, Counter};
+use phoebe_common::trace::EventKind;
 use phoebe_storage::schema::Value;
 use phoebe_txn::clock::Snapshot;
 use phoebe_txn::locks::{IsolationLevel, TxnHandle, TxnOutcome};
@@ -80,6 +81,7 @@ impl Transaction {
         // O(1) snapshot acquisition (§6.1): one atomic load.
         let snapshot = db.clock.snapshot();
         db.active.begin(slot, start_ts);
+        db.metrics.tracer().instant(EventKind::TxnBegin, slot as u32, 0, xid.raw());
         let handle = TxnHandle::new(xid);
         Transaction {
             db,
@@ -529,7 +531,14 @@ impl Transaction {
         self.db.metrics.record(Component::Lock, 0);
         let t0 = std::time::Instant::now();
         let wait_result = holder.wait(self.lock_timeout()).await;
-        self.db.metrics.record_latency(LatencySite::LockWait, t0.elapsed().as_nanos() as u64);
+        let waited_ns = t0.elapsed().as_nanos() as u64;
+        self.db.metrics.record_latency(LatencySite::LockWait, waited_ns);
+        self.db.metrics.tracer().span_dur(
+            EventKind::LockWait,
+            self.slot as u32,
+            waited_ns,
+            holder.xid.raw(),
+        );
         let outcome = wait_result?;
         match (self.iso, outcome) {
             (IsolationLevel::RepeatableRead, TxnOutcome::Committed(_)) => {
@@ -592,7 +601,14 @@ impl Transaction {
             // Read-only: nothing to stamp or flush.
             self.finish_common(TxnOutcome::Committed(self.start_ts));
             self.db.metrics.incr(Counter::Commits);
-            self.db.metrics.record_latency(LatencySite::Commit, t0.elapsed().as_nanos() as u64);
+            let dur_ns = t0.elapsed().as_nanos() as u64;
+            self.db.metrics.record_latency(LatencySite::Commit, dur_ns);
+            self.db.metrics.tracer().span_dur(
+                EventKind::TxnCommit,
+                self.slot as u32,
+                dur_ns,
+                self.xid.raw(),
+            );
             return Ok(self.start_ts);
         }
         let cts = self.db.clock.commit_ts();
@@ -611,7 +627,14 @@ impl Transaction {
         self.db.metrics.incr(Counter::Commits);
         // Commit latency includes the durability wait: it is what a client
         // of a synchronous commit observes.
-        self.db.metrics.record_latency(LatencySite::Commit, t0.elapsed().as_nanos() as u64);
+        let dur_ns = t0.elapsed().as_nanos() as u64;
+        self.db.metrics.record_latency(LatencySite::Commit, dur_ns);
+        self.db.metrics.tracer().span_dur(
+            EventKind::TxnCommit,
+            self.slot as u32,
+            dur_ns,
+            self.xid.raw(),
+        );
         wal_result.map(|_| cts)
     }
 
@@ -674,7 +697,14 @@ impl Transaction {
         }
         self.finish_common(TxnOutcome::Aborted);
         self.db.metrics.incr(Counter::Aborts);
-        self.db.metrics.record_latency(LatencySite::Abort, t0.elapsed().as_nanos() as u64);
+        let dur_ns = t0.elapsed().as_nanos() as u64;
+        self.db.metrics.record_latency(LatencySite::Abort, dur_ns);
+        self.db.metrics.tracer().span_dur(
+            EventKind::TxnAbort,
+            self.slot as u32,
+            dur_ns,
+            self.xid.raw(),
+        );
     }
 
     fn finish_common(&mut self, outcome: TxnOutcome) {

@@ -31,7 +31,7 @@ mod yield_point;
 
 pub use block_on::block_on;
 pub use notify::Notify;
-pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, WorkerHook};
+pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, WorkerHook, WorkerTimeInState};
 pub use task::{current_slot, JoinHandle};
 pub use timer::{sleep, sleep_until, Sleep};
 pub use yield_point::{yield_now, Urgency};

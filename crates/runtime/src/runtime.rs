@@ -4,6 +4,7 @@ use crate::task::{enter_slot, waker_for, Completer, JoinHandle, Task, WakeState}
 use crate::yield_point::{take_last_urgency, Urgency};
 use crossbeam::deque::{Injector, Steal};
 use parking_lot::{Mutex, RwLock};
+use phoebe_common::trace::{EventKind, Tracer};
 use std::collections::VecDeque;
 use std::future::Future;
 use std::panic::AssertUnwindSafe;
@@ -11,7 +12,7 @@ use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Pool shape. `workers × slots_per_worker` bounds transaction concurrency,
 /// exactly as §7.1 describes ("the configured number of worker threads and
@@ -22,6 +23,10 @@ pub struct RuntimeConfig {
     pub slots_per_worker: usize,
     /// How long an idle worker parks before a forced re-poll round.
     pub park_timeout: Duration,
+    /// Flight recorder the worker loop emits scheduler events into
+    /// (task polls, yields, parks, global-queue depth). Disabled by
+    /// default: each emit site then costs one relaxed atomic load.
+    pub tracer: Arc<Tracer>,
 }
 
 impl Default for RuntimeConfig {
@@ -30,6 +35,7 @@ impl Default for RuntimeConfig {
             workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
             slots_per_worker: 32,
             park_timeout: Duration::from_micros(100),
+            tracer: Arc::new(Tracer::disabled()),
         }
     }
 }
@@ -48,7 +54,9 @@ pub trait WorkerHook: Send + Sync + 'static {
     fn tick(&self, worker: usize);
 }
 
-/// Scheduler statistics (observability + tests).
+/// Scheduler statistics (observability + tests). Counters are cumulative;
+/// `occupied_slots`, `ready_tasks` and `global_queue_depth` are gauges
+/// sampled at call time.
 #[derive(Debug, Default, Clone)]
 pub struct RuntimeStats {
     pub tasks_completed: u64,
@@ -57,7 +65,37 @@ pub struct RuntimeStats {
     pub tasks_pulled_global: u64,
     pub tasks_pulled_local: u64,
     pub urgent_pull_stalls: u64,
+    /// Task slots currently holding a seated co-routine, summed over
+    /// workers.
+    pub occupied_slots: u64,
+    /// Spawned tasks waiting for a slot (global queue + local queues).
+    pub ready_tasks: u64,
+    /// Depth of the global injector queue alone.
+    pub global_queue_depth: u64,
+    /// Cumulative wall time each worker spent per scheduler state,
+    /// indexed by worker.
+    pub worker_state_ns: Vec<WorkerTimeInState>,
 }
+
+/// Cumulative per-worker wall time split by what the worker was doing:
+/// polling seated tasks (`running`), pulling/bookkeeping between polls
+/// (`ready`), parked with nothing runnable (`parked`), or running the
+/// kernel hook's background duties — page swaps, GC (`io`). The four
+/// always sum to the worker's lifetime, so interval deltas give a
+/// utilization profile.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerTimeInState {
+    pub running_ns: u64,
+    pub ready_ns: u64,
+    pub parked_ns: u64,
+    pub io_ns: u64,
+}
+
+/// Indices into `WorkerStats::state_ns`.
+const ST_RUNNING: usize = 0;
+const ST_READY: usize = 1;
+const ST_PARKED: usize = 2;
+const ST_IO: usize = 3;
 
 #[derive(Default)]
 struct WorkerStats {
@@ -67,6 +105,10 @@ struct WorkerStats {
     pulled_global: AtomicU64,
     pulled_local: AtomicU64,
     urgent_pull_stalls: AtomicU64,
+    /// Gauge: slots currently seated on this worker (stored each round).
+    occupied: AtomicU64,
+    /// Cumulative ns per scheduler state (`ST_*` indices).
+    state_ns: [AtomicU64; 4],
 }
 
 struct Shared {
@@ -175,6 +217,7 @@ impl Runtime {
         let (handle, completer) = JoinHandle::pair();
         let wrapped = CompletionFuture { inner: Box::pin(future), completer: Some(completer) };
         let task = Task { future: Box::pin(wrapped) };
+        self.shared.cfg.tracer.instant(EventKind::TaskSpawn, 0, 0, 0);
         match affinity {
             Some(w) => {
                 self.shared.locals[w].lock().push_back(task);
@@ -198,7 +241,17 @@ impl Runtime {
             out.tasks_pulled_global += s.pulled_global.load(Ordering::Relaxed);
             out.tasks_pulled_local += s.pulled_local.load(Ordering::Relaxed);
             out.urgent_pull_stalls += s.urgent_pull_stalls.load(Ordering::Relaxed);
+            out.occupied_slots += s.occupied.load(Ordering::Relaxed);
+            out.worker_state_ns.push(WorkerTimeInState {
+                running_ns: s.state_ns[ST_RUNNING].load(Ordering::Relaxed),
+                ready_ns: s.state_ns[ST_READY].load(Ordering::Relaxed),
+                parked_ns: s.state_ns[ST_PARKED].load(Ordering::Relaxed),
+                io_ns: s.state_ns[ST_IO].load(Ordering::Relaxed),
+            });
         }
+        out.global_queue_depth = self.shared.injector.len() as u64;
+        out.ready_tasks = out.global_queue_depth
+            + self.shared.locals.iter().map(|l| l.lock().len() as u64).sum::<u64>();
         out
     }
 
@@ -262,11 +315,21 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
     let slots_n = shared.cfg.slots_per_worker;
     let mut slots: Vec<Option<Seated>> = (0..slots_n).map(|_| None).collect();
     let stats = &shared.stats[worker];
+    let tracer = shared.cfg.tracer.clone();
+    // Time-in-state accounting: every instant of the worker's life is
+    // charged to exactly one `ST_*` bucket at the phase boundaries below.
+    let mut mark = Instant::now();
+    let charge = |state: usize, mark: &mut Instant| {
+        let now = Instant::now();
+        stats.state_ns[state].fetch_add((now - *mark).as_nanos() as u64, Ordering::Relaxed);
+        *mark = now;
+    };
 
     loop {
         if let Some(hook) = shared.hook.read().clone() {
             hook.tick(worker);
         }
+        charge(ST_IO, &mut mark);
 
         // Poll every occupied slot that has been woken.
         let mut progressed = false;
@@ -292,24 +355,31 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
             let seated = slots[i].as_mut().expect("occupied slot");
             let _guard = enter_slot(worker, i);
             let mut cx = Context::from_waker(&seated.waker);
+            let poll_start = tracer.span_begin();
             match seated.future.as_mut().poll(&mut cx) {
                 Poll::Ready(()) => {
+                    tracer.span_end(EventKind::TaskPoll, i as u32, poll_start, 0);
+                    tracer.instant(EventKind::TaskDone, i as u32, 0, 0);
                     slots[i] = None;
                     occupied -= 1;
                     stats.tasks_completed.fetch_add(1, Ordering::Relaxed);
                 }
                 Poll::Pending => {
+                    tracer.span_end(EventKind::TaskPoll, i as u32, poll_start, 0);
                     seated.urgent = take_last_urgency() == Urgency::High;
+                    tracer.instant(EventKind::Yield, i as u32, !seated.urgent as u64, 0);
                     if seated.urgent {
                         urgent_slots += 1;
                     }
                 }
             }
         }
+        charge(ST_RUNNING, &mut mark);
 
         // Pull-based scheduling: fill vacant slots from the local (affinity)
         // queue first, then the global queue — unless a high-urgency task is
         // pending resolution, in which case pause new-task acceptance.
+        let mut pulled_any = false;
         if urgent_slots == 0 {
             #[allow(clippy::needless_range_loop)]
             for i in 0..slots_n {
@@ -332,6 +402,7 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
                 } else {
                     stats.pulled_global.fetch_add(1, Ordering::Relaxed);
                 }
+                pulled_any = true;
                 let wake = WakeState::new(std::thread::current());
                 let waker = waker_for(&wake);
                 slots[i] = Some(Seated { future: task.future, wake, waker, urgent: false });
@@ -341,6 +412,14 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
         } else {
             stats.urgent_pull_stalls.fetch_add(1, Ordering::Relaxed);
         }
+        if pulled_any || occupied > 0 {
+            // Global-queue depth, sampled at the pull point (§7.1). Sampling
+            // every busy round (not just rounds that stole) keeps the counter
+            // fresh in the ring for long-lived tasks, whose pulls all happen
+            // at startup and would otherwise be overwritten on wrap.
+            tracer.instant(EventKind::QueueDepth, 0, shared.injector.len() as u64, 0);
+        }
+        stats.occupied.store(occupied as u64, Ordering::Relaxed);
 
         if occupied == 0 {
             let queues_empty =
@@ -350,18 +429,29 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
                     return;
                 }
                 stats.parks.fetch_add(1, Ordering::Relaxed);
+                charge(ST_READY, &mut mark);
+                let park_start = tracer.span_begin();
                 std::thread::park_timeout(shared.cfg.park_timeout);
+                tracer.span_end(EventKind::Park, 0, park_start, 0);
+                tracer.instant(EventKind::Unpark, 0, 0, 0);
+                charge(ST_PARKED, &mut mark);
             }
         } else if !progressed {
             // Everything pending and nothing woke: park briefly, then force
             // a re-poll round (level-triggered backstop for condition
             // futures and lock timeouts).
             stats.parks.fetch_add(1, Ordering::Relaxed);
+            charge(ST_READY, &mut mark);
+            let park_start = tracer.span_begin();
             std::thread::park_timeout(shared.cfg.park_timeout);
+            tracer.span_end(EventKind::Park, 0, park_start, 0);
+            tracer.instant(EventKind::Unpark, 0, 0, 0);
+            charge(ST_PARKED, &mut mark);
             for seated in slots.iter().flatten() {
                 seated.wake.ready.store(true, Ordering::Release);
             }
         }
+        charge(ST_READY, &mut mark);
     }
 }
 

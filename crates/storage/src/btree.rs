@@ -142,6 +142,12 @@ impl BTree {
             self.metrics.incr(Counter::LatchRestarts);
             self.metrics
                 .record_latency(LatencySite::BtreeRestart, attempt.elapsed().as_nanos() as u64);
+            self.metrics.tracer().instant(
+                phoebe_common::trace::EventKind::LatchRestart,
+                0,
+                attempt.elapsed().as_nanos() as u64,
+                0,
+            );
             *attempt = std::time::Instant::now();
         };
         'restart: loop {

@@ -316,6 +316,11 @@ impl BufferPool {
         // The whole fault — read I/O, decode, frame install — is what a
         // transaction stalls on when it hits a cold swip.
         let _fault = self.metrics.latency_timer(LatencySite::BufferFault);
+        let _span = self.metrics.tracer().span_guard(
+            phoebe_common::trace::EventKind::BufferFault,
+            0,
+            page.raw(),
+        );
         let mut buf = vec![0u8; PAGE_SIZE];
         self.page_file.read_page(page, &mut buf)?;
         let decoded = Page::decode(&buf)?;
@@ -444,6 +449,8 @@ impl BufferPool {
         // Past this point the eviction goes through; time the write-out,
         // WAL barrier wait and unswizzle.
         let _evict = self.metrics.latency_timer(LatencySite::Eviction);
+        let _span =
+            self.metrics.tracer().span_guard(phoebe_common::trace::EventKind::Eviction, 0, fid);
         // Write out if dirty, honoring the WAL barrier.
         let disk_raw = meta.disk_page.load(Ordering::Relaxed);
         let disk = if disk_raw == NO_DISK { self.page_file.alloc() } else { PageId(disk_raw) };

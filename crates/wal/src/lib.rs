@@ -25,5 +25,5 @@ pub mod writer;
 
 pub use aio::{AioPool, AioRequest};
 pub use record::{crc32, RecordBody, WalRecord};
-pub use recovery::{recover_dir, RecoveredTxn};
+pub use recovery::{recover_dir, recover_dir_stats, RecoveredTxn, WalScanStats};
 pub use writer::{CommitGuard, RfaState, WalHub, WalWriter};

@@ -30,8 +30,24 @@ pub struct RecoveredTxn {
     pub ops: Vec<RecordBody>,
 }
 
+/// Volume accounting for one recovery scan: how much log the scan read
+/// and how much torn tail it discarded (surfaced as kernel counters).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WalScanStats {
+    /// CRC-valid records decoded across all scanned files.
+    pub records: u64,
+    /// Bytes past the last CRC-valid record, summed across files (torn
+    /// or partial trailing writes the crash left behind).
+    pub tail_bytes_discarded: u64,
+}
+
 /// Read one WAL file into records (stopping at a torn tail).
 pub fn read_wal_file(path: &Path) -> Result<Vec<WalRecord>> {
+    read_wal_file_stats(path, &mut WalScanStats::default())
+}
+
+/// [`read_wal_file`], accumulating scan volume into `stats`.
+pub fn read_wal_file_stats(path: &Path, stats: &mut WalScanStats) -> Result<Vec<WalRecord>> {
     let buf = std::fs::read(path)?;
     let mut out = Vec::new();
     let mut at = 0;
@@ -39,6 +55,8 @@ pub fn read_wal_file(path: &Path) -> Result<Vec<WalRecord>> {
         out.push(rec);
         at = next;
     }
+    stats.records += out.len() as u64;
+    stats.tail_bytes_discarded += (buf.len() - at) as u64;
     Ok(out)
 }
 
@@ -62,6 +80,12 @@ pub fn merge_by_gsn(mut streams: Vec<Vec<WalRecord>>) -> Vec<WalRecord> {
 /// Scan a WAL directory (`wal_slot_*.log`) and reassemble every committed
 /// transaction, ordered by commit timestamp.
 pub fn recover_dir(dir: &Path) -> Result<Vec<RecoveredTxn>> {
+    recover_dir_stats(dir).map(|(txns, _)| txns)
+}
+
+/// [`recover_dir`], additionally returning scan volume accounting.
+pub fn recover_dir_stats(dir: &Path) -> Result<(Vec<RecoveredTxn>, WalScanStats)> {
+    let mut stats = WalScanStats::default();
     let mut streams = Vec::new();
     let mut entries: Vec<_> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok())
@@ -74,7 +98,7 @@ pub fn recover_dir(dir: &Path) -> Result<Vec<RecoveredTxn>> {
         .collect();
     entries.sort();
     for path in entries {
-        streams.push(read_wal_file(&path)?);
+        streams.push(read_wal_file_stats(&path, &mut stats)?);
     }
     let merged = merge_by_gsn(streams);
 
@@ -107,7 +131,7 @@ pub fn recover_dir(dir: &Path) -> Result<Vec<RecoveredTxn>> {
         }
     }
     committed.sort_by_key(|t| t.cts);
-    Ok(committed)
+    Ok((committed, stats))
 }
 
 #[cfg(test)]
@@ -350,7 +374,9 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         bytes.extend_from_slice(&[0xde, 0xad, 0xbe]);
         std::fs::write(&path, bytes).unwrap();
-        let recovered = recover_dir(&dir).unwrap();
+        let (recovered, stats) = recover_dir_stats(&dir).unwrap();
         assert_eq!(recovered.len(), 1, "intact prefix survives a torn tail");
+        assert_eq!(stats.tail_bytes_discarded, 3, "the torn tail is accounted");
+        assert_eq!(stats.records, 2, "Begin + Commit records scanned");
     }
 }

@@ -25,6 +25,7 @@ use phoebe_common::fault::{FaultFile, FaultFs, OsFs};
 use phoebe_common::hist::LatencySite;
 use phoebe_common::ids::{Gsn, Lsn, Timestamp, Xid};
 use phoebe_common::metrics::{Component, Counter, Metrics};
+use phoebe_common::trace::EventKind;
 use phoebe_runtime::Notify;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -477,7 +478,15 @@ impl WalHub {
             // can already cover `rfa.max_gsn` from earlier rounds while
             // this record still sits in the volatile buffer.
             self.writers[slot].wait_lsn(lsn).await?;
-            self.ensure_durable_gsn_async(rfa.max_gsn).await?;
+            let wait_start = self.metrics.tracer().span_begin();
+            let waited = self.ensure_durable_gsn_async(rfa.max_gsn).await;
+            self.metrics.tracer().span_end(
+                EventKind::RfaRemoteWait,
+                slot as u32,
+                wait_start,
+                rfa.max_gsn,
+            );
+            waited?;
         } else {
             self.metrics.incr(Counter::RfaEarlyCommits);
             self.writers[slot].wait_lsn(lsn).await?;
@@ -511,10 +520,13 @@ impl WalHub {
             return Err(PhoebeError::WalHalted);
         }
         let round_start = std::time::Instant::now();
+        let tracer = self.metrics.tracer();
+        let batch_start = tracer.span_begin();
         // Wave 1: steal every writer's pending bytes and submit all the
         // writes at once so the AIO pool overlaps them — draining slots
         // one write+fsync at a time made the round cost scale linearly
         // with the active slot count, which is what commit latency waits on.
+        let wave_start = tracer.span_begin();
         let pending: Vec<_> = self
             .writers
             .iter()
@@ -526,8 +538,12 @@ impl WalHub {
                 return Err(e.into());
             }
         }
+        if !pending.is_empty() {
+            tracer.span_end(EventKind::FlushWave, 0, wave_start, 1);
+        }
         // Wave 2: overlap the fsyncs the same way.
         if self.sync {
+            let wave_start = tracer.span_begin();
             let syncs: Vec<_> = pending
                 .iter()
                 .map(|(w, _)| self.aio.submit(AioRequest::Fsync { file: Arc::clone(&w.file) }))
@@ -537,6 +553,9 @@ impl WalHub {
                     self.halt();
                     return Err(e.into());
                 }
+            }
+            if !pending.is_empty() {
+                tracer.span_end(EventKind::FlushWave, 0, wave_start, 2);
             }
         }
         let mut total = 0;
@@ -554,6 +573,7 @@ impl WalHub {
             // The whole round is one group-commit window's worth of work.
             self.metrics
                 .record_latency(LatencySite::GroupCommit, round_start.elapsed().as_nanos() as u64);
+            tracer.span_end(EventKind::GroupCommitBatch, 0, batch_start, total);
         }
         // Wake remote-dependency waiters: the global horizon may have moved
         // even when this round flushed zero bytes (idle writers catch up).
