@@ -17,6 +17,7 @@ pub mod ids;
 pub mod json;
 pub mod metrics;
 pub mod snapshot;
+pub mod sync;
 pub mod trace;
 
 pub use config::{KernelConfig, KernelConfigBuilder, TraceConfig};

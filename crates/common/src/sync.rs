@@ -1,0 +1,62 @@
+//! Synchronization shim: the one import path for every concurrency
+//! primitive the kernel's lock-free machinery uses.
+//!
+//! Normal builds re-export `std::sync::atomic` and the parking_lot lock
+//! types directly — zero wrappers, zero overhead, identical codegen to
+//! importing them in place. Under `RUSTFLAGS="--cfg loom"` the same
+//! names resolve to the in-tree `loom` model checker instead, so the
+//! hybrid latch, trace ring, snapshot list, and twin-table fast path can
+//! be exhaustively interleaved by the `loom_*` test suites without any
+//! source change to the primitives themselves (see DESIGN.md
+//! "Concurrency correctness").
+//!
+//! Porting rule: kernel modules that implement synchronization protocols
+//! (as opposed to merely bumping counters) import atomics, locks, and
+//! `UnsafeCell` from here, never from `std`/`parking_lot` directly.
+//! `cargo xtask lint-kernel` does not enforce this mechanically — new
+//! protocol code should follow it so the loom suites keep covering the
+//! kernel's synchronization surface.
+
+#[cfg(not(loom))]
+pub use parking_lot::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(loom)]
+pub use loom::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+pub use std::sync::Arc;
+
+/// Atomic types and fences; `loom`-instrumented under `cfg(loom)`.
+pub mod atomic {
+    #[cfg(not(loom))]
+    pub use std::sync::atomic::{
+        fence, AtomicBool, AtomicPtr, AtomicU16, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+        Ordering,
+    };
+
+    #[cfg(loom)]
+    pub use loom::sync::atomic::{
+        fence, AtomicBool, AtomicPtr, AtomicU16, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+        Ordering,
+    };
+}
+
+/// Interior-mutability cell for data protected by an external protocol
+/// (the hybrid latch's payload). Both variants expose the `get() -> *mut
+/// T` shape of `std::cell::UnsafeCell`.
+pub mod cell {
+    #[cfg(not(loom))]
+    pub use std::cell::UnsafeCell;
+
+    #[cfg(loom)]
+    pub use loom::cell::UnsafeCell;
+}
+
+/// Spin-wait hint: a scheduling point under the model checker so a
+/// validate-retry loop cannot starve the writer it is waiting on.
+pub mod hint {
+    #[cfg(not(loom))]
+    pub use std::hint::spin_loop;
+
+    #[cfg(loom)]
+    pub use loom::hint::spin_loop;
+}

@@ -23,8 +23,8 @@
 //! garbage. Draining does not consume: the rings keep filling.
 
 use crate::metrics::current_worker;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Event kinds emitted across the kernel. The discriminant is stored in
@@ -250,6 +250,10 @@ impl TraceRing {
 
     #[inline]
     fn emit(&self, ev: &TraceEvent) {
+        // ORDERING: Relaxed claim + relaxed word stores are safe because
+        // readers accept a slot only via the release store of `seq` below
+        // (paired with the acquire loads in `drain`); the claim itself only
+        // needs atomicity, not ordering, to hand out unique indices.
         let idx = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(idx & self.mask) as usize];
         let w = ev.pack();
@@ -270,6 +274,9 @@ impl TraceRing {
             if slot.seq.load(Ordering::Acquire) != idx + 1 {
                 continue;
             }
+            // ORDERING: relaxed word loads are bracketed by the two acquire
+            // `seq` checks; any concurrent overwrite bumps `seq` first
+            // (release), so a torn read is always detected and skipped.
             let w = [
                 slot.w[0].load(Ordering::Relaxed),
                 slot.w[1].load(Ordering::Relaxed),
@@ -286,6 +293,7 @@ impl TraceRing {
 
     /// Total events ever emitted into this ring (including overwritten).
     pub fn emitted(&self) -> u64 {
+        // ORDERING: a monotonic statistic; staleness is acceptable.
         self.head.load(Ordering::Relaxed)
     }
 }
@@ -324,6 +332,8 @@ impl Tracer {
     /// Whether events are being recorded — one relaxed atomic load.
     #[inline]
     pub fn enabled(&self) -> bool {
+        // ORDERING: the flag is set once at construction and never guards
+        // other memory; relaxed keeps the disabled-path cost to one load.
         self.enabled.load(Ordering::Relaxed)
     }
 

@@ -234,6 +234,8 @@ impl Runtime {
     /// Aggregate scheduler statistics across workers.
     pub fn stats(&self) -> RuntimeStats {
         let mut out = RuntimeStats::default();
+        // ORDERING: statistics reads; each counter is independent and a
+        // slightly stale aggregate is fine — nothing synchronizes on it.
         for s in &self.shared.stats {
             out.tasks_completed += s.tasks_completed.load(Ordering::Relaxed);
             out.polls += s.polls.load(Ordering::Relaxed);
@@ -242,6 +244,7 @@ impl Runtime {
             out.tasks_pulled_local += s.pulled_local.load(Ordering::Relaxed);
             out.urgent_pull_stalls += s.urgent_pull_stalls.load(Ordering::Relaxed);
             out.occupied_slots += s.occupied.load(Ordering::Relaxed);
+            // ORDERING: as above — independent statistic reads.
             out.worker_state_ns.push(WorkerTimeInState {
                 running_ns: s.state_ns[ST_RUNNING].load(Ordering::Relaxed),
                 ready_ns: s.state_ns[ST_READY].load(Ordering::Relaxed),
@@ -321,6 +324,7 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
     let mut mark = Instant::now();
     let charge = |state: usize, mark: &mut Instant| {
         let now = Instant::now();
+        // ORDERING: statistic counter, read only by `stats()` aggregation.
         stats.state_ns[state].fetch_add((now - *mark).as_nanos() as u64, Ordering::Relaxed);
         *mark = now;
     };
@@ -351,6 +355,8 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
                 continue;
             }
             progressed = true;
+            // ORDERING: statistic counter; the poll itself is ordered by
+            // the `ready` AcqRel swap above.
             stats.polls.fetch_add(1, Ordering::Relaxed);
             let seated = slots[i].as_mut().expect("occupied slot");
             let _guard = enter_slot(worker, i);
@@ -362,6 +368,8 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
                     tracer.instant(EventKind::TaskDone, i as u32, 0, 0);
                     slots[i] = None;
                     occupied -= 1;
+                    // ORDERING: statistic counter (completion publishing
+                    // happens through the join handle, not this counter).
                     stats.tasks_completed.fetch_add(1, Ordering::Relaxed);
                 }
                 Poll::Pending => {
@@ -398,6 +406,8 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
                     },
                 };
                 if from_local {
+                    // ORDERING: statistic counters; task handoff is ordered
+                    // by the local-queue mutex / injector internally.
                     stats.pulled_local.fetch_add(1, Ordering::Relaxed);
                 } else {
                     stats.pulled_global.fetch_add(1, Ordering::Relaxed);
@@ -410,6 +420,7 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
                 progressed = true;
             }
         } else {
+            // ORDERING: statistic counter.
             stats.urgent_pull_stalls.fetch_add(1, Ordering::Relaxed);
         }
         if pulled_any || occupied > 0 {
@@ -419,6 +430,7 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
             // at startup and would otherwise be overwritten on wrap.
             tracer.instant(EventKind::QueueDepth, 0, shared.injector.len() as u64, 0);
         }
+        // ORDERING: statistic gauge, read only by `stats()`.
         stats.occupied.store(occupied as u64, Ordering::Relaxed);
 
         if occupied == 0 {
@@ -428,6 +440,8 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                // ORDERING: statistic counter; parking itself synchronizes
+                // through `park_timeout`/`unpark`.
                 stats.parks.fetch_add(1, Ordering::Relaxed);
                 charge(ST_READY, &mut mark);
                 let park_start = tracer.span_begin();
@@ -440,6 +454,7 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
             // Everything pending and nothing woke: park briefly, then force
             // a re-poll round (level-triggered backstop for condition
             // futures and lock timeouts).
+            // ORDERING: statistic counter, as above.
             stats.parks.fetch_add(1, Ordering::Relaxed);
             charge(ST_READY, &mut mark);
             let park_start = tracer.span_begin();
@@ -598,6 +613,7 @@ mod tests {
         struct Hook(AtomicU64);
         impl WorkerHook for Hook {
             fn tick(&self, _worker: usize) {
+                // ORDERING: test counter; the join below orders the read.
                 self.0.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -610,6 +626,7 @@ mod tests {
             }
         })
         .join();
+        // ORDERING: test read, ordered by the task join above.
         assert!(hook.0.load(Ordering::Relaxed) > 0);
         rt.shutdown();
     }

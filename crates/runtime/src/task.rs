@@ -68,18 +68,30 @@ impl WakeState {
 // A hand-rolled RawWaker around Arc<WakeState>: clone bumps the refcount,
 // wake marks ready + unparks. (std's Wake trait would also work; the manual
 // vtable avoids an extra Arc level.)
+//
+// Shared contract for all four vtable functions: `data` is the pointer a
+// `Arc::into_raw(Arc<WakeState>)` produced (see `waker_for`), and the
+// RawWaker protocol guarantees each is called with a live reference count.
+
+// SAFETY: `data` came from `Arc::into_raw` and the count is live, so
+// incrementing it mints an independent owned reference for the new waker.
 unsafe fn ws_clone(data: *const ()) -> RawWaker {
     Arc::increment_strong_count(data as *const WakeState);
     RawWaker::new(data, &VTABLE)
 }
+// SAFETY: `wake` consumes the waker, so reconstituting the Arc (and
+// dropping it at scope end) releases exactly the count this waker owned.
 unsafe fn ws_wake(data: *const ()) {
     let arc = Arc::from_raw(data as *const WakeState);
     arc.wake();
 }
+// SAFETY: `wake_by_ref` must not consume the waker's count; ManuallyDrop
+// borrows the Arc for the call without releasing it.
 unsafe fn ws_wake_by_ref(data: *const ()) {
     let arc = std::mem::ManuallyDrop::new(Arc::from_raw(data as *const WakeState));
     arc.wake();
 }
+// SAFETY: drop releases the single count this waker owned.
 unsafe fn ws_drop(data: *const ()) {
     drop(Arc::from_raw(data as *const WakeState));
 }

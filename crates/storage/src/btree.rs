@@ -1310,4 +1310,66 @@ mod tests {
         assert_eq!(v1, Some(Value::I64(4_999)));
         assert_eq!(v2, Some(Value::I64(-4_999)));
     }
+
+    #[test]
+    fn sequential_workload_records_zero_restarts() {
+        let p = pool(256);
+        let metrics = Arc::new(Metrics::new(2));
+        let schema = Schema::new(vec![("v", ColType::I64)]);
+        let layout = PaxLayout::for_schema(&schema);
+        let t = BTree::create(p, TableId(1), TreeKind::Table, Arc::clone(&metrics)).unwrap();
+        for i in 1..=2_000u64 {
+            t.table_append(&layout, RowId(i), &[Value::I64(i as i64)], |_, _, _, _| {}).unwrap();
+        }
+        for i in (1..=2_000u64).step_by(37) {
+            t.table_read(RowId(i), |leaf, r, _, _| leaf.read_col(&layout, r, 0)).unwrap();
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter(Counter::LatchRestarts), 0, "no interference, no restarts");
+        assert_eq!(snap.latency(LatencySite::BtreeRestart).count(), 0);
+    }
+
+    #[test]
+    fn restart_counter_matches_restart_latency_samples() {
+        // Every descent restart must feed the counter AND the wasted-work
+        // histogram exactly once (the observability layer treats them as
+        // two views of the same event). Hammer point reads while an
+        // appender forces splits (each split bumps versions on the path),
+        // then check the two stay in lockstep.
+        let p = pool(512);
+        let metrics = Arc::new(Metrics::new(4));
+        let schema = Schema::new(vec![("v", ColType::I64)]);
+        let layout = PaxLayout::for_schema(&schema);
+        let t =
+            Arc::new(BTree::create(p, TableId(1), TreeKind::Table, Arc::clone(&metrics)).unwrap());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 1u64;
+                    // ORDERING: stop flag only gates loop exit.
+                    while !stop.load(Ordering::Relaxed) {
+                        let _ = t.table_read(RowId(i % 4_000 + 1), |_, _, _, _| ());
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for i in 1..=8_000u64 {
+            t.table_append(&layout, RowId(i), &[Value::I64(i as i64)], |_, _, _, _| {}).unwrap();
+        }
+        // ORDERING: stop flag; the joins below order everything else.
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.counter(Counter::LatchRestarts),
+            snap.latency(LatencySite::BtreeRestart).count(),
+            "restart counter and restart latency samples must agree"
+        );
+    }
 }

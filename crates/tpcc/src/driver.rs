@@ -133,6 +133,8 @@ async fn terminal_loop<E: TpccEngine>(
             match outcome {
                 Ok(true) => match conn.commit().await {
                     Ok(()) => {
+                        // ORDERING: pure throughput statistics; `collect`
+                        // reads them after every terminal has joined.
                         counters.committed.fetch_add(1, Ordering::Relaxed);
                         counters.per_kind[kind_slot(kind)].fetch_add(1, Ordering::Relaxed);
                         if kind == TxnKind::NewOrder {
@@ -141,6 +143,7 @@ async fn terminal_loop<E: TpccEngine>(
                         break;
                     }
                     Err(_) => {
+                        // ORDERING: statistics, as above.
                         counters.errors.fetch_add(1, Ordering::Relaxed);
                         break;
                     }
@@ -148,11 +151,13 @@ async fn terminal_loop<E: TpccEngine>(
                 Ok(false) => {
                     // The 1% intentional New-Order rollback.
                     conn.abort();
+                    // ORDERING: statistics, as above.
                     counters.user_rollbacks.fetch_add(1, Ordering::Relaxed);
                     break;
                 }
                 Err(e) if e.is_retryable() && tries < 50 => {
                     conn.abort();
+                    // ORDERING: statistics, as above.
                     counters.aborts.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
@@ -161,6 +166,7 @@ async fn terminal_loop<E: TpccEngine>(
                         eprintln!("tpcc {kind:?} error: {e}");
                     }
                     conn.abort();
+                    // ORDERING: statistics, as above.
                     counters.errors.fetch_add(1, Ordering::Relaxed);
                     break;
                 }
@@ -170,6 +176,8 @@ async fn terminal_loop<E: TpccEngine>(
 }
 
 fn collect(counters: &Counters, elapsed: Duration) -> TpccStats {
+    // ORDERING: statistics reads; every terminal has joined (or the run
+    // deadline passed) before collection, and nothing synchronizes on them.
     TpccStats {
         committed: counters.committed.load(Ordering::Relaxed),
         new_orders: counters.new_orders.load(Ordering::Relaxed),

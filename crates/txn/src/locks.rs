@@ -143,6 +143,8 @@ impl TupleLockSlot {
     /// implicitly released — at most one tuple lock per transaction.
     pub fn claim(&self, table: TableId, row: RowId) {
         self.claim.store(Self::pack(table, row), Ordering::Release);
+        // ORDERING: statistic counter; the claim itself publishes via the
+        // release store above.
         self.grants.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -157,6 +159,7 @@ impl TupleLockSlot {
 
     /// Total grants through this slot (reuse across transactions).
     pub fn grant_count(&self) -> u64 {
+        // ORDERING: diagnostic read of a monotonic statistic.
         self.grants.load(Ordering::Relaxed)
     }
 }

@@ -20,18 +20,22 @@
 //! sharding by row-id bits keeps even those mostly un-contended.
 
 use crate::undo::UndoLog;
-use parking_lot::Mutex;
 use phoebe_common::ids::{RowId, TableId, Timestamp};
+use phoebe_common::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use phoebe_common::sync::{Arc, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Page identity: the relation and the leaf's first row id.
 pub type TwinKey = (TableId, RowId);
 
 /// Lock shards inside one twin table (power of two). Rows of a leaf are
-/// consecutive, so the low row-id bits spread them perfectly.
+/// consecutive, so the low row-id bits spread them perfectly. Shrunk
+/// under the loom model checker so exhaustive schedule enumeration stays
+/// tractable — the protocol is shard-count-independent.
+#[cfg(not(loom))]
 const ENTRY_SHARDS: usize = 8;
+#[cfg(loom)]
+const ENTRY_SHARDS: usize = 2;
 
 /// Fibonacci-hash mix for bloom-bit selection.
 const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -155,10 +159,14 @@ impl TwinTable {
 
     /// Record a tuple-lock grant against this page (§7.2).
     pub fn record_lock_grant(&self) {
+        // ORDERING: pure statistic — nothing is published under this
+        // counter, so relaxed increments suffice.
         self.lock_grants.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn lock_grants(&self) -> u64 {
+        // ORDERING: diagnostic read of a monotonic counter; staleness is
+        // acceptable and no other memory hangs off it.
         self.lock_grants.load(Ordering::Relaxed)
     }
 
@@ -186,7 +194,11 @@ impl TwinTable {
     }
 }
 
+// Registry shard count; shrunk under loom like `ENTRY_SHARDS`.
+#[cfg(not(loom))]
 const SHARDS: usize = 64;
+#[cfg(loom)]
+const SHARDS: usize = 2;
 
 /// One registry shard: guarded key→table map plus an atomic bloom summary
 /// of the page keys present, so "page never written" reads skip the lock.

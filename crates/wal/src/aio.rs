@@ -94,6 +94,8 @@ impl AioPool {
                                 }
                                 AioRequest::Fsync { file } => file.sync_data().map(|_| 0),
                             };
+                            // ORDERING: statistic counter; completion is
+                            // published through `Completion`, not this.
                             completed.fetch_add(1, Ordering::Relaxed);
                             sub.completion.complete(result);
                         }
@@ -112,6 +114,8 @@ impl AioPool {
     /// Submit without blocking; reap via the returned completion.
     pub fn submit(&self, req: AioRequest) -> Arc<Completion> {
         let completion = Completion::new();
+        // ORDERING: statistic counter; the submission is ordered by the
+        // channel send below.
         self.submitted.fetch_add(1, Ordering::Relaxed);
         self.tx
             .lock()
@@ -139,6 +143,7 @@ impl AioPool {
 
     /// (submitted, completed) operation counts.
     pub fn stats(&self) -> (u64, u64) {
+        // ORDERING: diagnostic reads; the pair may be mutually stale.
         (self.submitted.load(Ordering::Relaxed), self.completed.load(Ordering::Relaxed))
     }
 

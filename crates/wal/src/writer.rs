@@ -133,6 +133,9 @@ impl WalWriter {
     /// Append a record to the in-memory buffer; returns its LSN and size.
     pub fn append(&self, xid: Xid, gsn: Gsn, body: RecordBody) -> (Lsn, usize) {
         let mut buf = self.buf.lock();
+        // ORDERING: the counter only needs unique, monotone values; all
+        // inter-thread publication happens via the release store below,
+        // under the buffer lock.
         let lsn = Lsn(self.next_lsn.fetch_add(1, Ordering::Relaxed));
         let rec = WalRecord { xid, gsn, lsn, body };
         let n = rec.encode_into(&mut buf);
@@ -178,6 +181,8 @@ impl WalWriter {
             )
         };
         let len = data.len() as u64;
+        // ORDERING: file-offset reservation only needs atomicity; the
+        // bytes themselves travel through the AIO submission channel.
         let off = self.file_off.fetch_add(len, Ordering::Relaxed);
         let write =
             aio.submit(AioRequest::WriteAt { file: Arc::clone(&self.file), offset: off, data });
@@ -188,6 +193,8 @@ impl WalWriter {
     fn complete_flush(&self, p: &PendingFlush) {
         self.flushed_lsn.fetch_max(p.lsn_mark, Ordering::AcqRel);
         self.flushed_gsn.fetch_max(p.gsn_mark, Ordering::AcqRel);
+        // ORDERING: statistic counter; durability is published by the
+        // AcqRel horizon bumps above plus the notify below.
         self.bytes_flushed.fetch_add(p.len, Ordering::Relaxed);
         self.inflight.store(false, Ordering::Release);
         self.durable.notify_all();
@@ -225,6 +232,7 @@ impl WalWriter {
     }
 
     pub fn bytes_flushed(&self) -> u64 {
+        // ORDERING: diagnostic read of a monotonic statistic.
         self.bytes_flushed.load(Ordering::Relaxed)
     }
 

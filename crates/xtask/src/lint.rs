@@ -1,0 +1,462 @@
+//! The `lint-kernel` static pass: three kernel-specific invariants that
+//! `rustc`/`clippy` cannot express, checked with a comment-and-string
+//! aware line scanner (deliberately not a full parser — the rules only
+//! need token-level context, and a hand-rolled scanner keeps the tool
+//! dependency-free).
+//!
+//! Rules:
+//!
+//! 1. **safety-comment** — every `unsafe` keyword (block, fn, impl,
+//!    trait) carries a `// SAFETY:` comment on the same line or in the
+//!    comment block directly above (attributes and blank lines may sit
+//!    between).
+//! 2. **ordering-comment** — every `Ordering::Relaxed` carries an
+//!    `// ORDERING:` comment on the same line or within the preceding
+//!    [`ORDERING_WINDOW`] lines (one cluster comment may justify a group
+//!    of relaxed counter operations). Files on the allowlist (pure
+//!    statistics/counters) are exempt.
+//! 3. **guard-across-await** — in the latched crates (storage, txn,
+//!    runtime, wal) no lock/latch guard binding may live across an
+//!    `.await`; a parked coroutine holding a latch is a kernel-wide
+//!    stall waiting to happen.
+//!
+//! Any rule can be waived per-line with `LINT-ALLOW(<rule>): <reason>` in
+//! a comment on the same line or the line directly above.
+
+/// How far above a `Ordering::Relaxed` an `ORDERING:` comment may sit.
+pub const ORDERING_WINDOW: usize = 12;
+
+/// One lint finding.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+/// Per-file lint configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// File is on the relaxed-ordering allowlist (rule 2 skipped).
+    pub relaxed_allowed: bool,
+    /// File belongs to a latched crate (rule 3 enabled).
+    pub check_guard_await: bool,
+}
+
+/// A source line split into its code and comment halves, with string and
+/// char literal contents blanked out of the code half.
+struct ScanLine {
+    code: String,
+    comment: String,
+}
+
+/// Split source into per-line (code, comment) halves with a char-level
+/// state machine that tracks strings, raw strings, char literals, and
+/// (nested) block comments across line boundaries.
+fn scan(source: &str) -> Vec<ScanLine> {
+    #[derive(PartialEq)]
+    enum St {
+        Normal,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let mut st = St::Normal;
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            if st == St::LineComment {
+                st = St::Normal;
+            }
+            lines.push(ScanLine {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Normal => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    st = St::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    // Raw string? Look back for r / r# / br## ...
+                    let mut j = i;
+                    let mut hashes = 0;
+                    while j > 0 && chars[j - 1] == '#' {
+                        hashes += 1;
+                        j -= 1;
+                    }
+                    let is_raw = j > 0 && chars[j - 1] == 'r';
+                    st = if is_raw { St::RawStr(hashes) } else { St::Str };
+                    code.push(' ');
+                    i += 1;
+                }
+                '\'' => {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
+                        && chars.get(i + 2).copied() != Some('\'');
+                    if is_lifetime {
+                        code.push(c);
+                        i += 1;
+                    } else {
+                        st = St::Char;
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            },
+            St::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 { St::Normal } else { St::BlockComment(depth - 1) };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            St::Str => match c {
+                '\\' => i += 2,
+                '"' => {
+                    st = St::Normal;
+                    i += 1;
+                }
+                _ => i += 1,
+            },
+            St::RawStr(hashes) => {
+                if c == '"'
+                    && chars[i + 1..].iter().take(hashes).filter(|&&h| h == '#').count() == hashes
+                {
+                    st = St::Normal;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+            St::Char => match c {
+                '\\' => i += 2,
+                '\'' => {
+                    st = St::Normal;
+                    i += 1;
+                }
+                _ => i += 1,
+            },
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(ScanLine { code, comment });
+    }
+    lines
+}
+
+/// Does `code` contain `word` bounded by non-identifier characters?
+fn has_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = code[at + word.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Is this line's waiver (same line or line above) naming `rule`?
+fn waived(lines: &[ScanLine], idx: usize, rule: &str) -> bool {
+    let tag = format!("LINT-ALLOW({rule})");
+    lines[idx].comment.contains(&tag) || (idx > 0 && lines[idx - 1].comment.contains(&tag))
+}
+
+/// A `SAFETY:` justification for line `idx`: same line, or in the
+/// contiguous comment block directly above (attributes and blanks may
+/// separate the comment from the code line).
+fn safety_documented(lines: &[ScanLine], idx: usize) -> bool {
+    if lines[idx].comment.contains("SAFETY:") {
+        return true;
+    }
+    let mut i = idx;
+    // Skip attribute and blank lines between the justification and the site.
+    while i > 0 {
+        let prev = &lines[i - 1];
+        let code = prev.code.trim();
+        let blank = code.is_empty() && prev.comment.is_empty();
+        let attr = code.starts_with("#[") || code.starts_with("#!");
+        if blank || attr {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    // Walk up through the contiguous pure-comment block, if any.
+    while i > 0 {
+        let prev = &lines[i - 1];
+        if !prev.code.trim().is_empty() || prev.comment.is_empty() {
+            break;
+        }
+        if prev.comment.contains("SAFETY:") {
+            return true;
+        }
+        i -= 1;
+    }
+    false
+}
+
+/// An `ORDERING:` justification within the same line or the preceding
+/// window.
+fn ordering_documented(lines: &[ScanLine], idx: usize) -> bool {
+    let lo = idx.saturating_sub(ORDERING_WINDOW);
+    lines[lo..=idx].iter().any(|l| l.comment.contains("ORDERING:"))
+}
+
+/// Method calls whose zero-argument form produces a lock/latch guard.
+const GUARD_CALLS: [&str; 7] = [
+    ".lock()",
+    ".read()",
+    ".write()",
+    ".try_lock()",
+    ".try_read()",
+    ".try_write()",
+    ".upgradable_read()",
+];
+
+/// Lint one file. `path` is only used in messages.
+pub fn lint_file(path: &str, source: &str, opts: Options) -> Vec<Violation> {
+    let lines = scan(source);
+    let mut out = Vec::new();
+
+    // Guard-across-await state: (binding name, brace depth at declaration).
+    let mut depth: i64 = 0;
+    let mut guards: Vec<(String, i64)> = Vec::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        let n = idx + 1;
+        let code = line.code.as_str();
+
+        // Rule 1: SAFETY comments on unsafe.
+        if has_word(code, "unsafe")
+            && !safety_documented(&lines, idx)
+            && !waived(&lines, idx, "safety")
+        {
+            out.push(Violation {
+                line: n,
+                rule: "safety-comment",
+                msg: format!(
+                    "{path}:{n}: `unsafe` without a `// SAFETY:` comment on the same line \
+                     or directly above"
+                ),
+            });
+        }
+
+        // Rule 2: ORDERING comments on Relaxed.
+        if !opts.relaxed_allowed
+            && code.contains("Ordering::Relaxed")
+            && !ordering_documented(&lines, idx)
+            && !waived(&lines, idx, "ordering")
+        {
+            out.push(Violation {
+                line: n,
+                rule: "ordering-comment",
+                msg: format!(
+                    "{path}:{n}: `Ordering::Relaxed` without an `// ORDERING:` comment \
+                     within the preceding {ORDERING_WINDOW} lines (or add the file to \
+                     the allowlist if it is pure counters)"
+                ),
+            });
+        }
+
+        // Rule 3: no guard held across .await.
+        if opts.check_guard_await {
+            // `drop(name)` releases a tracked guard early.
+            for g in std::mem::take(&mut guards) {
+                let released = code.contains(&format!("drop({})", g.0))
+                    || code.contains(&format!("drop(&{})", g.0));
+                if !released {
+                    guards.push(g);
+                }
+            }
+            // New guard binding?
+            if let Some(name) = guard_binding(code) {
+                guards.push((name, depth));
+            }
+            if code.contains(".await") && !waived(&lines, idx, "guard-await") {
+                for (name, _) in &guards {
+                    out.push(Violation {
+                        line: n,
+                        rule: "guard-across-await",
+                        msg: format!(
+                            "{path}:{n}: lock/latch guard `{name}` is live across this \
+                             `.await` — a parked coroutine must never hold a latch"
+                        ),
+                    });
+                }
+            }
+            // Track depth after the line; pop guards whose scope closed.
+            for c in code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        guards.retain(|(_, d)| *d < depth + 1);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// If `code` declares a `let <name> = ...<guard call>...;` binding,
+/// return the binding name. Temporaries (`*l.write() = x`) drop at the
+/// end of the statement and are not tracked.
+fn guard_binding(code: &str) -> Option<String> {
+    if !GUARD_CALLS.iter().any(|g| code.contains(g)) {
+        return None;
+    }
+    let after_let = code.trim_start().strip_prefix("let ")?;
+    let after_mut = after_let.trim_start().strip_prefix("mut ").unwrap_or(after_let.trim_start());
+    let name: String = after_mut.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    if name.is_empty() || !after_mut[name.len()..].trim_start().starts_with(['=', ':']) {
+        return None;
+    }
+    Some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOTH: Options = Options { relaxed_allowed: false, check_guard_await: true };
+
+    fn rules(src: &str) -> Vec<&'static str> {
+        lint_file("t.rs", src, BOTH).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn seeded_undocumented_unsafe_fails() {
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        assert_eq!(rules(src), ["safety-comment"]);
+    }
+
+    #[test]
+    fn documented_unsafe_passes() {
+        for src in [
+            "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n",
+            "fn f(p: *const u8) -> u8 {\n    unsafe { *p } // SAFETY: caller guarantees p.\n}\n",
+            "// SAFETY: T is plain data.\n#[allow(dead_code)]\nunsafe impl Send for X {}\n",
+            "// SAFETY: the pointer is owned.\n// It is never aliased.\nunsafe impl Send for X {}\n",
+        ] {
+            assert_eq!(rules(src), Vec::<&str>::new(), "{src}");
+        }
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_ignored() {
+        let src = "fn f() {\n    let _ = \"unsafe\";\n    // unsafe is discussed here only\n    let _c = 'u';\n}\n";
+        assert_eq!(rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn seeded_unexplained_relaxed_fails() {
+        let src = "fn f(n: &AtomicU64) -> u64 {\n    n.load(Ordering::Relaxed)\n}\n";
+        assert_eq!(rules(src), ["ordering-comment"]);
+    }
+
+    #[test]
+    fn cluster_ordering_comment_covers_window() {
+        let src = "\
+// ORDERING: pure statistics; relaxed is fine for the whole cluster.
+fn f(n: &AtomicU64) {
+    n.fetch_add(1, Ordering::Relaxed);
+    n.fetch_add(2, Ordering::Relaxed);
+    let _ = n.load(Ordering::Relaxed);
+}
+";
+        assert_eq!(rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn relaxed_allowlist_skips_rule() {
+        let src = "fn f(n: &AtomicU64) -> u64 { n.load(Ordering::Relaxed) }\n";
+        let opts = Options { relaxed_allowed: true, check_guard_await: true };
+        assert!(lint_file("t.rs", src, opts).is_empty());
+    }
+
+    #[test]
+    fn seeded_guard_across_await_fails() {
+        let src = "\
+async fn f(m: &Mutex<u64>) {
+    let g = m.lock();
+    step().await;
+    drop(g);
+}
+";
+        assert_eq!(rules(src), ["guard-across-await"]);
+    }
+
+    #[test]
+    fn guard_dropped_or_scoped_before_await_passes() {
+        for src in [
+            "async fn f(m: &Mutex<u64>) {\n    let g = m.lock();\n    drop(g);\n    step().await;\n}\n",
+            "async fn f(m: &Mutex<u64>) {\n    {\n        let g = m.lock();\n    }\n    step().await;\n}\n",
+            "async fn f(m: &Mutex<u64>) {\n    step().await;\n    let g = m.lock();\n}\n",
+        ] {
+            assert_eq!(rules(src), Vec::<&str>::new(), "{src}");
+        }
+    }
+
+    #[test]
+    fn guard_await_rule_disabled_outside_latched_crates() {
+        let src = "async fn f(m: &Mutex<u64>) {\n    let g = m.lock();\n    step().await;\n}\n";
+        let opts = Options { relaxed_allowed: false, check_guard_await: false };
+        assert!(lint_file("t.rs", src, opts).is_empty());
+    }
+
+    #[test]
+    fn lint_allow_waivers_work() {
+        for src in [
+            "fn f(p: *const u8) -> u8 {\n    // LINT-ALLOW(safety): fixture\n    unsafe { *p }\n}\n",
+            "fn f(n: &AtomicU64) {\n    n.load(Ordering::Relaxed); // LINT-ALLOW(ordering): fixture\n}\n",
+            "async fn f(m: &Mutex<u64>) {\n    let g = m.lock();\n    step().await; // LINT-ALLOW(guard-await): fixture\n}\n",
+        ] {
+            assert_eq!(rules(src), Vec::<&str>::new(), "{src}");
+        }
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_do_not_confuse_the_scanner() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str {\n    let _ = r#\"unsafe { Ordering::Relaxed }\"#;\n    x\n}\n";
+        assert_eq!(rules(src), Vec::<&str>::new());
+    }
+}

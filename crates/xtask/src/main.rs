@@ -1,0 +1,117 @@
+//! Repo automation tasks, invoked as `cargo xtask <task>` (see
+//! `.cargo/config.toml`).
+//!
+//! `lint-kernel` walks every `crates/*/src/**/*.rs` file (excluding this
+//! tool itself) and enforces the kernel concurrency invariants documented
+//! in [`lint`]; see DESIGN.md "Concurrency correctness". Exit status is
+//! non-zero when any violation is found, so CI can gate on it.
+
+mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates where no lock/latch guard may be held across an `.await`.
+const LATCHED_CRATES: [&str; 4] = ["storage", "txn", "runtime", "wal"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint-kernel") => lint_kernel(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`; available: lint-kernel");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask <task>\n\ntasks:\n  lint-kernel   kernel concurrency-invariant lints");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // crates/xtask -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the repo root")
+        .to_path_buf()
+}
+
+/// The relaxed-ordering allowlist: repo-relative paths of files whose
+/// `Ordering::Relaxed` uses are pure statistics (counters, histograms,
+/// benchmark plumbing) rather than synchronization protocols.
+fn allowlist(root: &Path) -> Vec<String> {
+    let path = root.join("crates/xtask/relaxed-allow.txt");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect()
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn lint_kernel() -> ExitCode {
+    let root = repo_root();
+    let allow = allowlist(&root);
+    let crates_dir = root.join("crates");
+
+    let mut files = Vec::new();
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        eprintln!("no crates/ directory under {}", root.display());
+        return ExitCode::FAILURE;
+    };
+    for entry in entries.flatten() {
+        let crate_dir = entry.path();
+        if crate_dir.file_name().is_some_and(|n| n == "xtask") {
+            continue;
+        }
+        rust_sources(&crate_dir.join("src"), &mut files);
+    }
+    files.sort();
+
+    let mut total = 0usize;
+    let mut scanned = 0usize;
+    for file in &files {
+        let rel = file.strip_prefix(&root).unwrap_or(file).to_string_lossy().replace('\\', "/");
+        let crate_name = rel.split('/').nth(1).unwrap_or("");
+        let opts = lint::Options {
+            relaxed_allowed: allow.iter().any(|a| a == &rel),
+            check_guard_await: LATCHED_CRATES.contains(&crate_name),
+        };
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{rel}: read error: {e}");
+                total += 1;
+                continue;
+            }
+        };
+        scanned += 1;
+        for v in lint::lint_file(&rel, &source, opts) {
+            eprintln!("[{}] {}", v.rule, v.msg);
+            total += 1;
+        }
+    }
+
+    if total == 0 {
+        println!("lint-kernel: {scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint-kernel: {total} violation(s) in {scanned} files");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Run the loom model-checking suites (bounded exhaustive interleaving
+# search over the kernel's lock-free protocols).
+#
+# The suites only exist under `--cfg loom`; normal builds compile them to
+# empty crates. `cargo test --test` takes exact target names (no globs),
+# so every suite is listed explicitly — add new `loom_*.rs` files here.
+#
+# Knobs (see shims/loom):
+#   LOOM_MAX_PREEMPTIONS  context-switch bound per schedule   (default 3)
+#   LOOM_MAX_ITERATIONS   schedules explored per model        (default 20000)
+#   LOOM_REPLAY           choice trail from a failure — replays exactly it
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="--cfg loom ${RUSTFLAGS:-}"
+
+cargo test -p phoebe-common --test loom_trace_ring --test loom_snapshot "$@"
+cargo test -p phoebe-storage --test loom_latch "$@"
+cargo test -p phoebe-txn --test loom_twin "$@"

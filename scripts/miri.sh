@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Run the concurrency-sensitive kernel modules under Miri (undefined-
+# behavior interpreter). Miri executes ~1000x slower than native, so this
+# targets the modules with unsafe/atomic cores rather than the whole suite:
+#
+#   * storage  latch     — OLC hybrid latch (UnsafeCell + version counter)
+#   * common   snapshot  — AtomicPtr snapshot list (retire-on-drop)
+#   * common   trace     — seq-validated overwrite-on-wrap trace ring
+#   * txn      twin      — sharded twin tables + atomic bloom summaries
+#
+# The latch's raw optimistic read is a deliberate (validated) data race in
+# normal builds; under `cfg(miri)` it routes through a non-blocking shared
+# latch instead (see HybridLatch::optimistic_read), so Miri checks the rest
+# of the latch protocol without tripping on the known-and-contained race.
+#
+# Requires: rustup nightly toolchain with the `miri` component.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! rustup component list --toolchain nightly --installed 2>/dev/null | grep -q '^miri'; then
+  echo "miri.sh: nightly miri component not installed." >&2
+  echo "  rustup component add --toolchain nightly miri" >&2
+  exit 2
+fi
+
+export MIRIFLAGS="${MIRIFLAGS:-}"
+
+run() {
+  echo "== miri: $*"
+  cargo +nightly miri test "$@"
+}
+
+run -p phoebe-storage --lib latch::
+run -p phoebe-common --lib -- snapshot:: trace::
+run -p phoebe-txn --lib twin::
+
+echo "miri: all targeted modules clean"

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Run the concurrency-sensitive kernel modules under ThreadSanitizer.
+#
+# TSan complements the loom models (scripts/loom.sh): loom exhaustively
+# explores interleavings under sequential consistency; TSan observes real
+# weak-memory executions of the same protocols at native speed. The latch's
+# deliberate optimistic-read race is routed under a shared latch in this
+# build via `--cfg phoebe_tsan` (see HybridLatch::optimistic_read), so any
+# race TSan reports is a genuine finding.
+#
+# `-Zbuild-std` is REQUIRED: the workspace's locks bottom out in std
+# primitives (the parking_lot shim wraps std::sync), and an uninstrumented
+# std hides their acquire/release edges from TSan, producing false "races"
+# on correctly lock-guarded code. Requires: nightly toolchain with the
+# `rust-src` component (rustup component add --toolchain nightly rust-src).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! rustup component list --toolchain nightly --installed 2>/dev/null | grep -q rust-src; then
+  echo "tsan.sh: nightly rust-src component not installed (needed for -Zbuild-std)." >&2
+  echo "  rustup component add --toolchain nightly rust-src" >&2
+  exit 2
+fi
+
+TARGET="${TSAN_TARGET:-x86_64-unknown-linux-gnu}"
+export RUSTFLAGS="-Zsanitizer=thread --cfg phoebe_tsan ${RUSTFLAGS:-}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+run() {
+  echo "== tsan: $*"
+  cargo +nightly test -Zbuild-std --target "$TARGET" "$@"
+}
+
+run -p phoebe-storage --lib latch::
+run -p phoebe-common --lib -- snapshot:: trace::
+run -p phoebe-txn --lib twin::
+
+echo "tsan: all targeted modules clean"

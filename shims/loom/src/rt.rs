@@ -1,0 +1,550 @@
+//! The exploration engine: a CHESS-style bounded model checker.
+//!
+//! One model thread runs at a time. Every synchronization operation
+//! (atomic access, lock acquire/release, spawn, join, yield) is a
+//! *schedule point*: the running thread stops, the scheduler picks the
+//! next thread to run from the runnable set, and the choice is recorded.
+//! Executions are replayed depth-first over the recorded choice tree
+//! until every schedule (within the preemption bound) has been explored.
+//!
+//! Context switches away from a still-runnable thread count as
+//! *preemptions*; bounding those (CHESS' key insight) keeps the search
+//! space polynomial while still covering the interleavings that expose
+//! almost all real concurrency bugs. The bound is configurable via
+//! `LOOM_MAX_PREEMPTIONS` (default 3).
+
+use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Sentinel panic payload used to unwind sibling threads once the model
+/// has already failed; never reported as a failure itself.
+pub(crate) struct Poisoned;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum RunState {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+/// One recorded scheduling decision.
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    /// Thread that hit the schedule point.
+    pub from: usize,
+    /// Runnable set at that point; `from` is first when runnable.
+    pub runnable: Vec<usize>,
+    /// Index into `runnable` that was chosen.
+    pub idx: usize,
+}
+
+impl Choice {
+    pub fn chosen(&self) -> usize {
+        self.runnable[self.idx]
+    }
+
+    /// A switch away from a thread that could have kept running.
+    pub fn is_preemption(&self) -> bool {
+        self.runnable.first() == Some(&self.from) && self.idx != 0
+    }
+}
+
+pub(crate) struct MuState {
+    pub held: bool,
+    pub waiters: Vec<usize>,
+}
+
+pub(crate) struct RwState {
+    pub writer: bool,
+    pub readers: usize,
+    pub waiters: Vec<usize>,
+}
+
+pub(crate) struct Sched {
+    pub threads: Vec<RunState>,
+    pub current: usize,
+    /// Choices made so far this execution.
+    pub path: Vec<Choice>,
+    /// Choice indices forced for the replay prefix of this execution.
+    pub forced: Vec<usize>,
+    pub done: bool,
+    pub poisoned: bool,
+    pub failure: Option<String>,
+    pub mutexes: Vec<MuState>,
+    pub rwlocks: Vec<RwState>,
+    /// Per thread: tids blocked in `join` on it.
+    pub join_waiters: Vec<Vec<usize>>,
+    pub max_branches: usize,
+}
+
+pub(crate) struct Controller {
+    pub sched: Mutex<Sched>,
+    pub cv: Condvar,
+    /// Distinguishes controllers across executions so lazily registered
+    /// resources re-register on each run.
+    pub generation: u64,
+    pub os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Controller>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's (controller, tid) pair, if it is a model thread.
+pub(crate) fn ctx() -> Option<(Arc<Controller>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(v: Option<(Arc<Controller>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = v);
+}
+
+fn poison_panic() -> ! {
+    std::panic::panic_any(Poisoned)
+}
+
+/// Human-readable message for a panic payload; `None` for the internal
+/// [`Poisoned`] marker (already-failed model unwinding its siblings).
+pub(crate) fn payload_msg(p: &(dyn std::any::Any + Send)) -> Option<String> {
+    if p.is::<Poisoned>() {
+        return None;
+    }
+    if let Some(s) = p.downcast_ref::<&str>() {
+        return Some((*s).to_string());
+    }
+    if let Some(s) = p.downcast_ref::<String>() {
+        return Some(s.clone());
+    }
+    Some("model thread panicked (non-string payload)".to_string())
+}
+
+impl Controller {
+    pub fn new(forced: Vec<usize>, max_branches: usize) -> Self {
+        Controller {
+            sched: Mutex::new(Sched {
+                threads: vec![RunState::Runnable],
+                current: 0,
+                path: Vec::new(),
+                forced,
+                done: false,
+                poisoned: false,
+                failure: None,
+                mutexes: Vec::new(),
+                rwlocks: Vec::new(),
+                join_waiters: vec![Vec::new()],
+                max_branches,
+            }),
+            cv: Condvar::new(),
+            generation: GENERATION.fetch_add(1, Ordering::Relaxed),
+            os_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock_sched(&self) -> MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pick the next thread to run; caller holds the lock and has already
+    /// updated its own state. Does not wait.
+    fn reschedule(&self, s: &mut MutexGuard<'_, Sched>, my: usize) {
+        let mut runnable: Vec<usize> = (0..s.threads.len())
+            .filter(|&t| s.threads[t] == RunState::Runnable && t != my)
+            .collect();
+        if s.threads[my] == RunState::Runnable {
+            runnable.insert(0, my);
+        }
+        if runnable.is_empty() {
+            if s.threads.iter().all(|t| *t == RunState::Finished) {
+                s.done = true;
+            } else {
+                let blocked: Vec<usize> =
+                    (0..s.threads.len()).filter(|&t| s.threads[t] == RunState::Blocked).collect();
+                s.failure =
+                    Some(format!("deadlock: every live thread is blocked (threads {blocked:?})"));
+                s.poisoned = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let pos = s.path.len();
+        let idx = match s.forced.get(pos) {
+            Some(&i) => i.min(runnable.len() - 1),
+            None => 0,
+        };
+        let choice = Choice { from: my, runnable, idx };
+        let next = choice.chosen();
+        s.path.push(choice);
+        if s.path.len() > s.max_branches {
+            s.failure = Some(format!(
+                "execution exceeded {} schedule points — livelock in the model? \
+                 (raise LOOM_MAX_BRANCHES if the model is genuinely this long)",
+                s.max_branches
+            ));
+            s.poisoned = true;
+            self.cv.notify_all();
+            return;
+        }
+        s.current = next;
+        self.cv.notify_all();
+    }
+
+    /// Wait until this thread is scheduled. Panics with [`Poisoned`] if the
+    /// model failed elsewhere.
+    fn wait_for_turn(&self, mut s: MutexGuard<'_, Sched>, my: usize) {
+        loop {
+            if s.poisoned {
+                drop(s);
+                poison_panic();
+            }
+            if s.current == my && s.threads[my] == RunState::Runnable {
+                return;
+            }
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Like [`Controller::wait_for_turn`] but usable from `Drop` impls:
+    /// returns instead of panicking when the model is poisoned.
+    fn wait_for_turn_noexcept(&self, mut s: MutexGuard<'_, Sched>, my: usize) {
+        loop {
+            if s.poisoned || (s.current == my && s.threads[my] == RunState::Runnable) {
+                return;
+            }
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A plain schedule point: the calling thread stays runnable and the
+    /// scheduler picks who runs next. Must not panic while the thread is
+    /// already unwinding (atomics fire from guard `Drop` impls), so the
+    /// poison propagation is suppressed during a panic.
+    pub fn schedule_point(&self, my: usize) {
+        let panicking = std::thread::panicking();
+        let mut s = self.lock_sched();
+        if s.poisoned {
+            if panicking {
+                return;
+            }
+            drop(s);
+            poison_panic();
+        }
+        self.reschedule(&mut s, my);
+        if panicking {
+            self.wait_for_turn_noexcept(s, my);
+        } else {
+            self.wait_for_turn(s, my);
+        }
+    }
+
+    pub fn register_thread(&self) -> usize {
+        let mut s = self.lock_sched();
+        s.threads.push(RunState::Runnable);
+        s.join_waiters.push(Vec::new());
+        s.threads.len() - 1
+    }
+
+    /// First wait of a freshly spawned model thread.
+    pub fn wait_initial(&self, my: usize) {
+        let s = self.lock_sched();
+        self.wait_for_turn(s, my);
+    }
+
+    /// Mark `my` finished, wake joiners, schedule a successor. `panicked`
+    /// carries the failure message for user panics (None for clean exit or
+    /// [`Poisoned`] unwinds).
+    pub fn finish(&self, my: usize, panicked: Option<String>) {
+        let mut s = self.lock_sched();
+        s.threads[my] = RunState::Finished;
+        let waiters = std::mem::take(&mut s.join_waiters[my]);
+        for w in waiters {
+            s.threads[w] = RunState::Runnable;
+        }
+        if let Some(msg) = panicked {
+            if s.failure.is_none() {
+                s.failure = Some(msg);
+            }
+            s.poisoned = true;
+            self.cv.notify_all();
+            return;
+        }
+        if s.poisoned {
+            self.cv.notify_all();
+            return;
+        }
+        self.reschedule(&mut s, my);
+    }
+
+    /// Block until thread `target` finishes.
+    pub fn join_thread(&self, my: usize, target: usize) {
+        loop {
+            let mut s = self.lock_sched();
+            if s.poisoned {
+                drop(s);
+                poison_panic();
+            }
+            if s.threads[target] == RunState::Finished {
+                // Joining is itself a schedule point.
+                self.reschedule(&mut s, my);
+                self.wait_for_turn(s, my);
+                return;
+            }
+            s.join_waiters[target].push(my);
+            s.threads[my] = RunState::Blocked;
+            self.reschedule(&mut s, my);
+            self.wait_for_turn(s, my);
+        }
+    }
+
+    // ------------------------------------------------------------ mutex
+
+    pub fn register_mutex(&self) -> usize {
+        let mut s = self.lock_sched();
+        s.mutexes.push(MuState { held: false, waiters: Vec::new() });
+        s.mutexes.len() - 1
+    }
+
+    pub fn mutex_lock(&self, my: usize, id: usize) {
+        self.schedule_point(my);
+        loop {
+            let mut s = self.lock_sched();
+            if s.poisoned {
+                drop(s);
+                poison_panic();
+            }
+            if !s.mutexes[id].held {
+                s.mutexes[id].held = true;
+                return;
+            }
+            s.mutexes[id].waiters.push(my);
+            s.threads[my] = RunState::Blocked;
+            self.reschedule(&mut s, my);
+            self.wait_for_turn(s, my);
+        }
+    }
+
+    pub fn mutex_try_lock(&self, my: usize, id: usize) -> bool {
+        self.schedule_point(my);
+        let mut s = self.lock_sched();
+        if s.mutexes[id].held {
+            false
+        } else {
+            s.mutexes[id].held = true;
+            true
+        }
+    }
+
+    /// Called from guard `Drop`: must never panic.
+    pub fn mutex_unlock(&self, my: usize, id: usize) {
+        let mut s = self.lock_sched();
+        s.mutexes[id].held = false;
+        let waiters = std::mem::take(&mut s.mutexes[id].waiters);
+        for w in waiters {
+            s.threads[w] = RunState::Runnable;
+        }
+        if s.poisoned {
+            self.cv.notify_all();
+            return;
+        }
+        self.reschedule(&mut s, my);
+        self.wait_for_turn_noexcept(s, my);
+    }
+
+    // ----------------------------------------------------------- rwlock
+
+    pub fn register_rwlock(&self) -> usize {
+        let mut s = self.lock_sched();
+        s.rwlocks.push(RwState { writer: false, readers: 0, waiters: Vec::new() });
+        s.rwlocks.len() - 1
+    }
+
+    pub fn rw_read(&self, my: usize, id: usize) {
+        self.schedule_point(my);
+        loop {
+            let mut s = self.lock_sched();
+            if s.poisoned {
+                drop(s);
+                poison_panic();
+            }
+            if !s.rwlocks[id].writer {
+                s.rwlocks[id].readers += 1;
+                return;
+            }
+            s.rwlocks[id].waiters.push(my);
+            s.threads[my] = RunState::Blocked;
+            self.reschedule(&mut s, my);
+            self.wait_for_turn(s, my);
+        }
+    }
+
+    pub fn rw_try_read(&self, my: usize, id: usize) -> bool {
+        self.schedule_point(my);
+        let mut s = self.lock_sched();
+        if s.rwlocks[id].writer {
+            false
+        } else {
+            s.rwlocks[id].readers += 1;
+            true
+        }
+    }
+
+    pub fn rw_write(&self, my: usize, id: usize) {
+        self.schedule_point(my);
+        loop {
+            let mut s = self.lock_sched();
+            if s.poisoned {
+                drop(s);
+                poison_panic();
+            }
+            let rw = &mut s.rwlocks[id];
+            if !rw.writer && rw.readers == 0 {
+                rw.writer = true;
+                return;
+            }
+            s.rwlocks[id].waiters.push(my);
+            s.threads[my] = RunState::Blocked;
+            self.reschedule(&mut s, my);
+            self.wait_for_turn(s, my);
+        }
+    }
+
+    pub fn rw_try_write(&self, my: usize, id: usize) -> bool {
+        self.schedule_point(my);
+        let mut s = self.lock_sched();
+        let rw = &mut s.rwlocks[id];
+        if rw.writer || rw.readers > 0 {
+            false
+        } else {
+            rw.writer = true;
+            true
+        }
+    }
+
+    /// Called from guard `Drop`: must never panic.
+    pub fn rw_unlock(&self, my: usize, id: usize, was_writer: bool) {
+        let mut s = self.lock_sched();
+        if was_writer {
+            s.rwlocks[id].writer = false;
+        } else {
+            s.rwlocks[id].readers -= 1;
+        }
+        let waiters = std::mem::take(&mut s.rwlocks[id].waiters);
+        for w in waiters {
+            s.threads[w] = RunState::Runnable;
+        }
+        if s.poisoned {
+            self.cv.notify_all();
+            return;
+        }
+        self.reschedule(&mut s, my);
+        self.wait_for_turn_noexcept(s, my);
+    }
+}
+
+// --------------------------------------------------------------- driver
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Find the next unexplored schedule (DFS backtrack) within the
+/// preemption bound, as a forced choice-index prefix.
+fn backtrack(mut path: Vec<Choice>, max_preemptions: usize) -> Option<Vec<usize>> {
+    loop {
+        let last = path.pop()?;
+        let preemptions_used: usize = path.iter().filter(|c| c.is_preemption()).count();
+        let from_runnable = last.runnable.first() == Some(&last.from);
+        for idx in last.idx + 1..last.runnable.len() {
+            let is_preemption = from_runnable && idx != 0;
+            if !is_preemption || preemptions_used < max_preemptions {
+                let mut forced: Vec<usize> = path.iter().map(|c| c.idx).collect();
+                forced.push(idx);
+                return Some(forced);
+            }
+        }
+    }
+}
+
+fn run_one<F>(ctrl: &Arc<Controller>, f: Arc<F>) -> (Vec<Choice>, Option<String>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let c2 = Arc::clone(ctrl);
+    let t0 = std::thread::spawn(move || {
+        set_ctx(Some((Arc::clone(&c2), 0)));
+        let out = std::panic::catch_unwind(AssertUnwindSafe(|| f()));
+        let msg = out.err().and_then(|p| payload_msg(&*p));
+        c2.finish(0, msg);
+        set_ctx(None);
+    });
+    {
+        let mut s = ctrl.lock_sched();
+        while !s.done && !s.poisoned {
+            s = ctrl.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    t0.join().ok();
+    for h in std::mem::take(&mut *ctrl.os_handles.lock().unwrap_or_else(|e| e.into_inner())) {
+        h.join().ok();
+    }
+    let s = ctrl.lock_sched();
+    (s.path.clone(), s.failure.clone())
+}
+
+/// Explore every schedule of `f` (up to the preemption bound and
+/// iteration cap) and panic with a replayable counterexample on the first
+/// failing one.
+///
+/// Environment knobs: `LOOM_MAX_PREEMPTIONS` (default 3),
+/// `LOOM_MAX_ITERATIONS` (default 20000), `LOOM_MAX_BRANCHES` (default
+/// 50000), `LOOM_REPLAY` (comma-separated choice indices printed by a
+/// failure — runs exactly that schedule), `LOOM_LOG` (print exploration
+/// stats).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 3);
+    let max_iters = env_usize("LOOM_MAX_ITERATIONS", 20_000);
+    let max_branches = env_usize("LOOM_MAX_BRANCHES", 50_000);
+    let replay: Option<Vec<usize>> = std::env::var("LOOM_REPLAY")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect());
+    let replay_only = replay.is_some();
+
+    let mut forced = replay.unwrap_or_default();
+    let mut iters = 0usize;
+    loop {
+        iters += 1;
+        let ctrl = Arc::new(Controller::new(std::mem::take(&mut forced), max_branches));
+        let (path, failure) = run_one(&ctrl, Arc::clone(&f));
+        if let Some(msg) = failure {
+            let trail = path.iter().map(|c| c.idx.to_string()).collect::<Vec<_>>().join(",");
+            panic!(
+                "loom(shim): model failed on execution {iters}: {msg}\n  \
+                 reproduce with LOOM_REPLAY=\"{trail}\""
+            );
+        }
+        if replay_only {
+            break;
+        }
+        match backtrack(path, max_preemptions) {
+            Some(next) => forced = next,
+            None => break,
+        }
+        if iters >= max_iters {
+            eprintln!(
+                "loom(shim): exploration capped at {max_iters} executions \
+                 (raise LOOM_MAX_ITERATIONS for a deeper search)"
+            );
+            break;
+        }
+    }
+    if std::env::var("LOOM_LOG").is_ok() {
+        eprintln!("loom(shim): explored {iters} executions");
+    }
+}
