@@ -45,9 +45,12 @@ pub enum LatencySite {
     /// End-to-end WAL recovery replay in `Database::open` (scan + apply
     /// + re-log). At most one observation per crash-recovering open.
     RecoveryReplay = 8,
+    /// One `Transaction::multi_get`/`multi_lookup` batch end-to-end
+    /// (interleaved descents, including any fault-suspend waits).
+    BatchGet = 9,
 }
 
-pub const NSITES: usize = 9;
+pub const NSITES: usize = 10;
 
 /// All sites in display/report order.
 pub const SITES: [LatencySite; NSITES] = [
@@ -60,6 +63,7 @@ pub const SITES: [LatencySite; NSITES] = [
     LatencySite::BtreeRestart,
     LatencySite::LockWait,
     LatencySite::RecoveryReplay,
+    LatencySite::BatchGet,
 ];
 
 impl LatencySite {
@@ -74,6 +78,7 @@ impl LatencySite {
             LatencySite::BtreeRestart => "btree_restart",
             LatencySite::LockWait => "lock_wait",
             LatencySite::RecoveryReplay => "recovery_replay",
+            LatencySite::BatchGet => "batch_get",
         }
     }
 }
@@ -354,7 +359,8 @@ mod tests {
                 "eviction",
                 "btree_restart",
                 "lock_wait",
-                "recovery_replay"
+                "recovery_replay",
+                "batch_get"
             ]
         );
     }

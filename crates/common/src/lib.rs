@@ -16,6 +16,7 @@ pub mod hist;
 pub mod ids;
 pub mod json;
 pub mod metrics;
+pub mod prefetch;
 pub mod snapshot;
 pub mod sync;
 pub mod trace;
@@ -26,5 +27,6 @@ pub use fault::{FaultConfig, FaultFile, FaultFs, OsFs, SimFs};
 pub use hist::{HistogramSnapshot, LatencySite};
 pub use ids::{Gsn, Lsn, PageId, RowId, SlotId, TableId, Timestamp, WorkerId, Xid};
 pub use json::Json;
+pub use prefetch::{prefetch_read, prefetch_read_span};
 pub use snapshot::SnapshotList;
 pub use trace::{EventKind, TraceEvent, Tracer};

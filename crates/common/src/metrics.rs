@@ -101,9 +101,21 @@ pub enum Counter {
     /// Bytes discarded from WAL tails during recovery (torn or partial
     /// trailing records past the last CRC-valid one).
     RecoveryTailBytesDiscarded = 15,
+    /// Interleaved multi-key batches executed (`multi_get`,
+    /// `multi_lookup`, `multi_update_rmw`).
+    BatchGets = 16,
+    /// Total keys submitted across all batches; `BatchKeys / BatchGets`
+    /// is the mean batch depth.
+    BatchKeys = 17,
+    /// Software prefetches issued by suspended descents for their next
+    /// B-tree node.
+    PrefetchesIssued = 18,
+    /// Descents that suspended on a cold page and handed the fault to the
+    /// background fault service instead of blocking.
+    FaultSuspends = 19,
 }
 
-const NCTR: usize = 16;
+const NCTR: usize = 20;
 
 /// All counters with stable names (report order).
 pub const COUNTERS: [(Counter, &str); NCTR] = [
@@ -123,6 +135,10 @@ pub const COUNTERS: [(Counter, &str); NCTR] = [
     (Counter::RowsWarmed, "rows_warmed"),
     (Counter::RecoveryRecordsReplayed, "recovery_records_replayed"),
     (Counter::RecoveryTailBytesDiscarded, "recovery_tail_bytes_discarded"),
+    (Counter::BatchGets, "batch_gets"),
+    (Counter::BatchKeys, "batch_keys"),
+    (Counter::PrefetchesIssued, "prefetches_issued"),
+    (Counter::FaultSuspends, "fault_suspends"),
 ];
 
 #[derive(Default)]

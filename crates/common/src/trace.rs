@@ -68,6 +68,9 @@ pub enum EventKind {
     RfaRemoteWait = 17,
     /// WAL replay at `Database::open` (span; `b` = records replayed).
     RecoveryReplay = 18,
+    /// One interleaved multi-key batch (span; `a` = duration ns,
+    /// `b` = key count).
+    BatchGet = 19,
 }
 
 impl EventKind {
@@ -92,6 +95,7 @@ impl EventKind {
             EventKind::FlushWave => "flush_wave",
             EventKind::RfaRemoteWait => "rfa_remote_wait",
             EventKind::RecoveryReplay => "recovery_replay",
+            EventKind::BatchGet => "batch_get",
         }
     }
 
@@ -115,6 +119,7 @@ impl EventKind {
             16 => EventKind::FlushWave,
             17 => EventKind::RfaRemoteWait,
             18 => EventKind::RecoveryReplay,
+            19 => EventKind::BatchGet,
             _ => return None,
         })
     }
@@ -133,9 +138,10 @@ impl EventKind {
             | EventKind::TxnCommit
             | EventKind::TxnAbort
             | EventKind::LockWait => Track::Txn,
-            EventKind::BufferFault | EventKind::Eviction | EventKind::LatchRestart => {
-                Track::Storage
-            }
+            EventKind::BufferFault
+            | EventKind::Eviction
+            | EventKind::LatchRestart
+            | EventKind::BatchGet => Track::Storage,
             EventKind::GroupCommitBatch
             | EventKind::FlushWave
             | EventKind::RfaRemoteWait
@@ -159,6 +165,7 @@ impl EventKind {
                 | EventKind::FlushWave
                 | EventKind::RfaRemoteWait
                 | EventKind::RecoveryReplay
+                | EventKind::BatchGet
         )
     }
 }
@@ -644,6 +651,7 @@ mod tests {
             EventKind::FlushWave,
             EventKind::RfaRemoteWait,
             EventKind::RecoveryReplay,
+            EventKind::BatchGet,
         ] {
             assert_eq!(EventKind::from_u16(kind as u16), Some(kind), "{kind:?}");
         }

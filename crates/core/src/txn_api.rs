@@ -21,6 +21,8 @@ use phoebe_common::hist::LatencySite;
 use phoebe_common::ids::{RowId, Timestamp, Xid};
 use phoebe_common::metrics::{Component, Counter};
 use phoebe_common::trace::EventKind;
+use phoebe_runtime::Urgency;
+use phoebe_storage::row_key;
 use phoebe_storage::schema::Value;
 use phoebe_txn::clock::Snapshot;
 use phoebe_txn::locks::{IsolationLevel, TxnHandle, TxnOutcome};
@@ -31,6 +33,12 @@ use phoebe_wal::RecordBody;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Per-key delta closure for [`Transaction::multi_update_rmw`]:
+/// `f(i, current_values)` returns the `(column, new_value)` pairs for
+/// key `i`, evaluated under the leaf latch like
+/// [`Transaction::update_rmw`]'s closure.
+pub type BatchRmwFn<'a> = dyn Fn(usize, &[Value]) -> Vec<(usize, Value)> + Sync + 'a;
 
 /// A read-modify-write delta function: given the current (conflict-resolved)
 /// row image, produce the `(column, new_value)` pairs to apply.
@@ -217,6 +225,121 @@ impl Transaction {
     }
 
     // ------------------------------------------------------------------
+    // Batched (interleaved) operations
+    // ------------------------------------------------------------------
+
+    /// Read the visible versions of N rows, result `i` corresponding to
+    /// `rows[i]` — semantically `rows.map(|r| read(r))` as one statement,
+    /// but the descents run interleaved: each B-Tree hop prefetches the
+    /// next node and suspends, and cold pages fault in the background
+    /// loader, so one descent's stall is hidden behind its siblings.
+    pub async fn multi_get(
+        &mut self,
+        table: &Arc<TableEntry>,
+        rows: &[RowId],
+    ) -> Result<Vec<Option<Row>>> {
+        let t0 = std::time::Instant::now();
+        let snapshot = self.stmt_snapshot();
+        let tuples = self.multi_get_inner(table, rows, snapshot).await?;
+        self.note_batch(t0, rows.len());
+        Ok(tuples.into_iter().map(|t| t.map(|t| Row::new(Arc::clone(table), t))).collect())
+    }
+
+    /// N unique-index point lookups, result `i` corresponding to
+    /// `keys[i]` — `keys.map(|k| lookup_unique(k))` as one interleaved
+    /// statement. Phase one interleaves the index descents, phase two
+    /// interleaves the table reads for the hits.
+    pub async fn multi_lookup(
+        &mut self,
+        table: &Arc<TableEntry>,
+        index: &Arc<IndexEntry>,
+        keys: &[Vec<Value>],
+    ) -> Result<Vec<Option<(RowId, Row)>>> {
+        debug_assert!(index.def.unique, "multi_lookup on a non-unique index");
+        let t0 = std::time::Instant::now();
+        let snapshot = self.stmt_snapshot();
+        let encoded: Vec<Vec<u8>> =
+            keys.iter().map(|k| index.prefix_for(&table.schema, k)).collect();
+        let mut row_ids: Vec<Option<RowId>> = vec![None; keys.len()];
+        drive_reads(
+            encoded.iter().map(|k| index.tree.batch_cursor(k, false)).enumerate().collect(),
+            |i, leaf| {
+                row_ids[i] = leaf.index_get(&encoded[i])?;
+                Ok(())
+            },
+        )
+        .await?;
+        // Phase two: fetch the visible versions of every hit, interleaved.
+        let hits: Vec<(usize, RowId)> =
+            row_ids.iter().enumerate().filter_map(|(i, r)| r.map(|r| (i, r))).collect();
+        let hit_rows: Vec<RowId> = hits.iter().map(|&(_, r)| r).collect();
+        let tuples = self.multi_get_inner(table, &hit_rows, snapshot).await?;
+        let mut out: Vec<Option<(RowId, Row)>> = vec![None; keys.len()];
+        for ((i, row), tuple) in hits.into_iter().zip(tuples) {
+            out[i] = tuple.map(|t| (row, Row::new(Arc::clone(table), t)));
+        }
+        self.note_batch(t0, keys.len());
+        Ok(out)
+    }
+
+    /// The interleaved heart of [`Transaction::multi_get`]: one snapshot
+    /// for the whole batch (it is a single statement), frozen rows
+    /// answered directly (globally visible, no descent), hot rows driven
+    /// through resumable cursors.
+    async fn multi_get_inner(
+        &self,
+        table: &Arc<TableEntry>,
+        rows: &[RowId],
+        snapshot: Snapshot,
+    ) -> Result<Vec<Option<Vec<Value>>>> {
+        let mut results: Vec<Option<Vec<Value>>> = vec![None; rows.len()];
+        let watermark = table.frozen.max_frozen_row_id();
+        let mut pending = Vec::with_capacity(rows.len());
+        for (i, &row) in rows.iter().enumerate() {
+            if row.raw() <= watermark {
+                results[i] = table.frozen.get(row)?;
+            } else {
+                pending.push((i, table.tree.batch_cursor(&row_key(row), false)));
+            }
+        }
+        let results_ref = &mut results;
+        drive_reads(pending, |i, leaf| {
+            let row = rows[i];
+            let pair = leaf.table_read(row, |leaf, idx, first, _| {
+                let tuple = leaf.read_row(&table.layout, idx);
+                let head = self.db.twins.get((table.id, first)).and_then(|t| t.head(row));
+                (tuple, head)
+            })?;
+            if let Some((mut tuple, head)) = pair {
+                let _t = self.db.metrics.timer(Component::Mvcc);
+                results_ref[i] =
+                    match resolve_visibility(&mut tuple, head.as_ref(), self.xid, snapshot) {
+                        Visibility::Invisible => None,
+                        Visibility::Current | Visibility::Rebuilt => Some(tuple),
+                    };
+            }
+            Ok(())
+        })
+        .await?;
+        Ok(results)
+    }
+
+    /// Per-batch accounting: histogram sample, flight-recorder span and
+    /// the depth counters (`batch_keys / batch_gets` = mean batch depth).
+    fn note_batch(&self, t0: std::time::Instant, keys: usize) {
+        let dur_ns = t0.elapsed().as_nanos() as u64;
+        self.db.metrics.incr(Counter::BatchGets);
+        self.db.metrics.add(Counter::BatchKeys, keys as u64);
+        self.db.metrics.record_latency(LatencySite::BatchGet, dur_ns);
+        self.db.metrics.tracer().span_dur(
+            EventKind::BatchGet,
+            self.slot as u32,
+            dur_ns,
+            keys as u64,
+        );
+    }
+
+    // ------------------------------------------------------------------
     // Writes
     // ------------------------------------------------------------------
 
@@ -383,6 +506,49 @@ impl Transaction {
         }
     }
 
+    /// N read-modify-writes as one statement: `f(i, current)` computes key
+    /// `i`'s delta under the leaf latch, exactly like
+    /// [`Transaction::update_rmw`] does for one row. Errors (row missing,
+    /// write conflict) abort the batch with the same error the sequential
+    /// loop would have hit. Returns `(new_row_id, observed_row)` per key.
+    ///
+    /// Two phases. First, read-mode descents for every key run interleaved
+    /// (prefetch + background faults) — that is where the data stalls
+    /// live, and it claims nothing. Then the writes apply *in batch order*
+    /// over the now-hot paths, preserving the sequential loop's claim
+    /// order exactly: interleaved claiming would let two transactions
+    /// batching the same ascending keys deadlock against each other — a
+    /// hazard the per-key loop cannot exhibit — so equivalence demands
+    /// ordered writes.
+    pub async fn multi_update_rmw(
+        &mut self,
+        table: &Arc<TableEntry>,
+        rows: &[RowId],
+        f: &BatchRmwFn<'_>,
+    ) -> Result<Vec<(RowId, Vec<Value>)>> {
+        let t0 = std::time::Instant::now();
+        // Phase one: interleaved warm-up. Frozen rows skip it — their
+        // write path is out-of-place (§5.2), not a table descent.
+        let watermark = table.frozen.max_frozen_row_id();
+        let pending: Vec<_> = rows
+            .iter()
+            .enumerate()
+            .filter(|&(_, r)| r.raw() > watermark)
+            .map(|(i, &row)| (i, table.tree.batch_cursor(&row_key(row), false)))
+            .collect();
+        // The leaf guard is dropped immediately: the warm-up only exists
+        // to overlap the descents' misses.
+        drive_reads(pending, |_, _| Ok(())).await?;
+        // Phase two: ordered writes over hot paths.
+        let mut out = Vec::with_capacity(rows.len());
+        for (i, &row) in rows.iter().enumerate() {
+            let g = |vals: &[Value]| f(i, vals);
+            out.push(self.update_rmw(table, row, &g).await?);
+        }
+        self.note_batch(t0, rows.len());
+        Ok(out)
+    }
+
     /// Delete `row` (logical: the tuple stays until GC makes the deletion
     /// globally visible, §7.3).
     pub async fn delete(&mut self, table: &Arc<TableEntry>, row: RowId) -> Result<()> {
@@ -444,77 +610,24 @@ impl Transaction {
         ) -> (UndoOp, RecordBody, Vec<(usize, Value)>),
         new_log: &mut Option<Arc<UndoLog>>,
     ) -> Result<Option<WriteAttempt>> {
-        let db = Arc::clone(&self.db);
-        let (xid, start_ts, slot, iso) = (self.xid, self.start_ts, self.slot, self.iso);
-        let handle = Arc::clone(&self.handle);
-        let rfa = &mut self.rfa;
+        let mut ctx = self.write_ctx(snapshot);
         table.tree.table_modify(row, |leaf, idx, first, fid| {
-            // Lock-management work (Figure 12 "locking"): the ets
-            // handshake, tuple-lock claim and outcome dispatch.
-            let lock_timer = db.metrics.timer(Component::Lock);
-            let twin = db.twins.get_or_create((table.id, first));
-            let head = twin.head(row).filter(|h| h.is_valid());
-            // Write-write handshake on the chain head's ets (§6.2).
-            if let Some(h) = &head {
-                let ets = h.ets();
-                if Xid::is_xid(ets) && ets != xid.raw() {
-                    match h.writer.outcome() {
-                        None | Some(TxnOutcome::Aborted) => {
-                            // In flight (or aborted but not yet rolled
-                            // back): wait on the holder's ID lock.
-                            return WriteAttempt::Wait(Arc::clone(&h.writer));
-                        }
-                        Some(TxnOutcome::Committed(cts)) => {
-                            if iso == IsolationLevel::RepeatableRead && !snapshot.sees(cts) {
-                                return WriteAttempt::Conflict(h.writer.xid);
-                            }
-                            if matches!(h.op, UndoOp::Delete { .. }) {
-                                return WriteAttempt::Gone;
-                            }
-                        }
-                    }
-                } else if !Xid::is_xid(ets) {
-                    if iso == IsolationLevel::RepeatableRead && !snapshot.sees(ets) {
-                        return WriteAttempt::Conflict(h.writer.xid);
-                    }
-                    if matches!(h.op, UndoOp::Delete { .. }) {
-                        return WriteAttempt::Gone;
-                    }
-                } else if matches!(h.op, UndoOp::Delete { .. }) {
-                    // Our own earlier delete of this row.
-                    return WriteAttempt::Gone;
-                }
-            }
-            // Tuple lock: claimed for the operation, released right after
-            // (§7.2); grant accounting lives in the twin table.
-            db.tuple_locks[slot].claim(table.id, row);
-            twin.record_lock_grant();
-            drop(lock_timer);
-            let _mvcc = db.metrics.timer(Component::Mvcc);
-            let (op, wal_body, apply) = build(leaf, idx, &table.layout);
-            let log = UndoLog::new(table.id, row, first, op, Arc::clone(&handle), head.clone());
-            if !twin.set_head(row, Arc::clone(&log), start_ts) {
-                db.tuple_locks[slot].release();
-                return WriteAttempt::Retry;
-            }
-            drop(_mvcc);
-            // WAL + RFA (§8).
-            let meta = &db.pool.frame(fid).meta;
-            let page_gsn = meta.page_gsn.load(Ordering::Relaxed);
-            let lw = meta.last_writer_slot.load(Ordering::Relaxed);
-            let last_writer = (lw != u64::MAX).then_some(lw as usize);
-            let gsn = db.wal.stamp_write(rfa, page_gsn, last_writer, slot);
-            db.wal.log_op(slot, xid, gsn, wal_body);
-            meta.page_gsn.fetch_max(gsn, Ordering::Relaxed);
-            meta.last_writer_slot.store(slot as u64, Ordering::Relaxed);
-            // In-place update (§5.2).
-            for (c, v) in &apply {
-                leaf.write_col(&table.layout, idx, *c, v);
-            }
-            db.tuple_locks[slot].release();
-            *new_log = Some(log);
-            WriteAttempt::Done
+            write_under_latch(&mut ctx, table, row, leaf, idx, first, fid, build, new_log)
         })
+    }
+
+    /// Snapshot of the per-transaction state [`write_under_latch`] needs.
+    fn write_ctx(&mut self, snapshot: Snapshot) -> WriteCtx<'_> {
+        WriteCtx {
+            db: &self.db,
+            xid: self.xid,
+            start_ts: self.start_ts,
+            slot: self.slot,
+            iso: self.iso,
+            snapshot,
+            handle: &self.handle,
+            rfa: &mut self.rfa,
+        }
     }
 
     /// Wait on a conflicting writer's transaction-ID lock, applying the
@@ -731,4 +844,150 @@ impl Drop for Transaction {
             self.rollback();
         }
     }
+}
+
+/// The transaction-side inputs of one latched write, split out of
+/// [`Transaction::latched_write`] so the blocking descent and the batch
+/// cursors ([`Transaction::multi_update_rmw`]) share a single
+/// implementation of the conflict/UNDO/WAL protocol.
+struct WriteCtx<'a> {
+    db: &'a Arc<Database>,
+    xid: Xid,
+    start_ts: Timestamp,
+    slot: usize,
+    iso: IsolationLevel,
+    snapshot: Snapshot,
+    handle: &'a Arc<TxnHandle>,
+    rfa: &'a mut RfaState,
+}
+
+/// The write body that runs under the leaf's exclusive latch: ets
+/// handshake, tuple-lock claim, UNDO + twin install, WAL/RFA stamping and
+/// the in-place column writes (§6.2, §8).
+#[allow(clippy::too_many_arguments)]
+fn write_under_latch(
+    ctx: &mut WriteCtx<'_>,
+    table: &Arc<TableEntry>,
+    row: RowId,
+    leaf: &mut phoebe_storage::PaxLeaf,
+    idx: usize,
+    first: RowId,
+    fid: phoebe_storage::FrameId,
+    build: impl FnOnce(
+        &phoebe_storage::PaxLeaf,
+        usize,
+        &phoebe_storage::PaxLayout,
+    ) -> (UndoOp, RecordBody, Vec<(usize, Value)>),
+    new_log: &mut Option<Arc<UndoLog>>,
+) -> WriteAttempt {
+    let db = ctx.db;
+    // Lock-management work (Figure 12 "locking"): the ets
+    // handshake, tuple-lock claim and outcome dispatch.
+    let lock_timer = db.metrics.timer(Component::Lock);
+    let twin = db.twins.get_or_create((table.id, first));
+    let head = twin.head(row).filter(|h| h.is_valid());
+    // Write-write handshake on the chain head's ets (§6.2).
+    if let Some(h) = &head {
+        let ets = h.ets();
+        if Xid::is_xid(ets) && ets != ctx.xid.raw() {
+            match h.writer.outcome() {
+                None | Some(TxnOutcome::Aborted) => {
+                    // In flight (or aborted but not yet rolled
+                    // back): wait on the holder's ID lock.
+                    return WriteAttempt::Wait(Arc::clone(&h.writer));
+                }
+                Some(TxnOutcome::Committed(cts)) => {
+                    if ctx.iso == IsolationLevel::RepeatableRead && !ctx.snapshot.sees(cts) {
+                        return WriteAttempt::Conflict(h.writer.xid);
+                    }
+                    if matches!(h.op, UndoOp::Delete { .. }) {
+                        return WriteAttempt::Gone;
+                    }
+                }
+            }
+        } else if !Xid::is_xid(ets) {
+            if ctx.iso == IsolationLevel::RepeatableRead && !ctx.snapshot.sees(ets) {
+                return WriteAttempt::Conflict(h.writer.xid);
+            }
+            if matches!(h.op, UndoOp::Delete { .. }) {
+                return WriteAttempt::Gone;
+            }
+        } else if matches!(h.op, UndoOp::Delete { .. }) {
+            // Our own earlier delete of this row.
+            return WriteAttempt::Gone;
+        }
+    }
+    // Tuple lock: claimed for the operation, released right after
+    // (§7.2); grant accounting lives in the twin table.
+    db.tuple_locks[ctx.slot].claim(table.id, row);
+    twin.record_lock_grant();
+    drop(lock_timer);
+    let _mvcc = db.metrics.timer(Component::Mvcc);
+    let (op, wal_body, apply) = build(leaf, idx, &table.layout);
+    let log = UndoLog::new(table.id, row, first, op, Arc::clone(ctx.handle), head.clone());
+    if !twin.set_head(row, Arc::clone(&log), ctx.start_ts) {
+        db.tuple_locks[ctx.slot].release();
+        return WriteAttempt::Retry;
+    }
+    drop(_mvcc);
+    // WAL + RFA (§8).
+    let meta = &db.pool.frame(fid).meta;
+    let page_gsn = meta.page_gsn.load(Ordering::Relaxed);
+    let lw = meta.last_writer_slot.load(Ordering::Relaxed);
+    let last_writer = (lw != u64::MAX).then_some(lw as usize);
+    let gsn = db.wal.stamp_write(ctx.rfa, page_gsn, last_writer, ctx.slot);
+    db.wal.log_op(ctx.slot, ctx.xid, gsn, wal_body);
+    meta.page_gsn.fetch_max(gsn, Ordering::Relaxed);
+    meta.last_writer_slot.store(ctx.slot as u64, Ordering::Relaxed);
+    // In-place update (§5.2).
+    for (c, v) in &apply {
+        leaf.write_col(&table.layout, idx, *c, v);
+    }
+    db.tuple_locks[ctx.slot].release();
+    *new_log = Some(log);
+    WriteAttempt::Done
+}
+
+/// Round-robin driver for a set of read-mode descent cursors: step each
+/// live cursor once per pass, hand finished leaves to `on_leaf` (the leaf
+/// guard lives only inside that call — it never crosses the yield), and
+/// yield to the scheduler between passes. A pass that still made hops
+/// yields at [`Urgency::Prefetch`] (the wait is a cache-line fill); a
+/// pass where every survivor is stalled on a cold-page fault yields at
+/// [`Urgency::High`], the paper's async-read-in-flight class (§7.1).
+async fn drive_reads<'t>(
+    mut pending: Vec<(usize, phoebe_storage::DescentCursor<'t>)>,
+    mut on_leaf: impl FnMut(usize, phoebe_storage::BatchLeaf<'t>) -> Result<()>,
+) -> Result<()> {
+    use phoebe_storage::DescentStep;
+    while !pending.is_empty() {
+        let mut any_prefetch = false;
+        let mut any_leaf = false;
+        let mut i = 0;
+        while i < pending.len() {
+            match pending[i].1.step()? {
+                DescentStep::Leaf(leaf) => {
+                    let key_idx = pending[i].0;
+                    on_leaf(key_idx, leaf)?;
+                    pending.swap_remove(i);
+                    any_leaf = true;
+                }
+                DescentStep::Prefetched => {
+                    any_prefetch = true;
+                    i += 1;
+                }
+                DescentStep::FaultPending => i += 1,
+            }
+        }
+        // Siblings in this batch already fill each hop's prefetch window;
+        // yield to *other* tasks only when a whole pass made no leaf
+        // progress (everything prefetching or faulting). Yielding every
+        // pass would hand the page-swap duty a window to re-latch parents
+        // and invalidate every suspended cursor — a restart storm.
+        if !pending.is_empty() && !any_leaf {
+            let u = if any_prefetch { Urgency::Prefetch } else { Urgency::High };
+            phoebe_runtime::yield_now(u).await;
+        }
+    }
+    Ok(())
 }

@@ -1,12 +1,15 @@
 //! Voluntary yield points with the paper's urgency classification (§7.1).
 //!
 //! Co-routines cannot be preempted, so PhoebeDB transactions yield
-//! explicitly at wait points. The scheduler treats the two classes
+//! explicitly at wait points. The scheduler treats the classes
 //! differently: a *high*-urgency yield (latch spin, async read in flight)
 //! tells the worker to stop accepting new transactions and drive its current
 //! tasks to resolution; a *low*-urgency yield (waiting on a tuple lock,
 //! which can take arbitrarily long) leaves the pull loop open so the worker
-//! keeps its slots utilized.
+//! keeps its slots utilized. The *prefetch* class sits below both: the
+//! wait is a cache-line fill measured in nanoseconds, so it would be
+//! wasteful to pause pulls for it — the yield exists only to give a
+//! sibling interleaved descent the CPU while the line arrives.
 
 use std::future::Future;
 use std::pin::Pin;
@@ -21,28 +24,42 @@ pub enum Urgency {
     High,
     /// Potentially long wait: tuple/transaction-ID lock. Pulling continues.
     Low,
+    /// Software prefetch in flight (interleaved batch descent): the wait
+    /// is a cache-line fill, far cheaper than either class above. Pulling
+    /// continues; the task is re-polled on the very next round.
+    Prefetch,
+}
+
+impl Urgency {
+    /// Stickiness rank: a poll may cross several yield points and the
+    /// most urgent one must win when the worker reads the thread-local.
+    fn rank(self) -> u8 {
+        match self {
+            Urgency::High => 2,
+            Urgency::Low => 1,
+            Urgency::Prefetch => 0,
+        }
+    }
 }
 
 thread_local! {
     static LAST_YIELD_URGENCY: std::cell::Cell<Urgency> =
-        const { std::cell::Cell::new(Urgency::Low) };
+        const { std::cell::Cell::new(Urgency::Prefetch) };
 }
 
 /// The urgency the most recent yield on this thread declared. The worker
 /// loop reads (and resets) this right after a poll returns `Pending` to
 /// decide whether the slot blocks new-task pulls.
 pub(crate) fn take_last_urgency() -> Urgency {
-    LAST_YIELD_URGENCY.with(|c| c.replace(Urgency::Low))
+    LAST_YIELD_URGENCY.with(|c| c.replace(Urgency::Prefetch))
 }
 
 pub(crate) fn note_urgency(u: Urgency) {
     LAST_YIELD_URGENCY.with(|c| {
-        // High sticks until the worker consumes it: a poll may pass several
+        // Sticky until the worker consumes it: a poll may pass several
         // yield points and the most urgent one wins.
-        if c.get() == Urgency::Low {
+        if u.rank() > c.get().rank() {
             c.set(u);
-        } else if u == Urgency::High {
-            c.set(Urgency::High);
         }
     });
 }
@@ -94,7 +111,18 @@ mod tests {
         note_urgency(Urgency::High);
         note_urgency(Urgency::Low); // must not downgrade
         assert_eq!(take_last_urgency(), Urgency::High);
-        assert_eq!(take_last_urgency(), Urgency::Low); // reset after take
+        assert_eq!(take_last_urgency(), Urgency::Prefetch); // reset after take
+    }
+
+    #[test]
+    fn prefetch_is_the_cheapest_class() {
+        let _ = take_last_urgency();
+        note_urgency(Urgency::Prefetch);
+        assert_eq!(take_last_urgency(), Urgency::Prefetch);
+        note_urgency(Urgency::Prefetch);
+        note_urgency(Urgency::Low); // Low outranks Prefetch
+        note_urgency(Urgency::Prefetch); // must not downgrade back
+        assert_eq!(take_last_urgency(), Urgency::Low);
     }
 
     #[test]

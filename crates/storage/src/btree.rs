@@ -64,6 +64,7 @@ pub fn row_key(row: RowId) -> [u8; 8] {
     row.raw().to_be_bytes()
 }
 
+#[derive(Clone, Copy)]
 enum ParentRef {
     Meta,
     Node(FrameId),
@@ -138,18 +139,7 @@ impl BTree {
         // Each restarted attempt's wasted traversal time feeds the
         // btree_restart latency histogram.
         let mut attempt = std::time::Instant::now();
-        let restart = |attempt: &mut std::time::Instant| {
-            self.metrics.incr(Counter::LatchRestarts);
-            self.metrics
-                .record_latency(LatencySite::BtreeRestart, attempt.elapsed().as_nanos() as u64);
-            self.metrics.tracer().instant(
-                phoebe_common::trace::EventKind::LatchRestart,
-                0,
-                attempt.elapsed().as_nanos() as u64,
-                0,
-            );
-            *attempt = std::time::Instant::now();
-        };
+        let restart = |attempt: &mut std::time::Instant| self.note_restart(attempt);
         'restart: loop {
             let Some(((root, height), meta_ver)) =
                 self.meta.optimistic_versioned(|m| (m.root, m.height))
@@ -236,27 +226,46 @@ impl BTree {
     /// parent latches — can always make progress.
     fn fix_cold(&self, pfid: FrameId, cold: Swip, pid: phoebe_common::ids::PageId) -> Result<()> {
         let fid = self.pool.load_cold(pid, pfid)?;
+        // The blocking descent restarts unconditionally after a fault, so
+        // the re-arm stamp is only for the batch cursor.
+        let _ = self.install_loaded(pfid, cold, fid);
+        Ok(())
+    }
+
+    /// Swizzle-install half of a cold-page fault: swing the parent's child
+    /// slot from `cold` to the freshly loaded `fid`, or discard the
+    /// duplicate if a racing loader won. Shared by the blocking
+    /// [`BTree::fix_cold`] path and the asynchronous ticket resume in
+    /// [`DescentCursor::step`]. On success, returns the parent's
+    /// post-install version so a suspended cursor can re-arm its
+    /// optimistic descent right at the parent instead of re-descending
+    /// from the root; `None` means the race was lost and the caller must
+    /// restart to re-route.
+    fn install_loaded(&self, pfid: FrameId, cold: Swip, fid: FrameId) -> Option<LatchVersion> {
         let mut pguard = self.pool.frame(pfid).latch.write();
-        let lost_race = match &mut *pguard {
+        let installed = match &mut *pguard {
             Page::Inner(pnode) => match pnode.find_child_slot(cold.raw()) {
                 Some(slot) => {
                     pnode.children[slot] = Swip::hot(fid).raw();
-                    false
+                    true
                 }
-                None => true, // someone else already loaded it
+                None => false, // someone else already loaded it
             },
-            _ => true, // parent relocated; restart will re-route
+            _ => false, // parent relocated; restart will re-route
         };
-        if lost_race {
+        if installed {
+            self.pool.frame(pfid).meta.dirty.store(true, Ordering::Relaxed);
+            let rearm = pguard.version_on_release();
+            drop(pguard);
+            Some(rearm)
+        } else {
             drop(pguard);
             // Drop the duplicate copy we loaded; forget its disk slot first
             // so release() does not free a PageId that is still referenced.
             self.pool.frame(fid).meta.disk_page_forget();
             self.pool.release(fid);
-        } else {
-            self.pool.frame(pfid).meta.dirty.store(true, Ordering::Relaxed);
+            None
         }
-        Ok(())
     }
 
     /// Best-effort Cooling → Hot promotion through the parent.
@@ -267,6 +276,45 @@ impl BTree {
                     BufferPool::heat_in_parent(pnode, slot);
                 }
             }
+        }
+    }
+
+    /// One descent restart: the counter and the wasted-work histogram are
+    /// two views of the same event and must stay in lockstep (asserted by
+    /// `restart_counter_matches_restart_latency_samples`).
+    fn note_restart(&self, attempt: &mut std::time::Instant) {
+        self.metrics.incr(Counter::LatchRestarts);
+        self.metrics.record_latency(LatencySite::BtreeRestart, attempt.elapsed().as_nanos() as u64);
+        self.metrics.tracer().instant(
+            phoebe_common::trace::EventKind::LatchRestart,
+            0,
+            attempt.elapsed().as_nanos() as u64,
+            0,
+        );
+        *attempt = std::time::Instant::now();
+    }
+
+    // ------------------------------------------------------------------
+    // Resumable descent (interleaved batch execution)
+    // ------------------------------------------------------------------
+
+    /// Open a resumable point-lookup descent for `key`. The cursor runs
+    /// the same optimistic-lock-coupling hop loop as the blocking descent
+    /// but suspends between hops (after prefetching the next node) and on
+    /// cold-page faults (after kicking the read to the background
+    /// loader), so a batch of cursors can overlap each other's cache
+    /// misses and disk I/O. `write` selects the leaf latch mode.
+    pub fn batch_cursor(&self, key: &[u8], write: bool) -> DescentCursor<'_> {
+        DescentCursor {
+            tree: self,
+            key: SmallKey::from_slice(key),
+            write,
+            state: CursorState::Start,
+            parent: ParentRef::Meta,
+            parent_ver: LatchVersion::default(),
+            cur: Swip::NULL,
+            level: 0,
+            attempt: std::time::Instant::now(),
         }
     }
 
@@ -1019,6 +1067,314 @@ impl LeafGuard<'_> {
     }
 }
 
+// ----------------------------------------------------------------------
+// Resumable descent state machine
+// ----------------------------------------------------------------------
+
+/// Where a resumable descent currently stands.
+enum CursorState {
+    /// Not yet started, or restarting after optimistic validation failed.
+    Start,
+    /// Mid-descent: `cur`/`level`/`parent` identify the next hop.
+    Hop,
+    /// Suspended on a cold-page read running in the background loader.
+    Fault { ticket: Arc<crate::fault_service::FaultTicket>, pfid: FrameId, cold: Swip },
+    /// The leaf was delivered; the cursor is spent.
+    Done,
+}
+
+/// One resumable point-lookup descent (see [`BTree::batch_cursor`]).
+///
+/// The cursor carries only plain values between [`DescentCursor::step`]
+/// calls — swip, level, parent frame id plus its optimistic version stamp,
+/// never a latch guard — so suspending it costs nothing and holds nothing.
+/// Guards exist solely as locals inside a single `step` call (the leaf
+/// guard escapes *into* the returned [`BatchLeaf`], at which point the
+/// descent is over).
+pub struct DescentCursor<'t> {
+    tree: &'t BTree,
+    key: SmallKey,
+    write: bool,
+    state: CursorState,
+    parent: ParentRef,
+    parent_ver: LatchVersion,
+    cur: Swip,
+    level: u32,
+    /// Start of the current attempt, for the restart wasted-work histogram.
+    attempt: std::time::Instant,
+}
+
+/// Outcome of one [`DescentCursor::step`] call.
+pub enum DescentStep<'t> {
+    /// Descent finished: the responsible leaf, latched per the cursor's
+    /// `write` mode. The cursor must not be stepped again.
+    Leaf(BatchLeaf<'t>),
+    /// Made a hop and issued a software prefetch for the next node (or
+    /// backed off a contended latch): run a sibling, then step again —
+    /// the line will have arrived by the time the round-robin returns.
+    Prefetched,
+    /// A cold-page read is in flight in the background loader: stepping
+    /// again is a cheap completion poll, but the caller should prefer
+    /// siblings (or yield) until it flips.
+    FaultPending,
+}
+
+impl<'t> DescentCursor<'t> {
+    /// Advance the descent as far as it can go without waiting, then
+    /// report why it stopped. Mirrors [`BTree::descend`] hop for hop; on
+    /// any optimistic validation failure it restarts from the root (same
+    /// restart bookkeeping), but returns `Prefetched` first so sibling
+    /// descents get the CPU while the conflict drains.
+    pub fn step(&mut self) -> Result<DescentStep<'t>> {
+        // No per-step component timer: a batch makes height+1 short steps
+        // per key and two clock reads each would dominate the hop itself.
+        // Batch descent cost is visible under the `batch_get` latency site.
+        loop {
+            match &self.state {
+                CursorState::Done => {
+                    return Err(PhoebeError::internal("step on a finished descent cursor"))
+                }
+                CursorState::Start => {
+                    let Some(((root, height), meta_ver)) =
+                        self.tree.meta.optimistic_versioned(|m| (m.root, m.height))
+                    else {
+                        // Meta is write-latched (split in flight): back off
+                        // to a sibling instead of spinning.
+                        return Ok(DescentStep::Prefetched);
+                    };
+                    self.parent = ParentRef::Meta;
+                    self.parent_ver = meta_ver;
+                    self.cur = root;
+                    self.level = height;
+                    self.state = CursorState::Hop;
+                }
+                CursorState::Hop => {
+                    if let Some(stop) = self.hop()? {
+                        return Ok(stop);
+                    }
+                    // `None`: cold child discovered right after a hop —
+                    // loop so the fault branch runs in this same call
+                    // (one suspend, not a prefetch suspend followed by a
+                    // fault suspend).
+                }
+                CursorState::Fault { ticket, .. } => {
+                    if !ticket.is_done() {
+                        return Ok(DescentStep::FaultPending);
+                    }
+                    let CursorState::Fault { ticket, pfid, cold } =
+                        std::mem::replace(&mut self.state, CursorState::Start)
+                    else {
+                        unreachable!()
+                    };
+                    let fid = ticket.take().expect("completed fault has a result")?;
+                    if let Some(rearm) = self.tree.install_loaded(pfid, cold, fid) {
+                        // Resume mid-path: the child is hot in the slot we
+                        // just wrote, and the parent stamp is our own
+                        // install's release version — no root re-descent
+                        // through parents the page-swap duty is churning.
+                        self.parent = ParentRef::Node(pfid);
+                        self.parent_ver = rearm;
+                        self.cur = Swip::hot(fid);
+                        self.state = CursorState::Hop;
+                    }
+                    // Lost the install race: state is already `Start`, so
+                    // the descent re-routes from the root, exactly like
+                    // the blocking `fix_cold` path's `continue 'restart`.
+                }
+            }
+        }
+    }
+
+    /// One hop of the descent. `Ok(Some(_))` stops the step (suspend or
+    /// leaf); `Ok(None)` means "loop again within this step".
+    fn hop(&mut self) -> Result<Option<DescentStep<'t>>> {
+        let tree = self.tree;
+        let fid = match self.cur.state() {
+            SwipState::Hot(f) => f,
+            SwipState::Cooling(f) => {
+                // Second chance: heat through the parent, best effort.
+                if let ParentRef::Node(pfid) = self.parent {
+                    tree.heat(pfid, f);
+                }
+                f
+            }
+            SwipState::Cold(pid) => {
+                let ParentRef::Node(pfid) = self.parent else {
+                    return Err(PhoebeError::internal("root swip went cold"));
+                };
+                // Kick the read to the background loader and suspend —
+                // the blocking path would eat the whole I/O right here.
+                let ticket = tree.pool.start_fault(pid, pfid);
+                tree.metrics.incr(Counter::FaultSuspends);
+                self.state = CursorState::Fault { ticket, pfid, cold: self.cur };
+                return Ok(Some(DescentStep::FaultPending));
+            }
+        };
+        let frame = tree.pool.frame(fid);
+        if self.level == 1 {
+            let guard = if self.write {
+                LeafGuard::Write(frame.latch.write())
+            } else {
+                LeafGuard::Read(frame.latch.read())
+            };
+            // Version stamp first (cheap); on failure fall back to
+            // re-reading the parent slot: we hold the leaf latch, so if
+            // the parent routes this key here *right now*, this is the
+            // right leaf no matter how often the stamp was bumped while
+            // we were suspended.
+            let on_track =
+                tree.validate_parent(&self.parent, self.parent_ver) || self.parent_routes_to(fid);
+            if !on_track {
+                drop(guard);
+                return Ok(Some(self.restart()));
+            }
+            self.state = CursorState::Done;
+            return Ok(Some(DescentStep::Leaf(BatchLeaf { tree, fid, guard })));
+        }
+        // Inner hop: read the child slot optimistically.
+        let key = &self.key;
+        let Some((read, ver)) = frame.latch.optimistic_versioned(|p| match p {
+            Page::Inner(n) => Some(n.children[n.child_index(key)]),
+            _ => None,
+        }) else {
+            return Ok(Some(self.restart()));
+        };
+        // Same slow-path revalidation as the leaf, with one extra check:
+        // no latch is held here, so the child slot we just read is only
+        // trustworthy if this frame's own version is also unchanged.
+        let on_track = tree.validate_parent(&self.parent, self.parent_ver)
+            || (self.parent_routes_to(fid) && frame.latch.validate(ver));
+        if !on_track {
+            return Ok(Some(self.restart()));
+        }
+        let Some(child_raw) = read else {
+            // Frame was repurposed under us.
+            return Ok(Some(self.restart()));
+        };
+        self.parent = ParentRef::Node(fid);
+        self.parent_ver = ver;
+        self.cur = Swip::from_raw(child_raw);
+        self.level -= 1;
+        match self.cur.state() {
+            SwipState::Hot(cf) | SwipState::Cooling(cf) => {
+                // Pull the child frame's header and first node lines
+                // toward L1, then suspend: a sibling descent runs while
+                // the lines arrive, hiding the stall (§7.1).
+                phoebe_common::prefetch_read_span(tree.pool.frame(cf), 4);
+                tree.metrics.incr(Counter::PrefetchesIssued);
+                Ok(Some(DescentStep::Prefetched))
+            }
+            // Cold child: no point prefetch-suspending on the way to a
+            // disk read — loop so this same step kicks the fault.
+            SwipState::Cold(_) => Ok(None),
+        }
+    }
+
+    /// Restart bookkeeping (shared with the blocking descent via
+    /// [`BTree::note_restart`]), then back off to the siblings.
+    fn restart(&mut self) -> DescentStep<'t> {
+        self.tree.note_restart(&mut self.attempt);
+        self.state = CursorState::Start;
+        DescentStep::Prefetched
+    }
+
+    /// Does the parent *currently* route this cursor's key to `fid`?
+    ///
+    /// Slot-level revalidation for when the version stamp fails. A
+    /// suspended cursor's stamp goes stale on *any* write latch of the
+    /// parent — and under memory pressure the page-swap duty stages
+    /// children through parent write latches constantly, so near the
+    /// root every suspend window eats a bump. Most of those writes never
+    /// touch our slot: re-read it and accept the descent if the key
+    /// still routes here. Sound even against frame reuse — a frame has
+    /// exactly one parent slot, so if the re-read routes `key` to `fid`,
+    /// that frame is the current owner of the key's range (the caller
+    /// separately guarantees the frame's *content* is current: leaf
+    /// arrival holds the leaf latch, the inner hop revalidates the
+    /// frame's own version).
+    fn parent_routes_to(&self, fid: FrameId) -> bool {
+        let hit = |raw: u64| {
+            matches!(Swip::from_raw(raw).state(),
+                SwipState::Hot(f) | SwipState::Cooling(f) if f == fid)
+        };
+        match self.parent {
+            ParentRef::Meta => self.tree.meta.optimistic(|m| m.root.raw()).is_some_and(hit),
+            ParentRef::Node(pfid) => self
+                .tree
+                .pool
+                .frame(pfid)
+                .latch
+                .optimistic(|p| match p {
+                    Page::Inner(n) => Some(n.children[n.child_index(&self.key)]),
+                    _ => None,
+                })
+                .flatten()
+                .is_some_and(hit),
+        }
+    }
+}
+
+/// A latched leaf delivered by a finished [`DescentCursor`]: the same
+/// entry points as [`BTree::table_read`] / [`BTree::table_modify`] /
+/// [`BTree::index_get`] minus the descent, so the touch/dirty bookkeeping
+/// stays inside the storage crate. Dropping it releases the leaf latch.
+pub struct BatchLeaf<'t> {
+    tree: &'t BTree,
+    fid: FrameId,
+    guard: LeafGuard<'t>,
+}
+
+impl BatchLeaf<'_> {
+    /// Read `row_id` in this leaf (leaf-local [`BTree::table_read`]).
+    pub fn table_read<R>(
+        &self,
+        row_id: RowId,
+        f: impl FnOnce(&PaxLeaf, usize, RowId, FrameId) -> R,
+    ) -> Result<Option<R>> {
+        let Page::TableLeaf(leaf) = self.guard.page() else {
+            return Err(PhoebeError::internal("table descend hit non-table leaf"));
+        };
+        let out = leaf.find(row_id).map(|row| {
+            let first = leaf.first_row_id().expect("non-empty leaf");
+            f(leaf, row, first, self.fid)
+        });
+        if out.is_some() {
+            self.tree.pool.touch(self.fid);
+        }
+        Ok(out)
+    }
+
+    /// Mutate `row_id` in this leaf (leaf-local [`BTree::table_modify`];
+    /// requires a `write` cursor).
+    pub fn table_modify<R>(
+        &mut self,
+        row_id: RowId,
+        f: impl FnOnce(&mut PaxLeaf, usize, RowId, FrameId) -> R,
+    ) -> Result<Option<R>> {
+        let fid = self.fid;
+        let Page::TableLeaf(leaf) = self.guard.page_mut() else {
+            return Err(PhoebeError::internal("table descend hit non-table leaf"));
+        };
+        let out = leaf.find(row_id).map(|row| {
+            let first = leaf.first_row_id().expect("non-empty leaf");
+            f(leaf, row, first, fid)
+        });
+        if out.is_some() {
+            self.tree.mark_dirty(fid);
+            self.tree.pool.touch(fid);
+        }
+        Ok(out)
+    }
+
+    /// Exact lookup in this leaf (leaf-local [`BTree::index_get`]).
+    pub fn index_get(&self, key: &[u8]) -> Result<Option<RowId>> {
+        let Page::IndexLeaf(leaf) = self.guard.page() else {
+            return Err(PhoebeError::internal("index descend hit non-index leaf"));
+        };
+        Ok(leaf.get(key).map(RowId))
+    }
+}
+
 trait TableLeafFull {
     fn table_leaf_full(&self, layout: &PaxLayout) -> bool;
 }
@@ -1194,6 +1550,112 @@ mod tests {
         })
         .unwrap();
         assert_eq!(empty, 0);
+    }
+
+    /// Drive a cursor to its leaf the way the batch round-robin would,
+    /// counting how it suspended along the way.
+    fn drive<'t>(mut c: DescentCursor<'t>) -> (BatchLeaf<'t>, u64, u64) {
+        let (mut prefetches, mut faults) = (0u64, 0u64);
+        loop {
+            match c.step().unwrap() {
+                DescentStep::Leaf(l) => return (l, prefetches, faults),
+                DescentStep::Prefetched => prefetches += 1,
+                DescentStep::FaultPending => {
+                    faults += 1;
+                    // A real batch would run siblings here; give the
+                    // background loader the same window.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_cursor_matches_blocking_reads_hot() {
+        let (t, l) = table_tree(256);
+        for i in 1..=5_000u64 {
+            t.table_append(&l, RowId(i), &tup(i), |_, _, _, _| {}).unwrap();
+        }
+        assert!(t.height() >= 2);
+        let mut suspended = 0u64;
+        for i in (1..=5_000u64).step_by(97) {
+            let (leaf, prefetches, _) = drive(t.batch_cursor(&row_key(RowId(i)), false));
+            suspended += prefetches;
+            let v = leaf
+                .table_read(RowId(i), |leaf, row, _, _| leaf.read_col(&l, row, 0))
+                .unwrap()
+                .expect("row present");
+            assert_eq!(v, Value::I64(i as i64));
+        }
+        assert!(suspended > 0, "multi-level descents must suspend at least once per hop");
+        // Misses behave like the blocking path too.
+        let (leaf, _, _) = drive(t.batch_cursor(&row_key(RowId(99_999)), false));
+        assert!(leaf.table_read(RowId(99_999), |_, _, _, _| ()).unwrap().is_none());
+    }
+
+    #[test]
+    fn batch_cursor_write_mode_modifies_in_place() {
+        let (t, l) = table_tree(256);
+        for i in 1..=3_000u64 {
+            t.table_append(&l, RowId(i), &tup(i), |_, _, _, _| {}).unwrap();
+        }
+        let (mut leaf, _, _) = drive(t.batch_cursor(&row_key(RowId(1_500)), true));
+        let changed = leaf
+            .table_modify(RowId(1_500), |leaf, row, _, _| {
+                leaf.write_col(&l, row, 0, &Value::I64(-42));
+            })
+            .unwrap();
+        assert!(changed.is_some());
+        drop(leaf);
+        let v = t.table_read(RowId(1_500), |leaf, row, _, _| leaf.read_col(&l, row, 0)).unwrap();
+        assert_eq!(v, Some(Value::I64(-42)));
+    }
+
+    #[test]
+    fn batch_cursor_index_lookup_matches_blocking() {
+        let t = index_tree(256);
+        for i in 0..20_000u64 {
+            let k = (i * 2_654_435_761 % 1_000_003).to_be_bytes();
+            t.index_insert(&k, RowId(i)).unwrap();
+        }
+        for i in (0..20_000u64).step_by(331) {
+            let k = (i * 2_654_435_761 % 1_000_003).to_be_bytes();
+            let (leaf, _, _) = drive(t.batch_cursor(&k, false));
+            assert_eq!(leaf.index_get(&k).unwrap(), t.index_get(&k).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_cursor_suspends_on_cold_pages_and_resumes() {
+        // Pool far smaller than the data: most leaves are cold, so the
+        // cursor must go through kick-fault / suspend / resume instead of
+        // blocking, and still read every row correctly.
+        let p = pool(24);
+        let schema = Schema::new(vec![("v", ColType::I64), ("s", ColType::Str(8))]);
+        let l = PaxLayout::for_schema(&schema);
+        let m = Arc::new(Metrics::new(2));
+        let t = BTree::create(p, TableId(1), TreeKind::Table, m.clone()).unwrap();
+        let n = 20_000u64;
+        for i in 1..=n {
+            t.table_append(&l, RowId(i), &tup(i), |_, _, _, _| {}).unwrap();
+        }
+        let before = m.snapshot();
+        for i in (1..=n).step_by(513) {
+            let (leaf, _, _) = drive(t.batch_cursor(&row_key(RowId(i)), false));
+            let v = leaf
+                .table_read(RowId(i), |leaf, row, _, _| leaf.read_col(&l, row, 0))
+                .unwrap()
+                .expect("row present after eviction cycles");
+            assert_eq!(v, Value::I64(i as i64));
+        }
+        let after = m.snapshot();
+        assert!(
+            after.counter(Counter::FaultSuspends) > before.counter(Counter::FaultSuspends),
+            "cold reads must take the suspend path"
+        );
+        assert!(
+            after.counter(Counter::PrefetchesIssued) > before.counter(Counter::PrefetchesIssued)
+        );
     }
 
     #[test]

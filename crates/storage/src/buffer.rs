@@ -123,6 +123,10 @@ pub struct BufferPool {
     barrier: RwLock<Option<Arc<dyn WalBarrier>>>,
     metrics: Arc<Metrics>,
     start: Instant,
+    /// Lazily-started background loader for asynchronous page faults
+    /// (interleaved batch descents, see [`crate::fault_service`]). The
+    /// sender drops with the pool, which ends the loader thread.
+    fault_tx: Mutex<Option<std::sync::mpsc::Sender<crate::fault_service::FaultRequest>>>,
 }
 
 impl BufferPool {
@@ -170,6 +174,7 @@ impl BufferPool {
             barrier: RwLock::new(None),
             metrics,
             start: Instant::now(),
+            fault_tx: Mutex::new(None),
         }))
     }
 
@@ -335,6 +340,43 @@ impl BufferPool {
         meta.last_access.store(self.now_ms(), Ordering::Relaxed);
         self.metrics.incr(Counter::PageReads);
         Ok(())
+    }
+
+    /// Kick an asynchronous fault-in of `page` (a child of `parent`) and
+    /// return its ticket. The background loader runs the allocate-and-read
+    /// half of [`BufferPool::load_cold`]; the caller performs the swizzle
+    /// install under the parent latch once the ticket completes, exactly
+    /// as the blocking path does. If the loader thread is gone (pool
+    /// shutting down) the load happens inline and the ticket returns
+    /// already complete.
+    pub fn start_fault(
+        self: &Arc<Self>,
+        page: PageId,
+        parent: FrameId,
+    ) -> Arc<crate::fault_service::FaultTicket> {
+        let ticket = crate::fault_service::FaultTicket::new(Arc::downgrade(self));
+        let req = crate::fault_service::FaultRequest { page, parent, ticket: Arc::clone(&ticket) };
+        let mut tx = self.fault_tx.lock();
+        let sender = tx.get_or_insert_with(|| {
+            let (s, r) = std::sync::mpsc::channel();
+            let r = std::sync::Arc::new(std::sync::Mutex::new(r));
+            let loaders =
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).clamp(2, 4);
+            for i in 0..loaders {
+                let weak = Arc::downgrade(self);
+                let r = std::sync::Arc::clone(&r);
+                std::thread::Builder::new()
+                    .name(format!("phoebe-fault-{i}"))
+                    .spawn(move || crate::fault_service::loader_loop(weak, r))
+                    .expect("spawn fault loader");
+            }
+            s
+        });
+        if sender.send(req).is_err() {
+            drop(tx);
+            ticket.complete(self.load_cold(page, parent));
+        }
+        ticket
     }
 
     /// Pre-allocate up to `want` frames for a structure-modifying operation

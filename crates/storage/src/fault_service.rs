@@ -1,0 +1,129 @@
+//! Asynchronous page fault-in for interleaved batch descents.
+//!
+//! A sequential descent that hits a cold swip blocks its co-routine on
+//! the Data Page File read. The batch descent
+//! ([`crate::btree::DescentCursor`]) must not: it kicks the fault to a
+//! background loader and *suspends*, letting sibling descents in the same
+//! batch run while the read is in flight. The handshake is a
+//! [`FaultTicket`]:
+//!
+//! * the loader thread runs the allocate-and-read half of
+//!   [`crate::buffer::BufferPool::load_cold`] and publishes the outcome
+//!   with [`FaultTicket::complete`] — result first under the mutex, then
+//!   a release store of `done`;
+//! * the suspended cursor polls [`FaultTicket::is_done`] (one acquire
+//!   load, no lock) each time the batch round-robin reaches it, and takes
+//!   the loaded frame with [`FaultTicket::take`] once ready. It then
+//!   performs the swizzle-install half under the parent latch, exactly as
+//!   the blocking path does.
+//!
+//! The publish/consume protocol lives behind `phoebe_common::sync`, so
+//! the `loom_fault_ticket` suite model-checks it exhaustively. Dropping
+//! the last ticket handle releases an unconsumed loaded frame back to the
+//! pool (the batch may abandon a descent mid-fault on error), so frames
+//! never leak.
+
+use crate::buffer::BufferPool;
+use crate::swip::FrameId;
+use phoebe_common::error::Result;
+use phoebe_common::ids::PageId;
+use phoebe_common::sync::atomic::{AtomicBool, Ordering};
+use phoebe_common::sync::Mutex;
+use std::sync::{Arc, Weak};
+
+/// Completion state of one in-flight asynchronous page fault.
+pub struct FaultTicket {
+    /// Flipped (release) after `result` is published; polled (acquire) by
+    /// the suspended cursor.
+    done: AtomicBool,
+    result: Mutex<Option<Result<FrameId>>>,
+    /// Owner pool, for releasing an unconsumed frame on drop. Empty in
+    /// protocol-only tests (loom).
+    pool: Weak<BufferPool>,
+}
+
+impl FaultTicket {
+    /// A ticket owned by `pool` (the normal path).
+    pub fn new(pool: Weak<BufferPool>) -> Arc<FaultTicket> {
+        Arc::new(FaultTicket { done: AtomicBool::new(false), result: Mutex::new(None), pool })
+    }
+
+    /// A pool-less ticket for protocol tests.
+    pub fn detached() -> Arc<FaultTicket> {
+        FaultTicket::new(Weak::new())
+    }
+
+    /// Publish the fault's outcome. Called exactly once, by the loader.
+    pub fn complete(&self, r: Result<FrameId>) {
+        *self.result.lock() = Some(r);
+        // ORDERING: release pairs with the acquire in `is_done`/`take`;
+        // a consumer that observes `done == true` must also observe the
+        // result written above (and the frame contents the loader wrote
+        // before handing us the frame id).
+        self.done.store(true, Ordering::Release);
+    }
+
+    /// Whether the fault has finished (one acquire load, no lock) — the
+    /// cheap poll the batch round-robin uses to skip still-cold cursors.
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        // ORDERING: acquire pairs with the release in `complete`.
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Take the outcome once complete. `None` while the fault is still in
+    /// flight; `Some` exactly once after completion (the frame's
+    /// ownership transfers to the caller).
+    pub fn take(&self) -> Option<Result<FrameId>> {
+        if !self.is_done() {
+            return None;
+        }
+        self.result.lock().take()
+    }
+}
+
+impl Drop for FaultTicket {
+    fn drop(&mut self) {
+        // Last handle: the loader is finished with its clone, so a
+        // present result can no longer be consumed — hand the loaded
+        // frame back instead of leaking it.
+        if let Some(Ok(fid)) = self.result.lock().take() {
+            if let Some(pool) = self.pool.upgrade() {
+                pool.release(fid);
+            }
+        }
+    }
+}
+
+/// One queued fault request.
+pub(crate) struct FaultRequest {
+    pub page: PageId,
+    pub parent: FrameId,
+    pub ticket: Arc<FaultTicket>,
+}
+
+/// Run one loader loop: drain requests until every sender is gone or the
+/// pool itself has been dropped. Each request is the allocate-and-read
+/// half of `load_cold`; the requesting cursor performs the swizzle
+/// install once it consumes the ticket.
+///
+/// Several loaders share one queue (a fault storm from a batch must not
+/// serialize behind a single reader — the sequential path gets one
+/// blocking read *per worker*, so the service needs comparable
+/// parallelism). The receiver mutex is held only while waiting: the
+/// loader that wins a request drops it before touching the page file,
+/// letting the next loader wait concurrently.
+pub(crate) fn loader_loop(
+    pool: Weak<BufferPool>,
+    rx: Arc<std::sync::Mutex<std::sync::mpsc::Receiver<FaultRequest>>>,
+) {
+    loop {
+        let req = match rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return, // poisoned: a sibling loader panicked
+        };
+        let Ok(req) = req else { return };
+        let Some(pool) = pool.upgrade() else { return };
+        req.ticket.complete(pool.load_cold(req.page, req.parent));
+    }
+}

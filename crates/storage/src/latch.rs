@@ -27,7 +27,7 @@ use phoebe_common::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A version returned by [`HybridLatch::optimistic_version`]; used for
 /// lock-coupling validation across parent/child hops.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LatchVersion(u64);
 
 /// Version-counter latch with optimistic, shared and exclusive modes.
@@ -168,6 +168,19 @@ impl<T> std::ops::DerefMut for WriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         // SAFETY: exclusive rw guard held.
         unsafe { &mut *self.latch.data.get() }
+    }
+}
+
+impl<T> WriteGuard<'_, T> {
+    /// The version this latch will carry the moment the guard drops. Lets
+    /// an optimistic descent re-arm at a node it just wrote instead of
+    /// restarting from the root: a writer that sneaks in after the drop
+    /// bumps past this stamp and validation fails, exactly as it must.
+    pub fn version_on_release(&self) -> LatchVersion {
+        // ORDERING: relaxed is enough — we hold the write latch, so no
+        // other thread can change `version` until the guard drops, and
+        // the drop's AcqRel bump is what publishes it.
+        LatchVersion(self.latch.version.load(Ordering::Relaxed).wrapping_add(1))
     }
 }
 

@@ -17,6 +17,7 @@
 
 pub mod btree;
 pub mod buffer;
+pub mod fault_service;
 pub mod latch;
 pub mod node;
 pub mod pagefile;
@@ -26,8 +27,9 @@ pub mod smallkey;
 pub mod swip;
 pub mod tier;
 
-pub use btree::{row_key, BTree, TreeKind};
+pub use btree::{row_key, BTree, BatchLeaf, DescentCursor, DescentStep, TreeKind};
 pub use buffer::{BufferPool, WalBarrier};
+pub use fault_service::FaultTicket;
 pub use latch::HybridLatch;
 pub use pax::{PaxLayout, PaxLeaf};
 pub use schema::{ColType, Schema, Tuple, Value};

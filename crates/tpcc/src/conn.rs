@@ -45,6 +45,25 @@ pub trait TpccConn: Send + Sized {
         idx: Idx,
         key: Vec<Value>,
     ) -> impl Future<Output = Result<Option<(RowId, Vec<Value>)>>> + Send;
+    /// Batched unique-index point lookups: one result per key, in key
+    /// order, equivalent to calling [`TpccConn::lookup`] per key. Engines
+    /// with interleaved execution override this to hide descent stalls;
+    /// the default is the sequential loop (the baseline's model — one
+    /// outstanding data access per transaction).
+    #[allow(clippy::type_complexity)] // same row shape every conn method uses
+    fn multi_lookup(
+        &mut self,
+        idx: Idx,
+        keys: Vec<Vec<Value>>,
+    ) -> impl Future<Output = Result<Vec<Option<(RowId, Vec<Value>)>>>> + Send {
+        async move {
+            let mut out = Vec::with_capacity(keys.len());
+            for key in keys {
+                out.push(self.lookup(idx, key).await?);
+            }
+            Ok(out)
+        }
+    }
     /// Prefix scan in key order, up to `limit` visible rows.
     fn scan(
         &mut self,
@@ -167,6 +186,21 @@ impl TpccConn for PhoebeConn {
             .scan_index(table, &self.indexes[idx as usize], &prefix, limit)?
             .into_iter()
             .map(|(id, r)| (id, r.into_values()))
+            .collect())
+    }
+
+    async fn multi_lookup(
+        &mut self,
+        idx: Idx,
+        keys: Vec<Vec<Value>>,
+    ) -> Result<Vec<Option<(RowId, Vec<Value>)>>> {
+        let table = &self.tables[idx.table() as usize];
+        Ok(self
+            .tx
+            .multi_lookup(table, &self.indexes[idx as usize], &keys)
+            .await?
+            .into_iter()
+            .map(|hit| hit.map(|(id, r)| (id, r.into_values())))
             .collect())
     }
 

@@ -16,5 +16,5 @@ cd "$(dirname "$0")/.."
 export RUSTFLAGS="--cfg loom ${RUSTFLAGS:-}"
 
 cargo test -p phoebe-common --test loom_trace_ring --test loom_snapshot "$@"
-cargo test -p phoebe-storage --test loom_latch "$@"
+cargo test -p phoebe-storage --test loom_latch --test loom_fault_ticket "$@"
 cargo test -p phoebe-txn --test loom_twin "$@"
