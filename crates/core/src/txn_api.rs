@@ -233,6 +233,12 @@ impl Transaction {
     /// but the descents run interleaved: each B-Tree hop prefetches the
     /// next node and suspends, and cold pages fault in the background
     /// loader, so one descent's stall is hidden behind its siblings.
+    ///
+    /// Being *one statement* is visible under ReadCommitted: the whole
+    /// batch resolves against a single statement snapshot, whereas N
+    /// separate `read` statements would each take a fresh snapshot and
+    /// could observe commits that land mid-loop. Under snapshot
+    /// isolation the two shapes see identical data.
     pub async fn multi_get(
         &mut self,
         table: &Arc<TableEntry>,
@@ -248,7 +254,9 @@ impl Transaction {
     /// N unique-index point lookups, result `i` corresponding to
     /// `keys[i]` — `keys.map(|k| lookup_unique(k))` as one interleaved
     /// statement. Phase one interleaves the index descents, phase two
-    /// interleaves the table reads for the hits.
+    /// interleaves the table reads for the hits. Like
+    /// [`Transaction::multi_get`], the whole batch reads one statement
+    /// snapshot (see there for the ReadCommitted implication).
     pub async fn multi_lookup(
         &mut self,
         table: &Arc<TableEntry>,

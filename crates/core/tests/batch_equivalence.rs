@@ -288,7 +288,12 @@ fn multi_get_survives_cold_buffer_pool() {
     cfg.buffer_frames = 32;
     let db = Database::open(cfg).unwrap();
     let t = kv(&db);
-    let n = 8_000i64;
+    // A two-I64 leaf holds 640 rows, so 40k rows is 60+ leaves — roughly
+    // twice the pool. Every batch below strides the whole table, so by
+    // pigeonhole it must cross leaves that are not resident, making the
+    // suspend-path assertion deterministic rather than dependent on how
+    // much seed-time eviction pressure happened to survive.
+    let n = 40_000i64;
     let rows = block_on(async {
         let mut rows = Vec::new();
         // Commit in chunks so UNDO stays bounded.

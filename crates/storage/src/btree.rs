@@ -225,10 +225,14 @@ impl BTree {
     /// taken (the caller holds nothing here), so eviction — which needs
     /// parent latches — can always make progress.
     fn fix_cold(&self, pfid: FrameId, cold: Swip, pid: phoebe_common::ids::PageId) -> Result<()> {
+        // Epoch before the read: install_loaded rejects the frame if the
+        // page goes through an install/evict cycle while we read stale
+        // bytes (PageId ABA behind a byte-identical cold swip).
+        let epoch = self.pool.fault_epoch(pid);
         let fid = self.pool.load_cold(pid, pfid)?;
         // The blocking descent restarts unconditionally after a fault, so
         // the re-arm stamp is only for the batch cursor.
-        let _ = self.install_loaded(pfid, cold, fid);
+        let _ = self.install_loaded(pfid, cold, fid, epoch);
         Ok(())
     }
 
@@ -236,32 +240,55 @@ impl BTree {
     /// slot from `cold` to the freshly loaded `fid`, or discard the
     /// duplicate if a racing loader won. Shared by the blocking
     /// [`BTree::fix_cold`] path and the asynchronous ticket resume in
-    /// [`DescentCursor::step`]. On success, returns the parent's
-    /// post-install version so a suspended cursor can re-arm its
-    /// optimistic descent right at the parent instead of re-descending
-    /// from the root; `None` means the race was lost and the caller must
-    /// restart to re-route.
-    fn install_loaded(&self, pfid: FrameId, cold: Swip, fid: FrameId) -> Option<LatchVersion> {
-        let mut pguard = self.pool.frame(pfid).latch.write();
-        let installed = match &mut *pguard {
-            Page::Inner(pnode) => match pnode.find_child_slot(cold.raw()) {
-                Some(slot) => {
-                    pnode.children[slot] = Swip::hot(fid).raw();
-                    true
-                }
-                None => false, // someone else already loaded it
-            },
-            _ => false, // parent relocated; restart will re-route
+    /// [`DescentCursor::step`]. `fault_epoch` is the page's
+    /// [`BufferPool::fault_epoch`] captured before the disk read was
+    /// issued; if it has moved, the page was installed, possibly
+    /// modified, and evicted again while the fault was in flight, so
+    /// `fid` holds bytes read before those committed writes — installing
+    /// it over the (byte-identical) cold swip would silently lose them.
+    /// The stale frame is discarded like a lost race.
+    ///
+    /// On success, returns the parent's post-install version and its
+    /// reuse epoch (read under the latch) so a suspended cursor can
+    /// re-arm its optimistic descent right at the parent instead of
+    /// re-descending from the root; `None` means the caller must restart
+    /// to re-route (the slot stays cold in the stale-epoch case, so the
+    /// restart re-faults and reads current bytes).
+    fn install_loaded(
+        &self,
+        pfid: FrameId,
+        cold: Swip,
+        fid: FrameId,
+        fault_epoch: u64,
+    ) -> Option<(LatchVersion, u64)> {
+        let SwipState::Cold(pid) = cold.state() else {
+            unreachable!("install_loaded takes the cold swip being replaced")
         };
+        let mut pguard = self.pool.frame(pfid).latch.write();
+        let installed = self.pool.fault_epoch(pid) == fault_epoch
+            && match &mut *pguard {
+                Page::Inner(pnode) => match pnode.find_child_slot(cold.raw()) {
+                    Some(slot) => {
+                        pnode.children[slot] = Swip::hot(fid).raw();
+                        true
+                    }
+                    None => false, // someone else already loaded it
+                },
+                _ => false, // parent relocated; restart will re-route
+            };
         if installed {
             self.pool.frame(pfid).meta.dirty.store(true, Ordering::Relaxed);
             let rearm = pguard.version_on_release();
+            // Under the write latch the frame cannot be recycled, so this
+            // epoch read names the parent node we just installed into.
+            let pepoch = self.pool.frame(pfid).meta.reuse_epoch();
             drop(pguard);
-            Some(rearm)
+            Some((rearm, pepoch))
         } else {
             drop(pguard);
-            // Drop the duplicate copy we loaded; forget its disk slot first
-            // so release() does not free a PageId that is still referenced.
+            // Drop the duplicate (or stale) copy we loaded; forget its disk
+            // slot first so release() does not free a PageId that is still
+            // referenced.
             self.pool.frame(fid).meta.disk_page_forget();
             self.pool.release(fid);
             None
@@ -312,6 +339,7 @@ impl BTree {
             state: CursorState::Start,
             parent: ParentRef::Meta,
             parent_ver: LatchVersion::default(),
+            parent_epoch: 0,
             cur: Swip::NULL,
             level: 0,
             attempt: std::time::Instant::now(),
@@ -1078,7 +1106,9 @@ enum CursorState {
     /// Mid-descent: `cur`/`level`/`parent` identify the next hop.
     Hop,
     /// Suspended on a cold-page read running in the background loader.
-    Fault { ticket: Arc<crate::fault_service::FaultTicket>, pfid: FrameId, cold: Swip },
+    /// `epoch` is the page's fault epoch captured before the read was
+    /// kicked, re-checked by the install (PageId ABA guard).
+    Fault { ticket: Arc<crate::fault_service::FaultTicket>, pfid: FrameId, cold: Swip, epoch: u64 },
     /// The leaf was delivered; the cursor is spent.
     Done,
 }
@@ -1098,6 +1128,13 @@ pub struct DescentCursor<'t> {
     state: CursorState,
     parent: ParentRef,
     parent_ver: LatchVersion,
+    /// The parent frame's [`FrameMeta::reuse_epoch`], captured while the
+    /// hop into it was validated. [`DescentCursor::parent_routes_to`]
+    /// compares it before trusting a slot re-read: a suspended cursor's
+    /// parent frame may have been evicted and recycled as an unrelated
+    /// node, which would still "route" any key somewhere because
+    /// `child_index` clamps. Meaningless while `parent` is `Meta`.
+    parent_epoch: u64,
     cur: Swip,
     level: u32,
     /// Start of the current attempt, for the restart wasted-work histogram.
@@ -1144,6 +1181,7 @@ impl<'t> DescentCursor<'t> {
                     };
                     self.parent = ParentRef::Meta;
                     self.parent_ver = meta_ver;
+                    self.parent_epoch = 0;
                     self.cur = root;
                     self.level = height;
                     self.state = CursorState::Hop;
@@ -1161,19 +1199,32 @@ impl<'t> DescentCursor<'t> {
                     if !ticket.is_done() {
                         return Ok(DescentStep::FaultPending);
                     }
-                    let CursorState::Fault { ticket, pfid, cold } =
+                    let CursorState::Fault { ticket, pfid, cold, epoch } =
                         std::mem::replace(&mut self.state, CursorState::Start)
                     else {
                         unreachable!()
                     };
-                    let fid = ticket.take().expect("completed fault has a result")?;
-                    if let Some(rearm) = self.tree.install_loaded(pfid, cold, fid) {
+                    let fid = match ticket.take().expect("completed fault has a result") {
+                        Ok(fid) => fid,
+                        // The loader could not allocate: a wide batch can
+                        // have more faults in flight than the pool has
+                        // frames (loaded-but-uninstalled frames are
+                        // parentless, so eviction cannot reclaim them).
+                        // That is backpressure, not failure — back off to
+                        // the siblings; their installs put pages back under
+                        // parents, where the retry's allocate can evict.
+                        Err(PhoebeError::OutOfFrames) => return Ok(self.restart()),
+                        Err(e) => return Err(e),
+                    };
+                    if let Some((rearm, pepoch)) = self.tree.install_loaded(pfid, cold, fid, epoch)
+                    {
                         // Resume mid-path: the child is hot in the slot we
                         // just wrote, and the parent stamp is our own
                         // install's release version — no root re-descent
                         // through parents the page-swap duty is churning.
                         self.parent = ParentRef::Node(pfid);
                         self.parent_ver = rearm;
+                        self.parent_epoch = pepoch;
                         self.cur = Swip::hot(fid);
                         self.state = CursorState::Hop;
                     }
@@ -1202,11 +1253,22 @@ impl<'t> DescentCursor<'t> {
                 let ParentRef::Node(pfid) = self.parent else {
                     return Err(PhoebeError::internal("root swip went cold"));
                 };
+                // Over the in-flight fault budget: back off to the
+                // siblings instead of kicking yet another frame-holding
+                // load. The state stays `Hop`, so the next step re-checks
+                // the budget — it frees as sibling faults install.
+                if !tree.pool.fault_budget_available() {
+                    return Ok(Some(DescentStep::Prefetched));
+                }
                 // Kick the read to the background loader and suspend —
                 // the blocking path would eat the whole I/O right here.
+                // Epoch before the kick, so the loader's read is ordered
+                // after the capture and the install can reject a frame
+                // made stale by a concurrent install/evict cycle.
+                let epoch = tree.pool.fault_epoch(pid);
                 let ticket = tree.pool.start_fault(pid, pfid);
                 tree.metrics.incr(Counter::FaultSuspends);
-                self.state = CursorState::Fault { ticket, pfid, cold: self.cur };
+                self.state = CursorState::Fault { ticket, pfid, cold: self.cur, epoch };
                 return Ok(Some(DescentStep::FaultPending));
             }
         };
@@ -1231,7 +1293,11 @@ impl<'t> DescentCursor<'t> {
             self.state = CursorState::Done;
             return Ok(Some(DescentStep::Leaf(BatchLeaf { tree, fid, guard })));
         }
-        // Inner hop: read the child slot optimistically.
+        // Inner hop: read the child slot optimistically. The reuse epoch
+        // is captured *before* the read: if it still matches at a later
+        // `parent_routes_to` check, no recycle happened in between, so
+        // the frame still holds the node this validated read saw.
+        let fid_epoch = frame.meta.reuse_epoch();
         let key = &self.key;
         let Some((read, ver)) = frame.latch.optimistic_versioned(|p| match p {
             Page::Inner(n) => Some(n.children[n.child_index(key)]),
@@ -1253,6 +1319,7 @@ impl<'t> DescentCursor<'t> {
         };
         self.parent = ParentRef::Node(fid);
         self.parent_ver = ver;
+        self.parent_epoch = fid_epoch;
         self.cur = Swip::from_raw(child_raw);
         self.level -= 1;
         match self.cur.state() {
@@ -1286,12 +1353,22 @@ impl<'t> DescentCursor<'t> {
     /// children through parent write latches constantly, so near the
     /// root every suspend window eats a bump. Most of those writes never
     /// touch our slot: re-read it and accept the descent if the key
-    /// still routes here. Sound even against frame reuse — a frame has
-    /// exactly one parent slot, so if the re-read routes `key` to `fid`,
-    /// that frame is the current owner of the key's range (the caller
-    /// separately guarantees the frame's *content* is current: leaf
-    /// arrival holds the leaf latch, the inner hop revalidates the
-    /// frame's own version).
+    /// still routes here.
+    ///
+    /// The re-read alone is *not* sound against frame recycling:
+    /// `InnerNode::child_index` clamps rather than range-checks, so if
+    /// the parent frame was evicted and reused as an unrelated inner
+    /// node (the pool is shared across trees), it would still route any
+    /// key to *some* slot, which could spuriously hold `Hot(fid)` if the
+    /// child frame was recycled into that node's subtree too. The
+    /// `reuse_epoch` comparison closes this: the epoch was captured at
+    /// hop time, while a validated optimistic read proved the frame held
+    /// the on-path node, so an unchanged epoch means it still does — and
+    /// a same-node parent routes `key` correctly by the fence invariant
+    /// (splits move the key's range, and its child reference, out
+    /// together). The caller separately guarantees the *child's* content
+    /// is current: leaf arrival holds the leaf latch, the inner hop
+    /// revalidates the frame's own version.
     fn parent_routes_to(&self, fid: FrameId) -> bool {
         let hit = |raw: u64| {
             matches!(Swip::from_raw(raw).state(),
@@ -1299,17 +1376,23 @@ impl<'t> DescentCursor<'t> {
         };
         match self.parent {
             ParentRef::Meta => self.tree.meta.optimistic(|m| m.root.raw()).is_some_and(hit),
-            ParentRef::Node(pfid) => self
-                .tree
-                .pool
-                .frame(pfid)
-                .latch
-                .optimistic(|p| match p {
-                    Page::Inner(n) => Some(n.children[n.child_index(&self.key)]),
-                    _ => None,
-                })
-                .flatten()
-                .is_some_and(hit),
+            ParentRef::Node(pfid) => {
+                let routed = self
+                    .tree
+                    .pool
+                    .frame(pfid)
+                    .latch
+                    .optimistic(|p| match p {
+                        Page::Inner(n) => Some(n.children[n.child_index(&self.key)]),
+                        _ => None,
+                    })
+                    .flatten()
+                    .is_some_and(hit);
+                // Epoch after the re-read: a recycle before the read
+                // bumps the epoch under a write latch whose release the
+                // validated read observed (see FrameMeta::reuse_epoch).
+                routed && self.tree.pool.frame(pfid).meta.reuse_epoch() == self.parent_epoch
+            }
         }
     }
 }
@@ -1832,6 +1915,136 @@ mod tests {
             snap.counter(Counter::LatchRestarts),
             snap.latency(LatencySite::BtreeRestart).count(),
             "restart counter and restart latency samples must agree"
+        );
+    }
+
+    /// Any cold child of the root, as `(slot swip, page id)`.
+    fn find_cold_child(t: &BTree, root_fid: FrameId) -> Option<(Swip, phoebe_common::ids::PageId)> {
+        let g = t.pool.frame(root_fid).latch.read();
+        let Page::Inner(n) = &*g else { panic!("root is not inner") };
+        (0..=n.count as usize).find_map(|i| {
+            let s = Swip::from_raw(n.children[i]);
+            match s.state() {
+                SwipState::Cold(pid) => Some((s, pid)),
+                _ => None,
+            }
+        })
+    }
+
+    /// PageId ABA across a suspended fault: while a batch cursor's read is
+    /// in flight, the same page is faulted in by someone else, modified,
+    /// and evicted back to the *same* PageId — restoring a byte-identical
+    /// cold swip. The suspended cursor's install must reject its stale
+    /// frame (fault-epoch mismatch) instead of clobbering the slot and
+    /// losing the committed write.
+    #[test]
+    fn stale_fault_install_is_rejected_after_page_cycle() {
+        let (t, l) = table_tree(256);
+        for i in 1..=5_000u64 {
+            t.table_append(&l, RowId(i), &tup(i), |_, _, _, _| {}).unwrap();
+        }
+        assert!(t.height() >= 2);
+        let root_fid = {
+            let root = t.meta.optimistic(|m| m.root).unwrap();
+            let SwipState::Hot(f) = root.state() else { panic!("root not hot") };
+            f
+        };
+        // Page one leaf out.
+        let (cold, pid) = loop {
+            for part in 0..t.pool.partition_count() {
+                t.pool.stage_cooling(part, 8);
+                let _ = t.pool.evict_one(part).unwrap();
+            }
+            if let Some(found) = find_cold_child(&t, root_fid) {
+                break found;
+            }
+        };
+
+        // Suspended cursor: epoch captured, loader reads the old bytes.
+        let epoch0 = t.pool.fault_epoch(pid);
+        let stale = t.pool.load_cold(pid, root_fid).unwrap();
+
+        // Concurrent blocking descent wins the fault, a writer modifies a
+        // row, and the page-swap duty evicts the page again.
+        let fresh = t.pool.load_cold(pid, root_fid).unwrap();
+        assert!(t.install_loaded(root_fid, cold, fresh, t.pool.fault_epoch(pid)).is_some());
+        let victim = {
+            let g = t.pool.frame(fresh).latch.read();
+            let Page::TableLeaf(leaf) = &*g else { panic!("expected table leaf") };
+            leaf.first_row_id().unwrap()
+        };
+        t.table_modify(victim, |leaf, row, _, _| leaf.write_col(&l, row, 0, &Value::I64(-7)))
+            .unwrap()
+            .expect("victim row present");
+        let mut cycled = false;
+        'out: for _ in 0..1_000 {
+            for part in 0..t.pool.partition_count() {
+                t.pool.stage_cooling(part, 8);
+                let _ = t.pool.evict_one(part).unwrap();
+            }
+            let g = t.pool.frame(root_fid).latch.read();
+            let Page::Inner(n) = &*g else { panic!("root is not inner") };
+            for i in 0..=n.count as usize {
+                if Swip::from_raw(n.children[i]).state() == SwipState::Cold(pid) {
+                    cycled = true;
+                    break 'out;
+                }
+            }
+        }
+        assert!(cycled, "page must evict back to the same PageId");
+
+        // The resumed cursor's install must lose: its frame predates the
+        // committed write even though the cold swip is byte-identical.
+        assert!(
+            t.install_loaded(root_fid, cold, stale, epoch0).is_none(),
+            "stale frame installed over a cycled page (ABA)"
+        );
+        let v = t.table_read(victim, |leaf, row, _, _| leaf.read_col(&l, row, 0)).unwrap();
+        assert_eq!(v, Some(Value::I64(-7)), "committed write lost to a stale install");
+    }
+
+    /// A suspended cursor's parent frame can be evicted and recycled as an
+    /// unrelated inner node; `child_index` clamps, so the recycled node
+    /// still "routes" any key to some slot. Slot-level revalidation must
+    /// therefore refuse a parent whose reuse epoch moved since hop time,
+    /// even if the re-read lands on the expected child frame.
+    #[test]
+    fn recycled_parent_frame_is_not_trusted_by_slot_revalidation() {
+        let (t, _l) = table_tree(64);
+        let route_to = |pfid: FrameId, leaf: FrameId| {
+            let mut g = t.pool.frame(pfid).latch.write();
+            let mut inner = InnerNode::default();
+            inner.children[0] = Swip::hot(leaf).raw();
+            *g = Page::Inner(inner);
+        };
+        let pfid = t.pool.allocate().unwrap();
+        let leaf = t.pool.allocate().unwrap();
+        *t.pool.frame(leaf).latch.write() = Page::TableLeaf(PaxLeaf::new());
+        route_to(pfid, leaf);
+
+        let mut cur = t.batch_cursor(b"k", false);
+        cur.parent = ParentRef::Node(pfid);
+        cur.parent_epoch = t.pool.frame(pfid).meta.reuse_epoch();
+        assert!(cur.parent_routes_to(leaf), "live parent must pass slot revalidation");
+
+        // Recycle pfid (release + reallocate) as a different inner node
+        // that happens to route to the same child frame.
+        t.pool.release(pfid);
+        let mut held = Vec::new();
+        let back = loop {
+            let f = t.pool.allocate().unwrap();
+            if f == pfid {
+                break f;
+            }
+            held.push(f);
+        };
+        for f in held {
+            t.pool.release(f);
+        }
+        route_to(back, leaf);
+        assert!(
+            !cur.parent_routes_to(leaf),
+            "recycled parent frame accepted by slot revalidation (clamped routing)"
         );
     }
 }

@@ -40,6 +40,11 @@ pub const NO_PARENT: u64 = u64::MAX;
 /// Sentinel for "no disk slot assigned yet".
 const NO_DISK: u64 = u64::MAX;
 
+/// Shards of the per-PageId fault-epoch table. Collisions are harmless:
+/// they can only make an in-flight fault's install reject spuriously
+/// (forcing a restart + re-fault), never accept a stale frame.
+const FAULT_EPOCH_SHARDS: usize = 1024;
+
 /// Bookkeeping carried outside the latch so it can be touched without
 /// latching the page content.
 pub struct FrameMeta {
@@ -60,6 +65,12 @@ pub struct FrameMeta {
     /// Flat slot index of the last transaction that modified this page
     /// (RFA dependency tracking, §8). `u64::MAX` = never written.
     pub last_writer_slot: AtomicU64,
+    /// Bumped every time the frame is recycled (release or eviction), so
+    /// a suspended batch descent can detect that a frame id it captured
+    /// no longer names the node it validated — see
+    /// `BTree::parent_routes_to`, which would otherwise accept a
+    /// repurposed frame via `child_index`'s slot clamping.
+    reuse_epoch: AtomicU64,
 }
 
 impl Default for FrameMeta {
@@ -72,6 +83,7 @@ impl Default for FrameMeta {
             disk_page: AtomicU64::new(NO_DISK),
             page_gsn: AtomicU64::new(0),
             last_writer_slot: AtomicU64::new(u64::MAX),
+            reuse_epoch: AtomicU64::new(0),
         }
     }
 }
@@ -84,6 +96,19 @@ impl FrameMeta {
         self.disk_page.store(NO_DISK, Ordering::Relaxed);
     }
 
+    /// Recycle generation of this frame (see the field doc). A reader
+    /// that captures the epoch while the frame is known to hold a given
+    /// node, and later sees it unchanged, knows the frame still holds
+    /// that node.
+    #[inline]
+    pub fn reuse_epoch(&self) -> u64 {
+        // ORDERING: acquire pairs with the release bump in `reset`; the
+        // surrounding latch version protocol (a recycled frame's content
+        // is only reachable after a write-latch release) carries the bump
+        // to any reader whose optimistic read validated.
+        self.reuse_epoch.load(Ordering::Acquire)
+    }
+
     fn reset(&self) {
         self.dirty.store(false, Ordering::Relaxed);
         self.access_count.store(0, Ordering::Relaxed);
@@ -92,6 +117,8 @@ impl FrameMeta {
         self.disk_page.store(NO_DISK, Ordering::Relaxed);
         self.page_gsn.store(0, Ordering::Relaxed);
         self.last_writer_slot.store(u64::MAX, Ordering::Relaxed);
+        // ORDERING: release pairs with the acquire in `reuse_epoch`.
+        self.reuse_epoch.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -127,6 +154,20 @@ pub struct BufferPool {
     /// (interleaved batch descents, see [`crate::fault_service`]). The
     /// sender drops with the pool, which ends the loader thread.
     fault_tx: Mutex<Option<std::sync::mpsc::Sender<crate::fault_service::FaultRequest>>>,
+    /// Asynchronous faults currently holding (or about to hold) a frame.
+    /// Loaded-but-not-yet-installed frames are parentless — eviction
+    /// cannot reclaim them — so a wide batch kicking one fault per key
+    /// could eat the whole pool and starve even the blocking fault path.
+    /// [`BufferPool::fault_budget_available`] caps them.
+    faults_inflight: AtomicUsize,
+    /// Per-PageId (sharded) unswizzle epochs, bumped under the parent
+    /// latch whenever a slot turns Cooling → Cold. Faulting paths capture
+    /// the epoch before issuing the disk read and re-check it at install
+    /// time: a bump in between means the page went through a concurrent
+    /// install / modify / evict cycle while the fault was in flight, so
+    /// the loaded image predates committed writes even though the parent
+    /// slot holds a byte-identical cold swip (PageId ABA).
+    fault_epochs: Box<[AtomicU64]>,
 }
 
 impl BufferPool {
@@ -171,10 +212,12 @@ impl BufferPool {
             partitions: parts,
             frames_per_partition: fpp,
             page_file: PageFile::create_with(fs, &dir.join("data_pages.db"))?,
+            faults_inflight: AtomicUsize::new(0),
             barrier: RwLock::new(None),
             metrics,
             start: Instant::now(),
             fault_tx: Mutex::new(None),
+            fault_epochs: (0..FAULT_EPOCH_SHARDS).map(|_| AtomicU64::new(0)).collect(),
         }))
     }
 
@@ -296,6 +339,17 @@ impl BufferPool {
         self.partitions[p].free.lock().push(fid);
     }
 
+    /// Current unswizzle epoch for `page` (see the `fault_epochs` field).
+    /// Capture *before* kicking the fault's disk read; pass the captured
+    /// value to the swizzle install so it can reject a stale frame.
+    #[inline]
+    pub fn fault_epoch(&self, page: PageId) -> u64 {
+        // ORDERING: acquire pairs with the release bump in `try_evict`.
+        // Install-vs-evict ordering is additionally serialized by the
+        // parent latch both sides hold when they touch the slot.
+        self.fault_epochs[page.raw() as usize % self.fault_epochs.len()].load(Ordering::Acquire)
+    }
+
     fn take_disk_slot(&self, fid: FrameId) -> Option<PageId> {
         let raw = self.frames[fid as usize].meta.disk_page.swap(NO_DISK, Ordering::Relaxed);
         (raw != NO_DISK).then_some(PageId(raw))
@@ -354,7 +408,8 @@ impl BufferPool {
         page: PageId,
         parent: FrameId,
     ) -> Arc<crate::fault_service::FaultTicket> {
-        let ticket = crate::fault_service::FaultTicket::new(Arc::downgrade(self));
+        self.faults_inflight.fetch_add(1, Ordering::Relaxed);
+        let ticket = crate::fault_service::FaultTicket::counted(Arc::downgrade(self));
         let req = crate::fault_service::FaultRequest { page, parent, ticket: Arc::clone(&ticket) };
         let mut tx = self.fault_tx.lock();
         let sender = tx.get_or_insert_with(|| {
@@ -377,6 +432,20 @@ impl BufferPool {
             ticket.complete(self.load_cold(page, parent));
         }
         ticket
+    }
+
+    /// Whether a new asynchronous fault may be kicked without risking
+    /// pool exhaustion: in-flight faults are capped at half a partition,
+    /// leaving the other half (plus every other partition) for the tree
+    /// itself and for blocking faults. Callers over budget back off and
+    /// retry — the budget frees as loads are installed or abandoned.
+    pub fn fault_budget_available(&self) -> bool {
+        self.faults_inflight.load(Ordering::Relaxed) < (self.frames_per_partition / 2).max(2)
+    }
+
+    /// Give back one in-flight fault budget slot (ticket drop).
+    pub(crate) fn fault_done(&self) {
+        self.faults_inflight.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Pre-allocate up to `want` frames for a structure-modifying operation
@@ -452,11 +521,20 @@ impl BufferPool {
     }
 
     /// Evict one staged (still-cooling) page from `partition`
-    /// (Cooling → Cold). Returns true if a frame was freed. Only drains the
-    /// cooling queue; candidates heated since staging survive until the
-    /// next [`BufferPool::stage_cooling`] pass (second chance).
+    /// (Cooling → Cold). Returns true if a frame was freed. Candidates
+    /// heated since staging are dropped from the queue (second chance —
+    /// [`BufferPool::stage_cooling`] finds them again once Hot). A
+    /// candidate that merely lost a latch race but is *still cooling*
+    /// goes back to the queue tail: its swip is no longer Hot, so
+    /// `try_stage` can never re-stage it — dropping it here would strand
+    /// the frame as permanently unevictable, and enough latch churn (a
+    /// batch fault storm) can strand a whole partition that way.
     pub fn evict_one(&self, partition: usize) -> Result<bool> {
-        loop {
+        // Bound the pass to the entries present at the start so re-queued
+        // candidates don't make this call spin on a contended parent.
+        let mut budget = self.partitions[partition].cooling.lock().len();
+        while budget > 0 {
+            budget -= 1;
             let candidate = self.partitions[partition].cooling.lock().pop_front();
             let fid = match candidate {
                 Some(f) => f,
@@ -465,8 +543,29 @@ impl BufferPool {
             if self.try_evict(fid)? {
                 return Ok(true);
             }
-            // Candidate was heated or contended; try the next one.
+            if self.still_cooling(fid) {
+                self.partitions[partition].cooling.lock().push_back(fid);
+            }
         }
+        Ok(false)
+    }
+
+    /// Best-effort check that `fid`'s parent still carries a Cooling swip
+    /// for it. `true` on a latched parent: that is exactly the contention
+    /// that failed `try_evict`, and keeping the candidate queued is the
+    /// safe side (a stale entry self-invalidates in `try_evict` later).
+    fn still_cooling(&self, fid: FrameId) -> bool {
+        let parent = self.frames[fid as usize].meta.parent.load(Ordering::Relaxed);
+        if parent == NO_PARENT {
+            return false;
+        }
+        self.frames[parent as usize]
+            .latch
+            .optimistic(|p| match p {
+                Page::Inner(n) => n.find_child_slot(Swip::cooling(fid).raw()).is_some(),
+                _ => false,
+            })
+            .unwrap_or(true)
     }
 
     fn try_evict(&self, fid: FrameId) -> Result<bool> {
@@ -505,6 +604,14 @@ impl BufferPool {
             self.page_file.write_page(disk, &buf)?;
             self.metrics.incr(Counter::PageWrites);
         }
+        // ORDERING: release pairs with the acquire in `fault_epoch`. The
+        // bump sits after the write-back above and before the slot turns
+        // cold, all under the parent latch: an install that captured its
+        // epoch before this bump sees the mismatch and rejects its frame;
+        // one that captured after it necessarily issued its disk read
+        // after the write-back and loaded current bytes.
+        self.fault_epochs[disk.raw() as usize % self.fault_epochs.len()]
+            .fetch_add(1, Ordering::Release);
         pnode.children[slot] = Swip::cold(disk).raw();
         drop(pguard);
         // Clear the frame and hand it back.
@@ -658,6 +765,124 @@ mod tests {
         assert_eq!(l.read_col(&layout, 0, 0), Value::I64(42));
         let (reads, writes) = p.io_counts();
         assert_eq!((reads, writes), (1, 1));
+    }
+
+    #[test]
+    fn reuse_epoch_bumps_when_a_frame_is_recycled() {
+        let p = pool(8, 2);
+        let f = p.allocate().unwrap();
+        let e0 = p.frame(f).meta.reuse_epoch();
+        p.release(f);
+        assert!(p.frame(f).meta.reuse_epoch() > e0, "release must bump the reuse epoch");
+    }
+
+    /// Dropping an unconsumed fault ticket (batch abandoned mid-fault) must
+    /// hand the frame back *without* freeing its disk PageId: the parent's
+    /// child slot still holds a cold swip referencing it. A freed slot
+    /// would be reallocated for the next evicted page and the cold swip
+    /// would then resolve to unrelated bytes.
+    #[test]
+    fn abandoned_fault_ticket_keeps_disk_slot_reserved() {
+        use crate::fault_service::FaultTicket;
+        use crate::node::InnerNode;
+        use crate::schema::{ColType, Schema, Value};
+        use phoebe_common::ids::RowId;
+
+        let p = pool(16, 1);
+        let schema = Schema::new(vec![("v", ColType::I64)]);
+        let layout = crate::pax::PaxLayout::for_schema(&schema);
+        let make = |val: i64| {
+            let parent = p.allocate().unwrap();
+            let leaf = p.allocate().unwrap();
+            {
+                let mut lg = p.frame(leaf).latch.write();
+                let mut pax = crate::pax::PaxLeaf::new();
+                pax.append(&layout, RowId(1), &[Value::I64(val)]);
+                *lg = Page::TableLeaf(pax);
+            }
+            {
+                let mut pg = p.frame(parent).latch.write();
+                let mut inner = InnerNode::default();
+                inner.children[0] = Swip::hot(leaf).raw();
+                *pg = Page::Inner(inner);
+            }
+            p.frame(leaf).meta.parent.store(parent, Ordering::Relaxed);
+            p.frame(leaf).meta.dirty.store(true, Ordering::Relaxed);
+            parent
+        };
+        let cold_child = |parent: FrameId| {
+            let g = p.frame(parent).latch.read();
+            let Page::Inner(n) = &*g else { panic!("parent gone") };
+            match Swip::from_raw(n.children[0]).state() {
+                SwipState::Cold(pid) => pid,
+                s => panic!("expected cold swip, got {s:?}"),
+            }
+        };
+
+        let parent1 = make(42);
+        p.stage_cooling(0, 8);
+        assert!(p.evict_one(0).unwrap());
+        let pid1 = cold_child(parent1);
+
+        // A background loader completes the fault, but the batch abandons
+        // the descent: the ticket is dropped unconsumed.
+        let free_before = p.free_frames(0);
+        let loaded = p.load_cold(pid1, parent1).unwrap();
+        let ticket = FaultTicket::new(Arc::downgrade(&p));
+        ticket.complete(Ok(loaded));
+        drop(ticket);
+        assert_eq!(p.free_frames(0), free_before, "frame must come back to the pool");
+
+        // The next page-out must draw a *different* disk slot…
+        let parent2 = make(7);
+        p.stage_cooling(0, 8);
+        assert!(p.evict_one(0).unwrap());
+        let pid2 = cold_child(parent2);
+        assert_ne!(pid1, pid2, "abandoned fault freed a disk slot that is still cold-referenced");
+
+        // …and the still-cold swip must resolve to the original bytes.
+        let back = p.load_cold(pid1, parent1).unwrap();
+        let g = p.frame(back).latch.read();
+        let Page::TableLeaf(l) = &*g else { panic!("expected leaf") };
+        assert_eq!(l.read_col(&layout, 0, 0), Value::I64(42));
+    }
+
+    /// A cooling candidate that loses its eviction attempt to a latch
+    /// race must return to the cooling queue: its swip is no longer Hot,
+    /// so `stage_cooling` can never find it again — dropping it would
+    /// leave the frame permanently unevictable, and a batch fault storm
+    /// generates enough latch churn to strand a whole partition that way.
+    #[test]
+    fn contended_cooling_candidate_is_requeued_not_stranded() {
+        use crate::node::InnerNode;
+        use crate::schema::{ColType, Schema, Value};
+        use phoebe_common::ids::RowId;
+
+        let p = pool(8, 1);
+        let schema = Schema::new(vec![("v", ColType::I64)]);
+        let layout = crate::pax::PaxLayout::for_schema(&schema);
+        let parent = p.allocate().unwrap();
+        let leaf = p.allocate().unwrap();
+        {
+            let mut lg = p.frame(leaf).latch.write();
+            let mut pax = crate::pax::PaxLeaf::new();
+            pax.append(&layout, RowId(1), &[Value::I64(42)]);
+            *lg = Page::TableLeaf(pax);
+        }
+        {
+            let mut pg = p.frame(parent).latch.write();
+            let mut inner = InnerNode::default();
+            inner.children[0] = Swip::hot(leaf).raw();
+            *pg = Page::Inner(inner);
+        }
+        p.frame(leaf).meta.parent.store(parent, Ordering::Relaxed);
+
+        p.stage_cooling(0, 4);
+        {
+            let _hold = p.frame(leaf).latch.write();
+            assert!(!p.evict_one(0).unwrap(), "eviction must back off from a latched victim");
+        }
+        assert!(p.evict_one(0).unwrap(), "candidate lost to a latch race must stay evictable");
     }
 
     #[test]

@@ -40,12 +40,32 @@ pub struct FaultTicket {
     /// Owner pool, for releasing an unconsumed frame on drop. Empty in
     /// protocol-only tests (loom).
     pool: Weak<BufferPool>,
+    /// Whether this ticket occupies a slot in the pool's in-flight fault
+    /// budget ([`BufferPool::fault_budget_available`]) — true only for
+    /// tickets minted by `start_fault`; `Drop` gives the slot back.
+    counted: bool,
 }
 
 impl FaultTicket {
     /// A ticket owned by `pool` (the normal path).
     pub fn new(pool: Weak<BufferPool>) -> Arc<FaultTicket> {
-        Arc::new(FaultTicket { done: AtomicBool::new(false), result: Mutex::new(None), pool })
+        Arc::new(FaultTicket {
+            done: AtomicBool::new(false),
+            result: Mutex::new(None),
+            pool,
+            counted: false,
+        })
+    }
+
+    /// A ticket counted against `pool`'s in-flight fault budget. The
+    /// caller must have incremented the budget already.
+    pub(crate) fn counted(pool: Weak<BufferPool>) -> Arc<FaultTicket> {
+        Arc::new(FaultTicket {
+            done: AtomicBool::new(false),
+            result: Mutex::new(None),
+            pool,
+            counted: true,
+        })
     }
 
     /// A pool-less ticket for protocol tests.
@@ -89,7 +109,19 @@ impl Drop for FaultTicket {
         // frame back instead of leaking it.
         if let Some(Ok(fid)) = self.result.lock().take() {
             if let Some(pool) = self.pool.upgrade() {
+                // The swizzle install never ran, so the parent's child slot
+                // still holds a cold swip referencing this frame's disk
+                // PageId. Forget the slot before release() — freeing it
+                // would let the page file hand the PageId to an unrelated
+                // page while the cold swip still points at it (same hazard
+                // as the install_loaded lost-race path).
+                pool.frame(fid).meta.disk_page_forget();
                 pool.release(fid);
+            }
+        }
+        if self.counted {
+            if let Some(pool) = self.pool.upgrade() {
+                pool.fault_done();
             }
         }
     }

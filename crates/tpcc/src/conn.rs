@@ -46,10 +46,18 @@ pub trait TpccConn: Send + Sized {
         key: Vec<Value>,
     ) -> impl Future<Output = Result<Option<(RowId, Vec<Value>)>>> + Send;
     /// Batched unique-index point lookups: one result per key, in key
-    /// order, equivalent to calling [`TpccConn::lookup`] per key. Engines
-    /// with interleaved execution override this to hide descent stalls;
-    /// the default is the sequential loop (the baseline's model — one
-    /// outstanding data access per transaction).
+    /// order. Engines with interleaved execution override this to hide
+    /// descent stalls; the default is the sequential loop (the
+    /// baseline's model — one outstanding data access per transaction).
+    ///
+    /// Semantics: the batch is *one statement*. An overriding engine may
+    /// resolve every key against a single statement snapshot, while the
+    /// sequential default issues one statement per key — under
+    /// ReadCommitted the two can observe different data when writers
+    /// commit mid-batch (the per-key loop may see them, the batch won't).
+    /// Under snapshot isolation, and for TPC-C's access patterns (each
+    /// batch reads rows the transaction later locks or that are keyed to
+    /// it), the results coincide.
     #[allow(clippy::type_complexity)] // same row shape every conn method uses
     fn multi_lookup(
         &mut self,
