@@ -60,7 +60,17 @@ pub fn open_phoebe(
         .wal_group_commit_us(200)
         .build()
         .expect("valid bench config");
-    Database::open(cfg).expect("open kernel")
+    let db = Database::open(cfg).expect("open kernel");
+    // Database::open already logs the resolved listen address; repeat the
+    // scrape-ready URLs here so a bench run advertises its live endpoints
+    // (PHOEBE_TELEMETRY=127.0.0.1:9920 or any addr; port 0 works too).
+    if let Some(addr) = db.telemetry_addr() {
+        eprintln!(
+            "phoebe-bench[{tag}]: scrape http://{addr}/metrics | stats http://{addr}/stats \
+             | live trace http://{addr}/trace?ms=200"
+        );
+    }
+    db
 }
 
 /// Build + load a TPC-C engine on a fresh kernel.

@@ -63,6 +63,69 @@ pub struct KernelConfig {
     /// variable enables this without touching code.
     #[serde(default)]
     pub trace: Option<TraceConfig>,
+    /// Live telemetry endpoint. `None` (default) starts no listener and
+    /// adds zero hot-path cost. `Some` serves `/metrics`, `/stats` and
+    /// `/trace` from a dedicated thread; the
+    /// `PHOEBE_TELEMETRY=<addr>` environment variable enables this
+    /// without touching code. See [`crate::telemetry`].
+    #[serde(default)]
+    pub telemetry: Option<TelemetryConfig>,
+    /// Stall watchdog. `None` (default) runs no watchdog. `Some` samples
+    /// cheap progress heartbeats on an interval and writes incident
+    /// records with attached flight-recorder evidence when thresholds
+    /// are breached.
+    #[serde(default)]
+    pub watchdog: Option<WatchdogConfig>,
+}
+
+/// Live telemetry endpoint tuning; see [`crate::telemetry`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Address to bind the HTTP listener to, e.g. `127.0.0.1:9920`.
+    /// Port 0 picks an ephemeral port (the kernel logs the resolved
+    /// address at startup).
+    pub addr: String,
+}
+
+/// Stall-watchdog thresholds. All breach windows are measured against
+/// the sampling interval, so they are effective at interval
+/// granularity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Heartbeat sampling interval, milliseconds.
+    pub interval_ms: u64,
+    /// A worker with occupied task slots whose poll counter has not
+    /// advanced for this long is reported as stalled.
+    pub worker_stall_ms: u64,
+    /// A WAL flush horizon (appended ahead of flushed) that has not
+    /// advanced for this long is reported as stalled.
+    pub wal_stall_ms: u64,
+    /// If set, a commit p99 (over the sampling window) above this many
+    /// nanoseconds raises an incident.
+    pub p99_limit_ns: Option<u64>,
+    /// Where incident records go. `None` defaults to
+    /// `<data_dir>/incidents`.
+    pub incident_dir: Option<PathBuf>,
+    /// Hard cap on incident records written per kernel lifetime — a
+    /// wedged kernel must not fill the disk with identical evidence.
+    pub max_incidents: u64,
+    /// Minimum spacing between two incidents of the same kind,
+    /// milliseconds.
+    pub cooldown_ms: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            interval_ms: 50,
+            worker_stall_ms: 500,
+            wal_stall_ms: 500,
+            p99_limit_ns: None,
+            incident_dir: None,
+            max_incidents: 16,
+            cooldown_ms: 5_000,
+        }
+    }
 }
 
 /// Flight-recorder tuning; see [`crate::trace`].
@@ -109,6 +172,8 @@ impl Default for KernelConfig {
             lock_timeout_ms: 2_000,
             fault: None,
             trace: None,
+            telemetry: None,
+            watchdog: None,
         }
     }
 }
@@ -184,6 +249,19 @@ impl KernelConfig {
                 return fail("trace.ring_capacity must be at least 1");
             }
         }
+        if let Some(telemetry) = &self.telemetry {
+            if telemetry.addr.trim().is_empty() {
+                return fail("telemetry.addr must not be empty");
+            }
+        }
+        if let Some(watchdog) = &self.watchdog {
+            if watchdog.interval_ms == 0 {
+                return fail("watchdog.interval_ms must be at least 1");
+            }
+            if watchdog.max_incidents == 0 {
+                return fail("watchdog.max_incidents must be at least 1");
+            }
+        }
         Ok(())
     }
 }
@@ -250,6 +328,19 @@ impl KernelConfigBuilder {
     /// Enable the kernel flight recorder (see [`crate::trace::Tracer`]).
     pub fn trace(mut self, trace: TraceConfig) -> Self {
         self.cfg.trace = Some(trace);
+        self
+    }
+
+    /// Serve live telemetry (`/metrics`, `/stats`, `/trace`) on `addr`,
+    /// e.g. `127.0.0.1:9920`. Port 0 picks an ephemeral port.
+    pub fn telemetry_addr(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.telemetry = Some(TelemetryConfig { addr: addr.into() });
+        self
+    }
+
+    /// Run the stall watchdog with the given thresholds.
+    pub fn watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.cfg.watchdog = Some(watchdog);
         self
     }
 
@@ -362,6 +453,30 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(bad.to_string().contains("ring_capacity"), "got {bad}");
+    }
+
+    #[test]
+    fn telemetry_and_watchdog_builder_and_validation() {
+        let c = KernelConfig::builder()
+            .telemetry_addr("127.0.0.1:0")
+            .watchdog(WatchdogConfig { interval_ms: 10, ..WatchdogConfig::default() })
+            .build()
+            .unwrap();
+        assert_eq!(c.telemetry.as_ref().map(|t| t.addr.as_str()), Some("127.0.0.1:0"));
+        assert_eq!(c.watchdog.as_ref().map(|w| w.interval_ms), Some(10));
+
+        let bad = KernelConfig::builder().telemetry_addr("  ").build().unwrap_err();
+        assert!(bad.to_string().contains("telemetry.addr"), "got {bad}");
+        let bad = KernelConfig::builder()
+            .watchdog(WatchdogConfig { interval_ms: 0, ..WatchdogConfig::default() })
+            .build()
+            .unwrap_err();
+        assert!(bad.to_string().contains("interval_ms"), "got {bad}");
+        let bad = KernelConfig::builder()
+            .watchdog(WatchdogConfig { max_incidents: 0, ..WatchdogConfig::default() })
+            .build()
+            .unwrap_err();
+        assert!(bad.to_string().contains("max_incidents"), "got {bad}");
     }
 
     #[test]

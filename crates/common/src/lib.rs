@@ -19,9 +19,10 @@ pub mod metrics;
 pub mod prefetch;
 pub mod snapshot;
 pub mod sync;
+pub mod telemetry;
 pub mod trace;
 
-pub use config::{KernelConfig, KernelConfigBuilder, TraceConfig};
+pub use config::{KernelConfig, KernelConfigBuilder, TelemetryConfig, TraceConfig, WatchdogConfig};
 pub use error::{PhoebeError, Result};
 pub use fault::{FaultConfig, FaultFile, FaultFs, OsFs, SimFs};
 pub use hist::{HistogramSnapshot, LatencySite};
@@ -29,4 +30,5 @@ pub use ids::{Gsn, Lsn, PageId, RowId, SlotId, TableId, Timestamp, WorkerId, Xid
 pub use json::Json;
 pub use prefetch::{prefetch_read, prefetch_read_span};
 pub use snapshot::SnapshotList;
+pub use telemetry::{IncidentLog, PromText, TelemetryProvider, TelemetryServer};
 pub use trace::{EventKind, TraceEvent, Tracer};

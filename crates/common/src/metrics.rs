@@ -113,9 +113,11 @@ pub enum Counter {
     /// Descents that suspended on a cold page and handed the fault to the
     /// background fault service instead of blocking.
     FaultSuspends = 19,
+    /// Incident records written by the stall watchdog.
+    WatchdogIncidents = 20,
 }
 
-const NCTR: usize = 20;
+const NCTR: usize = 21;
 
 /// All counters with stable names (report order).
 pub const COUNTERS: [(Counter, &str); NCTR] = [
@@ -139,6 +141,7 @@ pub const COUNTERS: [(Counter, &str); NCTR] = [
     (Counter::BatchKeys, "batch_keys"),
     (Counter::PrefetchesIssued, "prefetches_issued"),
     (Counter::FaultSuspends, "fault_suspends"),
+    (Counter::WatchdogIncidents, "watchdog_incidents"),
 ];
 
 #[derive(Default)]

@@ -1,0 +1,556 @@
+//! The live telemetry plane: a dependency-free HTTP/1.1 exposition
+//! server, the Prometheus text encoder, and the watchdog incident log.
+//!
+//! PhoebeDB's earlier observability surfaces are in-process
+//! (`Database::stats()`) or post-mortem (the flight-recorder export at
+//! shutdown). This module is the *external* surface: a minimal HTTP
+//! listener on one dedicated thread serving
+//!
+//! * `GET /metrics` — Prometheus text exposition (format 0.0.4),
+//! * `GET /stats`   — the kernel stats JSON document,
+//! * `GET /trace?ms=N` — a live Perfetto snapshot of the flight-recorder
+//!   rings after recording a further `N` milliseconds (the drain is the
+//!   seq-validated one from [`crate::trace`], safe concurrent with
+//!   writers — nothing stops),
+//! * `GET /healthz` — liveness probe.
+//!
+//! The server knows nothing about the kernel: it talks to a
+//! [`TelemetryProvider`] so the whole HTTP + encoding layer lives in
+//! `phoebe-common` and is testable without a database. The kernel crate
+//! implements the provider over a `Weak<Database>`, so a scrape racing a
+//! `Database` drop gets a clean 503 instead of touching freed state.
+//!
+//! Deliberately hand-rolled on `std::net`: the workspace has no HTTP
+//! dependency and must not grow one. One request per connection,
+//! `Connection: close`, GET only — exactly what a Prometheus scraper or
+//! `curl` needs and nothing more.
+
+use crate::json::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What the telemetry server serves. Every method returns `None` when the
+/// kernel is gone (mid-shutdown scrape), which the server maps to a 503.
+pub trait TelemetryProvider: Send + Sync + 'static {
+    /// The full Prometheus text exposition document.
+    fn metrics_text(&self) -> Option<String>;
+    /// The kernel stats snapshot as a JSON document.
+    fn stats_json(&self) -> Option<String>;
+    /// Record for `window_ms` more milliseconds, then export the flight
+    /// recorder's current window as Chrome trace-event JSON.
+    fn trace_json(&self, window_ms: u64) -> Option<String>;
+}
+
+/// Upper bound on `/trace?ms=N`: the handler thread sleeps the window
+/// out, so an unbounded value would wedge the (serial) server.
+pub const TRACE_WINDOW_MAX_MS: u64 = 10_000;
+
+/// Handle to the running telemetry listener thread. Dropping (or calling
+/// [`TelemetryServer::shutdown`]) stops the thread and joins it.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9920`; port 0 picks an ephemeral
+    /// port) and serve `provider` from a dedicated `phoebe-telemetry`
+    /// thread. Fails fast on bind errors — telemetry is opt-in, so a
+    /// misconfigured address should be loud, not silent.
+    pub fn start(addr: &str, provider: Arc<dyn TelemetryProvider>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("phoebe-telemetry".into())
+            .spawn(move || serve(listener, provider, stop2))?;
+        Ok(TelemetryServer { addr: local, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and join it. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            // The accept loop blocks in `accept`; a no-op connection from
+            // here is what wakes it to observe the stop flag.
+            let _ = TcpStream::connect(self.addr);
+            // If the server thread itself triggered this shutdown (e.g. a
+            // request handler dropped the provider's last kernel
+            // reference), joining would deadlock on ourselves; the stop
+            // flag already guarantees the thread exits.
+            if t.thread().id() != std::thread::current().id() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve(listener: TcpListener, provider: Arc<dyn TelemetryProvider>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(mut stream) = conn else { continue };
+        // A stalled client must not wedge the (serial) scrape loop.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let _ = handle_request(&mut stream, provider.as_ref());
+    }
+}
+
+/// Read one request head (bounded), route it, write one response.
+fn handle_request(stream: &mut TcpStream, provider: &dyn TelemetryProvider) -> std::io::Result<()> {
+    let mut head = Vec::with_capacity(1024);
+    let mut buf = [0u8; 1024];
+    // Read until the blank line ending the header block; cap at 16 KiB so
+    // a hostile peer can't balloon memory. The body (there is none for
+    // GET) is ignored.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 16 * 1024 {
+            return respond(stream, 431, "text/plain", "header block too large");
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let request_line = String::from_utf8_lossy(&head);
+    let request_line = request_line.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(stream, 405, "text/plain", "only GET is supported");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/metrics" => match provider.metrics_text() {
+            Some(body) => respond(stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body),
+            None => respond(stream, 503, "text/plain", "kernel is shutting down"),
+        },
+        "/stats" => match provider.stats_json() {
+            Some(body) => respond(stream, 200, "application/json", &body),
+            None => respond(stream, 503, "text/plain", "kernel is shutting down"),
+        },
+        "/trace" => {
+            let ms = query_param(query, "ms")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(200)
+                .min(TRACE_WINDOW_MAX_MS);
+            match provider.trace_json(ms) {
+                Some(body) => respond(stream, 200, "application/json", &body),
+                None => respond(stream, 503, "text/plain", "kernel is shutting down"),
+            }
+        }
+        "/healthz" => respond(stream, 200, "text/plain", "ok"),
+        _ => respond(stream, 404, "text/plain", "try /metrics, /stats, /trace?ms=N, /healthz"),
+    }
+}
+
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text exposition encoding
+// ---------------------------------------------------------------------
+
+/// Incremental builder for the Prometheus text exposition format
+/// (version 0.0.4): `# HELP`/`# TYPE` headers plus `name{labels} value`
+/// samples. Label values are escaped per the spec (backslash, quote,
+/// newline).
+#[derive(Default)]
+pub struct PromText {
+    buf: String,
+}
+
+impl PromText {
+    pub fn new() -> Self {
+        PromText { buf: String::with_capacity(16 * 1024) }
+    }
+
+    /// Emit the `# HELP` and `# TYPE` headers for a metric family.
+    /// `kind` is `counter`, `gauge` or `histogram`.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.buf.push_str("# HELP ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(help);
+        self.buf.push_str("\n# TYPE ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(kind);
+        self.buf.push('\n');
+    }
+
+    /// Emit one sample line. `labels` may be empty.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.buf.push_str(name);
+        self.push_labels(labels);
+        self.buf.push(' ');
+        self.buf.push_str(&value.to_string());
+        self.buf.push('\n');
+    }
+
+    /// One full histogram exposition for a site: cumulative `_bucket`
+    /// lines (`le` upper bounds inclusive, ending with `+Inf`), then
+    /// `_sum` and `_count`. `buckets` are `(upper_bound, cumulative)`
+    /// pairs as produced by
+    /// [`crate::hist::HistogramSnapshot::cumulative_octaves`]; a final
+    /// `u64::MAX` bound is rendered as `+Inf`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        buckets: &[(u64, u64)],
+        sum: u64,
+        count: u64,
+    ) {
+        let bucket_name = format!("{name}_bucket");
+        let mut saw_inf = false;
+        for &(bound, cum) in buckets {
+            self.buf.push_str(&bucket_name);
+            self.buf.push('{');
+            for (k, v) in labels {
+                self.push_label(k, v);
+                self.buf.push(',');
+            }
+            if bound == u64::MAX {
+                saw_inf = true;
+                self.push_label("le", "+Inf");
+            } else {
+                self.push_label("le", &bound.to_string());
+            }
+            self.buf.push_str("} ");
+            self.buf.push_str(&cum.to_string());
+            self.buf.push('\n');
+        }
+        if !saw_inf {
+            self.buf.push_str(&bucket_name);
+            self.buf.push('{');
+            for (k, v) in labels {
+                self.push_label(k, v);
+                self.buf.push(',');
+            }
+            self.push_label("le", "+Inf");
+            self.buf.push_str("} ");
+            self.buf.push_str(&count.to_string());
+            self.buf.push('\n');
+        }
+        self.sample(&format!("{name}_sum"), labels, sum);
+        self.sample(&format!("{name}_count"), labels, count);
+    }
+
+    fn push_labels(&mut self, labels: &[(&str, &str)]) {
+        if labels.is_empty() {
+            return;
+        }
+        self.buf.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.push_label(k, v);
+        }
+        self.buf.push('}');
+    }
+
+    fn push_label(&mut self, key: &str, value: &str) {
+        self.buf.push_str(key);
+        self.buf.push_str("=\"");
+        for c in value.chars() {
+            match c {
+                '\\' => self.buf.push_str("\\\\"),
+                '"' => self.buf.push_str("\\\""),
+                '\n' => self.buf.push_str("\\n"),
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+// ---------------------------------------------------------------------
+// Watchdog incident log
+// ---------------------------------------------------------------------
+
+/// Writes structured incident records to an incident directory. Each
+/// incident becomes its own `incident-<seq>-<kind>/` directory holding
+/// `incident.json` (the structured record) plus any attached evidence
+/// artifacts (flight-recorder snapshot, stats dump). The artifact files
+/// are written *before* `incident.json`, so the record's presence means
+/// the evidence is complete.
+pub struct IncidentLog {
+    dir: PathBuf,
+    seq: AtomicU64,
+    max_incidents: u64,
+}
+
+impl IncidentLog {
+    /// An incident log rooted at `dir` (created lazily on first record),
+    /// refusing to write more than `max_incidents` records — a wedged
+    /// kernel must not fill the disk with identical evidence.
+    pub fn new(dir: impl Into<PathBuf>, max_incidents: u64) -> Self {
+        IncidentLog { dir: dir.into(), seq: AtomicU64::new(0), max_incidents: max_incidents.max(1) }
+    }
+
+    /// The root directory records are written under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Incidents recorded so far (including any refused over the cap).
+    pub fn recorded(&self) -> u64 {
+        // ORDERING: diagnostic read of a monotone statistic.
+        self.seq.load(Ordering::Relaxed).min(self.max_incidents)
+    }
+
+    /// Write one incident: `detail` is the detector's structured body
+    /// (breached thresholds, observed values); `artifacts` are
+    /// `(file_name, contents)` evidence pairs. Returns the incident
+    /// directory, or `None` once the cap is reached.
+    pub fn record(
+        &self,
+        kind: &str,
+        detail: Json,
+        artifacts: &[(&str, &str)],
+    ) -> std::io::Result<Option<PathBuf>> {
+        // ORDERING: the sequence only needs unique monotone values; the
+        // files themselves are the published artifact.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if seq >= self.max_incidents {
+            return Ok(None);
+        }
+        let dir = self.dir.join(format!("incident-{seq:04}-{kind}"));
+        std::fs::create_dir_all(&dir)?;
+        for (name, contents) in artifacts {
+            std::fs::write(dir.join(name), contents)?;
+        }
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let record = Json::obj()
+            .with("seq", seq)
+            .with("kind", kind)
+            .with("unix_ms", unix_ms)
+            .with("detail", detail)
+            .with(
+                "artifacts",
+                artifacts.iter().map(|(n, _)| Json::from(*n)).collect::<Vec<Json>>(),
+            );
+        std::fs::write(dir.join("incident.json"), record.render())?;
+        Ok(Some(dir))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakeProvider;
+
+    impl TelemetryProvider for FakeProvider {
+        fn metrics_text(&self) -> Option<String> {
+            let mut w = PromText::new();
+            w.header("phoebe_test_total", "A test counter.", "counter");
+            w.sample("phoebe_test_total", &[("kind", "unit")], 7);
+            Some(w.finish())
+        }
+
+        fn stats_json(&self) -> Option<String> {
+            Some(Json::obj().with("ok", true).render())
+        }
+
+        fn trace_json(&self, window_ms: u64) -> Option<String> {
+            Some(format!("{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[],\"ms\":{window_ms}}}"))
+        }
+    }
+
+    struct GoneProvider;
+
+    impl TelemetryProvider for GoneProvider {
+        fn metrics_text(&self) -> Option<String> {
+            None
+        }
+        fn stats_json(&self) -> Option<String> {
+            None
+        }
+        fn trace_json(&self, _window_ms: u64) -> Option<String> {
+            None
+        }
+    }
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        let status: u16 =
+            out.split_whitespace().nth(1).and_then(|v| v.parse().ok()).expect("status line");
+        let body = out.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn server_routes_all_endpoints() {
+        let mut srv = TelemetryServer::start("127.0.0.1:0", Arc::new(FakeProvider)).unwrap();
+        let addr = srv.local_addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("phoebe_test_total{kind=\"unit\"} 7"), "{body}");
+        assert!(body.contains("# TYPE phoebe_test_total counter"));
+
+        let (status, body) = get(addr, "/stats");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""));
+
+        let (status, body) = get(addr, "/trace?ms=3");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ms\":3"), "{body}");
+
+        // Default + clamped trace windows.
+        let (_, body) = get(addr, "/trace");
+        assert!(body.contains("\"ms\":200"), "{body}");
+        let (_, body) = get(addr, "/trace?ms=99999999");
+        assert!(body.contains(&format!("\"ms\":{TRACE_WINDOW_MAX_MS}")), "{body}");
+
+        let (status, _) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        srv.shutdown();
+        srv.shutdown(); // idempotent
+        assert!(TcpStream::connect(addr).is_err() || get_closed(addr));
+    }
+
+    /// After shutdown the port may linger in TIME_WAIT briefly; a connect
+    /// that succeeds but reads nothing also proves the server is gone.
+    fn get_closed(addr: SocketAddr) -> bool {
+        let Ok(mut s) = TcpStream::connect(addr) else { return true };
+        let _ = write!(s, "GET /healthz HTTP/1.1\r\n\r\n");
+        let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+        let mut out = String::new();
+        s.read_to_string(&mut out).is_err() || out.is_empty()
+    }
+
+    #[test]
+    fn dead_kernel_returns_503_everywhere() {
+        let srv = TelemetryServer::start("127.0.0.1:0", Arc::new(GoneProvider)).unwrap();
+        for target in ["/metrics", "/stats", "/trace?ms=1"] {
+            let (status, _) = get(srv.local_addr(), target);
+            assert_eq!(status, 503, "{target}");
+        }
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let srv = TelemetryServer::start("127.0.0.1:0", Arc::new(FakeProvider)).unwrap();
+        let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+        write!(s, "POST /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+    }
+
+    #[test]
+    fn prom_text_escapes_label_values() {
+        let mut w = PromText::new();
+        w.sample("m", &[("l", "a\"b\\c\nd")], 1);
+        assert_eq!(w.finish(), "m{l=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+
+    #[test]
+    fn prom_histogram_renders_cumulative_buckets_and_inf() {
+        let mut w = PromText::new();
+        w.histogram("lat", &[("site", "commit")], &[(7, 2), (15, 5), (u64::MAX, 9)], 1234, 9);
+        let text = w.finish();
+        assert!(text.contains("lat_bucket{site=\"commit\",le=\"7\"} 2"), "{text}");
+        assert!(text.contains("lat_bucket{site=\"commit\",le=\"15\"} 5"), "{text}");
+        assert!(text.contains("lat_bucket{site=\"commit\",le=\"+Inf\"} 9"), "{text}");
+        assert!(text.contains("lat_sum{site=\"commit\"} 1234"), "{text}");
+        assert!(text.contains("lat_count{site=\"commit\"} 9"), "{text}");
+    }
+
+    #[test]
+    fn prom_histogram_synthesizes_missing_inf_bucket() {
+        let mut w = PromText::new();
+        w.histogram("lat", &[], &[(7, 2)], 10, 4);
+        let text = w.finish();
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 4"), "{text}");
+    }
+
+    #[test]
+    fn incident_log_writes_record_and_artifacts_up_to_cap() {
+        let dir = std::env::temp_dir().join(format!("phoebe-incident-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let log = IncidentLog::new(&dir, 2);
+        let d1 = log
+            .record("wal_flush_stall", Json::obj().with("age_ms", 700u64), &[("trace.json", "{}")])
+            .unwrap()
+            .expect("first incident under cap");
+        assert!(d1.join("incident.json").exists());
+        assert!(d1.join("trace.json").exists());
+        let record = std::fs::read_to_string(d1.join("incident.json")).unwrap();
+        assert!(record.contains("\"kind\":\"wal_flush_stall\""), "{record}");
+        assert!(record.contains("\"age_ms\":700"), "{record}");
+
+        assert!(log.record("worker_stall", Json::obj(), &[]).unwrap().is_some());
+        assert!(log.record("worker_stall", Json::obj(), &[]).unwrap().is_none(), "cap reached");
+        assert_eq!(log.recorded(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -54,6 +54,39 @@ fn concurrent_drain_sees_no_torn_events() {
     });
 }
 
+/// The `/metrics`-era shape: *two* concurrent drainers (a live `/trace`
+/// snapshot racing a watchdog incident capture) against one emitter.
+/// Drains are read-only, so each must independently see only fully
+/// published events, and neither disturbs the ring: a quiescent drain at
+/// the end still returns exactly the published events.
+#[test]
+fn two_racing_drainers_each_see_only_published_events() {
+    loom::model(|| {
+        let tracer = Arc::new(Tracer::new(0, 2));
+        let emitter = {
+            let tracer = Arc::clone(&tracer);
+            loom::thread::spawn(move || {
+                tracer.instant(EventKind::QueueDepth, 0, 1, 10);
+                tracer.instant(EventKind::QueueDepth, 0, 2, 20);
+            })
+        };
+        let drainer = {
+            let tracer = Arc::clone(&tracer);
+            loom::thread::spawn(move || assert_untorn(&tracer))
+        };
+        let seen_here = assert_untorn(&tracer);
+        assert!(seen_here <= 2);
+        assert!(drainer.join().unwrap() <= 2);
+        emitter.join().unwrap();
+
+        // Neither racing drain consumed or corrupted anything.
+        let mut a_values: Vec<u64> =
+            tracer.drain().into_iter().flat_map(|(_, evs)| evs).map(|ev| ev.a).collect();
+        a_values.sort_unstable();
+        assert_eq!(a_values, [1, 2], "rings must stay intact after concurrent drains");
+    });
+}
+
 /// Two emitters race each other: index claims must be unique, so after
 /// the join both events are present exactly once (capacity 2, no wrap).
 #[test]

@@ -11,8 +11,9 @@ use phoebe_common::hist::LatencySite;
 use phoebe_common::ids::{TableId, Timestamp};
 use phoebe_common::metrics::{Component, Counter, Metrics};
 use phoebe_common::snapshot::SnapshotList;
+use phoebe_common::telemetry::TelemetryServer;
 use phoebe_common::trace::{EventKind, Tracer};
-use phoebe_common::{KernelConfig, TraceConfig};
+use phoebe_common::{KernelConfig, TelemetryConfig, TraceConfig, WatchdogConfig};
 use phoebe_runtime::{Runtime, RuntimeConfig, WorkerHook};
 use phoebe_storage::schema::{ColType, Schema};
 use phoebe_storage::{BTree, BufferPool, FrozenStore, TreeKind};
@@ -92,6 +93,13 @@ pub struct Database {
     /// Stop flags of live [`crate::stats::StatsReporter`] co-routines;
     /// raised before the runtime drains so reporters never wedge shutdown.
     reporter_stops: Mutex<Vec<Arc<std::sync::atomic::AtomicBool>>>,
+    /// The live telemetry HTTP server, when `cfg.telemetry` or
+    /// `PHOEBE_TELEMETRY` enabled it. Stopped first at shutdown so no
+    /// scrape runs against a dying kernel.
+    telemetry: Mutex<Option<TelemetryServer>>,
+    /// The stall watchdog, when `cfg.watchdog` or `PHOEBE_WATCHDOG`
+    /// enabled it.
+    watchdog: Mutex<Option<crate::watchdog::WatchdogHandle>>,
 }
 
 struct HubBarrier(Arc<WalHub>);
@@ -182,14 +190,36 @@ impl Database {
     pub fn open(cfg: KernelConfig) -> Result<Arc<Self>> {
         cfg.validate()?;
         std::fs::create_dir_all(&cfg.data_dir)?;
+        // Live telemetry + watchdog: `cfg` wins; the environment enables
+        // either without touching code (`PHOEBE_TELEMETRY=<addr>`,
+        // `PHOEBE_WATCHDOG=<incident dir>`).
+        let telemetry_cfg = cfg.telemetry.clone().or_else(|| {
+            std::env::var("PHOEBE_TELEMETRY")
+                .ok()
+                .filter(|s| !s.is_empty())
+                .map(|addr| TelemetryConfig { addr })
+        });
+        let watchdog_cfg = cfg.watchdog.clone().or_else(|| {
+            std::env::var("PHOEBE_WATCHDOG").ok().filter(|s| !s.is_empty()).map(|dir| {
+                WatchdogConfig {
+                    incident_dir: Some(PathBuf::from(dir)),
+                    ..WatchdogConfig::default()
+                }
+            })
+        });
         // Flight recorder: `cfg.trace` wins; `PHOEBE_TRACE=<path>` enables
-        // recording + shutdown export without touching code.
+        // recording + shutdown export without touching code. Telemetry and
+        // the watchdog both serve flight-recorder snapshots, so either
+        // implies an in-memory recorder (no shutdown export) when no
+        // explicit trace config was given.
         let trace_cfg = cfg.trace.clone().or_else(|| {
             std::env::var("PHOEBE_TRACE").ok().filter(|s| !s.is_empty()).map(TraceConfig::to_file)
         });
-        let tracer = Arc::new(match &trace_cfg {
-            Some(tc) => Tracer::new(cfg.workers, tc.ring_capacity),
-            None => Tracer::disabled(),
+        let observing = telemetry_cfg.is_some() || watchdog_cfg.is_some();
+        let tracer = Arc::new(match (&trace_cfg, observing) {
+            (Some(tc), _) => Tracer::new(cfg.workers, tc.ring_capacity),
+            (None, true) => Tracer::new(cfg.workers, TraceConfig::default().ring_capacity),
+            (None, false) => Tracer::disabled(),
         });
         let trace_path = trace_cfg.and_then(|tc| tc.path);
         let (fs, sim): (Arc<dyn FaultFs>, Option<Arc<SimFs>>) = match &cfg.fault {
@@ -268,6 +298,8 @@ impl Database {
             txns_since_gc: (0..cfg.workers).map(|_| AtomicU64::new(0)).collect(),
             runtime: RwLock::new(None),
             reporter_stops: Mutex::new(Vec::new()),
+            telemetry: Mutex::new(None),
+            watchdog: Mutex::new(None),
             clock: phoebe_txn::GlobalClock::new(),
             metrics,
             pool,
@@ -303,7 +335,29 @@ impl Database {
         let rt = Runtime::new(rt_cfg);
         rt.set_hook(Arc::new(KernelHook { db: Arc::downgrade(&db) }));
         *db.runtime.write() = Some(rt);
+
+        // Observability plane last: both only hold weak kernel references,
+        // so they observe a fully wired kernel and never keep one alive.
+        if let Some(wc) = watchdog_cfg {
+            let handle = crate::watchdog::start_watchdog(&db, wc);
+            eprintln!("phoebe: watchdog armed, incidents at {}", handle.incident_dir().display());
+            *db.watchdog.lock() = Some(handle);
+        }
+        if let Some(tc) = telemetry_cfg {
+            let server =
+                TelemetryServer::start(&tc.addr, crate::telemetry::KernelTelemetry::new(&db))?;
+            // The bench harness and scripts/metrics_smoke.sh parse this
+            // line to find the resolved (possibly ephemeral) port.
+            eprintln!("phoebe: telemetry listening on http://{}", server.local_addr());
+            *db.telemetry.lock() = Some(server);
+        }
         Ok(db)
+    }
+
+    /// The telemetry endpoint's bound address, when the server is running
+    /// (resolves a configured port 0 to the actual ephemeral port).
+    pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
+        self.telemetry.lock().as_ref().map(|s| s.local_addr())
     }
 
     /// The seeded fault-injection disk, when this kernel was opened with
@@ -358,6 +412,7 @@ impl Database {
 
     /// Flush WAL, stop the runtime and background machinery.
     pub fn shutdown(&self) {
+        self.stop_observability();
         self.stop_reporters();
         if let Some(rt) = self.runtime.write().take() {
             rt.shutdown();
@@ -365,6 +420,18 @@ impl Database {
         let _ = self.wal.flush_all();
         self.wal.shutdown();
         self.export_trace_on_shutdown();
+    }
+
+    /// Stop the telemetry server and watchdog (joining their threads)
+    /// before anything else is torn down, so no sampler observes a
+    /// half-dead kernel.
+    fn stop_observability(&self) {
+        if let Some(mut w) = self.watchdog.lock().take() {
+            w.shutdown();
+        }
+        if let Some(mut t) = self.telemetry.lock().take() {
+            t.shutdown();
+        }
     }
 
     fn stop_reporters(&self) {
@@ -736,6 +803,7 @@ impl Database {
 
 impl Drop for Database {
     fn drop(&mut self) {
+        self.stop_observability();
         self.stop_reporters();
         if let Some(rt) = self.runtime.write().take() {
             rt.shutdown();

@@ -41,18 +41,22 @@ pub mod manifest;
 pub mod prelude;
 pub mod row;
 pub mod stats;
+pub mod telemetry;
 pub mod temperature;
 pub mod txn_api;
+pub mod watchdog;
 
 pub use catalog::{IndexDef, IndexEntry, TableEntry};
 pub use db::{Database, RecoveryInfo, EXTERNAL_SLOTS};
 pub use keys::KeyBuilder;
-pub use phoebe_common::{TraceConfig, Tracer};
+pub use phoebe_common::{TelemetryConfig, TraceConfig, Tracer, WatchdogConfig};
 pub use phoebe_txn::locks::IsolationLevel;
 pub use row::Row;
 pub use stats::{
     ComponentCost, CounterValue, KernelStats, LatencySummary, RuntimeGauges, StatsReporter,
     WorkerStateSummary,
 };
+pub use telemetry::KernelTelemetry;
 pub use temperature::{FreezeStats, WarmStats};
 pub use txn_api::Transaction;
+pub use watchdog::WatchdogHandle;

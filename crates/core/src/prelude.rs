@@ -13,7 +13,8 @@ pub use crate::row::Row;
 pub use crate::stats::{KernelStats, LatencySummary, StatsReporter};
 pub use crate::txn_api::Transaction;
 pub use phoebe_common::{
-    KernelConfig, KernelConfigBuilder, LatencySite, PhoebeError, Result, TraceConfig, Tracer,
+    KernelConfig, KernelConfigBuilder, LatencySite, PhoebeError, Result, TelemetryConfig,
+    TraceConfig, Tracer, WatchdogConfig,
 };
 pub use phoebe_storage::schema::{ColType, Schema, Value};
 pub use phoebe_txn::locks::IsolationLevel;

@@ -106,12 +106,28 @@ pub struct KernelStats {
     /// The global durable GSN horizon, clamped to the current GSN (an
     /// idle WAL is fully durable, not infinitely durable).
     pub wal_durable_gsn: u64,
+    /// How long the WAL flush horizon has been stuck behind the append
+    /// horizon (gauge; 0 while the flusher keeps up).
+    #[serde(default)]
+    pub wal_flush_horizon_age_ns: u64,
+    /// Records appended but not yet flushed, summed across slot writers.
+    #[serde(default)]
+    pub wal_backlog_records: u64,
+    /// Whether the WAL hub halted after an I/O failure.
+    #[serde(default)]
+    pub wal_halted: bool,
     /// Physical (reads, writes) against the Data Page File.
     pub page_file_reads: u64,
     pub page_file_writes: u64,
     /// Buffer pool shape and occupancy.
     pub buffer_total_frames: u64,
     pub buffer_free_frames: u64,
+    /// Asynchronous page faults currently in flight (gauge).
+    #[serde(default)]
+    pub fault_tickets_inflight: u64,
+    /// The in-flight fault cap backpressure enforces.
+    #[serde(default)]
+    pub fault_budget_limit: u64,
 }
 
 impl KernelStats {
@@ -153,10 +169,15 @@ impl KernelStats {
             worker_states: Vec::new(),
             wal_bytes_flushed: 0,
             wal_durable_gsn: 0,
+            wal_flush_horizon_age_ns: 0,
+            wal_backlog_records: 0,
+            wal_halted: false,
             page_file_reads: 0,
             page_file_writes: 0,
             buffer_total_frames: 0,
             buffer_free_frames: 0,
+            fault_tickets_inflight: 0,
+            fault_budget_limit: 0,
         }
     }
 
@@ -230,7 +251,10 @@ impl KernelStats {
                 "wal",
                 Json::obj()
                     .with("bytes_flushed", self.wal_bytes_flushed)
-                    .with("durable_gsn", self.wal_durable_gsn),
+                    .with("durable_gsn", self.wal_durable_gsn)
+                    .with("flush_horizon_age_ns", self.wal_flush_horizon_age_ns)
+                    .with("backlog_records", self.wal_backlog_records)
+                    .with("halted", self.wal_halted),
             )
             .with(
                 "buffer",
@@ -238,7 +262,9 @@ impl KernelStats {
                     .with("page_file_reads", self.page_file_reads)
                     .with("page_file_writes", self.page_file_writes)
                     .with("total_frames", self.buffer_total_frames)
-                    .with("free_frames", self.buffer_free_frames),
+                    .with("free_frames", self.buffer_free_frames)
+                    .with("fault_tickets_inflight", self.fault_tickets_inflight)
+                    .with("fault_budget_limit", self.fault_budget_limit),
             )
     }
 }
@@ -283,12 +309,17 @@ impl Database {
         }
         out.wal_bytes_flushed = self.wal.total_bytes_flushed();
         out.wal_durable_gsn = self.wal.durable_gsn().min(self.wal.current_gsn());
+        out.wal_flush_horizon_age_ns = self.wal.flush_horizon_age_ns();
+        out.wal_backlog_records = self.wal.backlog_records();
+        out.wal_halted = self.wal.is_halted();
         let (r, w) = self.pool.io_counts();
         out.page_file_reads = r;
         out.page_file_writes = w;
         out.buffer_total_frames = self.pool.total_frames() as u64;
         out.buffer_free_frames =
             (0..self.pool.partition_count()).map(|p| self.pool.free_frames(p) as u64).sum();
+        out.fault_tickets_inflight = self.pool.faults_inflight() as u64;
+        out.fault_budget_limit = self.pool.fault_budget_limit() as u64;
         out
     }
 
@@ -303,18 +334,27 @@ impl Database {
         sink: impl Fn(KernelStats) + Send + 'static,
     ) -> StatsReporter {
         let stop = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(AtomicBool::new(false));
         self.reporter_stops().lock().push(Arc::clone(&stop));
         let weak: Weak<Database> = Arc::downgrade(self);
         let stop_task = Arc::clone(&stop);
+        let done_task = Arc::clone(&done);
         let rt = self.runtime();
         rt.spawn(async move {
+            // Raised on *every* exit path so `StatsReporter::join` can
+            // prove the sink will never run again.
+            let _done = DoneOnDrop(done_task);
             let mut prev = match weak.upgrade() {
                 Some(db) => db.metrics.snapshot(),
                 None => return,
             };
-            // Cumulative per-worker time-in-state at the previous tick, so
-            // intervals report where the workers spent *this* interval.
+            // Cumulative per-worker time-in-state and runtime counters at
+            // the previous tick, so intervals report what happened in
+            // *this* interval. All subtractions saturate: a worker vector
+            // that shrinks or a counter that resets (runtime recycled
+            // between ticks) must yield a zero delta, not an underflow.
             let mut prev_states: Vec<WorkerStateSummary> = Vec::new();
+            let mut prev_runtime = RuntimeGauges::default();
             'ticks: loop {
                 // Sleep in short slices so shutdown never waits a full
                 // interval for the slot to drain.
@@ -343,16 +383,39 @@ impl Database {
                     ws.io_ns = ws.io_ns.saturating_sub(p.io_ns);
                 }
                 prev_states = absolute;
+                let rt_abs = stats.runtime.clone();
+                let r = &mut stats.runtime;
+                r.tasks_completed = r.tasks_completed.saturating_sub(prev_runtime.tasks_completed);
+                r.polls = r.polls.saturating_sub(prev_runtime.polls);
+                r.parks = r.parks.saturating_sub(prev_runtime.parks);
+                r.tasks_pulled_global =
+                    r.tasks_pulled_global.saturating_sub(prev_runtime.tasks_pulled_global);
+                r.tasks_pulled_local =
+                    r.tasks_pulled_local.saturating_sub(prev_runtime.tasks_pulled_local);
+                r.urgent_pull_stalls =
+                    r.urgent_pull_stalls.saturating_sub(prev_runtime.urgent_pull_stalls);
+                // occupied_slots / ready_tasks / global_queue_depth are
+                // gauges: report them absolute.
+                prev_runtime = rt_abs;
                 sink(stats);
             }
         });
-        StatsReporter { stop }
+        StatsReporter { stop, done }
+    }
+}
+
+struct DoneOnDrop(Arc<AtomicBool>);
+
+impl Drop for DoneOnDrop {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Release);
     }
 }
 
 /// Handle to a running stats reporter. Dropping it stops the reporter.
 pub struct StatsReporter {
     stop: Arc<AtomicBool>,
+    done: Arc<AtomicBool>,
 }
 
 impl StatsReporter {
@@ -364,6 +427,30 @@ impl StatsReporter {
     /// Whether `stop` has been requested.
     pub fn is_stopped(&self) -> bool {
         self.stop.load(Ordering::Acquire)
+    }
+
+    /// Whether the reporter co-routine has actually exited (its sink will
+    /// never be invoked again).
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Stop the reporter and wait (bounded by `timeout`) for its
+    /// co-routine to exit, so a sink capturing external state can be torn
+    /// down without racing a final tick. Returns whether the reporter
+    /// finished within the timeout. The reporter runs *on the kernel's
+    /// own runtime*, so this must be called from an external thread, not
+    /// from a kernel co-routine.
+    pub fn join(&self, timeout: Duration) -> bool {
+        self.stop();
+        let deadline = Instant::now() + timeout;
+        while !self.is_done() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
     }
 }
 

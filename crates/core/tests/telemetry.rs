@@ -1,0 +1,306 @@
+//! The live telemetry plane, end to end: Prometheus exposition
+//! completeness, the HTTP endpoints against a real kernel, the stats
+//! reporter's clean join, and the stall watchdog capturing evidence for
+//! a deliberately wedged WAL.
+
+use phoebe_common::hist::SITES;
+use phoebe_common::metrics::COUNTERS;
+use phoebe_common::{FaultConfig, WatchdogConfig};
+use phoebe_core::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn accounts(db: &Arc<Database>) -> Arc<TableEntry> {
+    db.create_table(
+        "accounts",
+        Schema::new(vec![
+            ("id", ColType::I64),
+            ("owner", ColType::Str(16)),
+            ("balance", ColType::I64),
+        ]),
+    )
+    .unwrap()
+}
+
+/// Commit/abort mix so counters and histograms carry real traffic.
+fn churn(db: &Arc<Database>, table: &Arc<TableEntry>, txns: u64) {
+    let rt = db.runtime();
+    let (db2, t2) = (db.clone(), table.clone());
+    rt.spawn(async move {
+        for i in 0..txns {
+            let mut tx = db2.begin(IsolationLevel::ReadCommitted);
+            let row = tx
+                .insert(&t2, vec![(i as i64).into(), format!("o{i}").into(), 100i64.into()])
+                .await
+                .unwrap();
+            tx.read(&t2, row).unwrap();
+            if i % 5 == 4 {
+                tx.abort();
+            } else {
+                tx.commit().await.unwrap();
+            }
+        }
+    })
+    .join();
+}
+
+fn http_get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect to telemetry endpoint");
+    write!(s, "GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    let status: u16 =
+        out.split_whitespace().nth(1).and_then(|v| v.parse().ok()).expect("status line");
+    let body = out.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+/// Completeness guard: every latency site and every operational counter
+/// must appear in both `/metrics` text and the stats JSON — a new
+/// `LatencySite` or `Counter` variant cannot silently skip export.
+#[test]
+fn every_site_and_counter_exports_to_prometheus_and_json() {
+    let db = Database::open(KernelConfig::for_tests()).unwrap();
+    let table = accounts(&db);
+    churn(&db, &table, 50);
+
+    let prom = phoebe_core::telemetry::prometheus_text(&db);
+    let json = db.stats().to_json().render();
+    for &site in SITES.iter() {
+        let name = site.name();
+        assert!(
+            prom.contains(&format!("phoebe_latency_ns_count{{site=\"{name}\"}}")),
+            "latency site {name} missing from /metrics"
+        );
+        assert!(json.contains(&format!("\"{name}\"")), "latency site {name} missing from JSON");
+    }
+    for &(_, name) in COUNTERS.iter() {
+        assert!(
+            prom.contains(&format!("phoebe_counter_total{{counter=\"{name}\"}}")),
+            "counter {name} missing from /metrics"
+        );
+        assert!(json.contains(&format!("\"{name}\"")), "counter {name} missing from JSON");
+    }
+    // Worker time-in-state must be present for every worker and state.
+    for w in 0..db.cfg.workers {
+        for state in ["running", "ready", "parked", "io"] {
+            assert!(
+                prom.contains(&format!(
+                    "phoebe_worker_state_ns_total{{worker=\"{w}\",state=\"{state}\"}}"
+                )),
+                "worker {w} state {state} missing from /metrics"
+            );
+        }
+    }
+    db.shutdown();
+}
+
+/// Prometheus invariants on a live kernel: histogram bucket counts are
+/// cumulative and agree with `_count`, and `_sum`/`_count` are consistent
+/// with the recorded traffic.
+#[test]
+fn prometheus_histograms_are_cumulative_and_consistent() {
+    let db = Database::open(KernelConfig::for_tests()).unwrap();
+    let table = accounts(&db);
+    churn(&db, &table, 100);
+
+    let stats = db.stats();
+    let commits = stats.counter("commits");
+    assert_eq!(commits, 80);
+    let prom = phoebe_core::telemetry::prometheus_text(&db);
+
+    // The commit histogram: every bucket line's value must be
+    // non-decreasing, and the +Inf bucket must equal _count.
+    let mut last = 0u64;
+    let mut inf = None;
+    for line in prom.lines().filter(|l| l.starts_with("phoebe_latency_ns_bucket{site=\"commit\"")) {
+        let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(value >= last, "bucket counts must be cumulative: {line}");
+        last = value;
+        if line.contains("le=\"+Inf\"") {
+            inf = Some(value);
+        }
+    }
+    let count_line = prom
+        .lines()
+        .find(|l| l.starts_with("phoebe_latency_ns_count{site=\"commit\"}"))
+        .expect("commit _count present");
+    let count: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert_eq!(inf, Some(count), "+Inf bucket must equal _count");
+    assert_eq!(count, commits, "commit histogram count matches the counter");
+    let sum_line = prom
+        .lines()
+        .find(|l| l.starts_with("phoebe_latency_ns_sum{site=\"commit\"}"))
+        .expect("commit _sum present");
+    let sum: u64 = sum_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(sum > 0, "committed work must have accumulated latency");
+    db.shutdown();
+}
+
+/// The full HTTP surface against a live kernel on an ephemeral port.
+#[test]
+fn http_endpoints_serve_metrics_stats_and_live_trace() {
+    let cfg = KernelConfig::builder()
+        .workers(2)
+        .slots_per_worker(4)
+        .buffer_frames(256)
+        .data_dir(KernelConfig::for_tests().data_dir)
+        .telemetry_addr("127.0.0.1:0")
+        .build()
+        .unwrap();
+    let db = Database::open(cfg).unwrap();
+    let addr = db.telemetry_addr().expect("telemetry server running");
+    let table = accounts(&db);
+    churn(&db, &table, 60);
+
+    let (status, body) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("# TYPE phoebe_latency_ns histogram"), "{body:.200}");
+    assert!(body.contains("phoebe_counter_total{counter=\"commits\"} 48"));
+    assert!(body.contains("phoebe_worker_state_ns_total{worker=\"0\",state=\"running\"}"));
+    assert!(body.contains("phoebe_wal_bytes_flushed_total"));
+
+    let (status, body) = http_get(addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"counters\"") && body.contains("\"commits\":48"), "{body:.200}");
+
+    // Live flight-recorder snapshot: telemetry auto-enables an in-memory
+    // tracer, so the Perfetto document carries real events — and the
+    // kernel keeps running (we churn again afterwards).
+    let (status, body) = http_get(addr, "/trace?ms=30");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"traceEvents\""), "{body:.200}");
+    assert!(body.contains("\"ph\""), "trace should hold real events: {body:.200}");
+    churn(&db, &table, 10);
+
+    let (status, _) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    let (status, _) = http_get(addr, "/nope");
+    assert_eq!(status, 404);
+
+    // Shutdown stops the listener; the address must stop answering.
+    db.shutdown();
+    assert!(db.telemetry_addr().is_none(), "shutdown tears the server down");
+}
+
+/// The reporter handle joins cleanly: after `join` returns true the sink
+/// can never fire again, so teardown during `Database` drop cannot race
+/// a dead reporter.
+#[test]
+fn stats_reporter_joins_cleanly_and_deltas_stay_sane() {
+    let db = Database::open(KernelConfig::for_tests()).unwrap();
+    let table = accounts(&db);
+    let reports = Arc::new(std::sync::Mutex::new(Vec::<KernelStats>::new()));
+    let sink = Arc::clone(&reports);
+    let reporter =
+        db.start_stats_reporter(Duration::from_millis(20), move |s| sink.lock().unwrap().push(s));
+    churn(&db, &table, 120);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while reports.lock().unwrap().len() < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(reporter.join(Duration::from_secs(5)), "reporter must join");
+    assert!(reporter.is_done());
+    let n = reports.lock().unwrap().len();
+    assert!(n >= 2, "expected at least two interval reports, got {n}");
+    // After join, no further reports can arrive.
+    std::thread::sleep(Duration::from_millis(60));
+    assert_eq!(reports.lock().unwrap().len(), n, "sink fired after join");
+    // Interval deltas: runtime counters are per-interval, not cumulative
+    // absolutes — the sum across reports cannot exceed the final
+    // cumulative value, and no interval underflowed into u64 wrap.
+    let total_polls = db.stats().runtime.polls;
+    let reported: u64 = reports.lock().unwrap().iter().map(|s| s.runtime.polls).sum();
+    assert!(
+        reported <= total_polls,
+        "interval polls {reported} exceed cumulative {total_polls}: reporter not delta'ing"
+    );
+    for s in reports.lock().unwrap().iter() {
+        assert!(s.runtime.polls < u64::MAX / 2, "runtime delta underflowed");
+    }
+    db.shutdown();
+}
+
+/// The watchdog satellite: wedge the WAL flush path with the SimFs
+/// torture disk and assert a structured incident record — with its
+/// flight-recorder snapshot and stats dump attached — appears within the
+/// threshold window.
+#[test]
+fn wedged_wal_flush_produces_incident_with_evidence() {
+    let cfg = KernelConfig::builder()
+        .workers(2)
+        .slots_per_worker(4)
+        .buffer_frames(256)
+        .data_dir(KernelConfig::for_tests().data_dir)
+        .fault(FaultConfig::crash_only(7))
+        .watchdog(WatchdogConfig {
+            interval_ms: 10,
+            worker_stall_ms: 100,
+            wal_stall_ms: 40,
+            cooldown_ms: 60_000,
+            max_incidents: 8,
+            ..WatchdogConfig::default()
+        })
+        .build()
+        .unwrap();
+    let incident_root = cfg.data_dir.join("incidents");
+    let db = Database::open(cfg).unwrap();
+    let table = accounts(&db);
+    churn(&db, &table, 10); // healthy traffic first: no incidents yet
+
+    // Kill the simulated disk: every subsequent WAL write/fsync fails, so
+    // the flusher halts the hub and the flush horizon freezes behind the
+    // records the doomed commit appended.
+    db.fault_sim().expect("fault-injected kernel").crash();
+    let rt = db.runtime();
+    let (db2, t2) = (db.clone(), table.clone());
+    let commit_result = rt
+        .spawn(async move {
+            let mut tx = db2.begin(IsolationLevel::ReadCommitted);
+            tx.insert(&t2, vec![999i64.into(), "doomed".to_string().into(), 1i64.into()]).await?;
+            tx.commit().await
+        })
+        .join();
+    assert!(commit_result.is_err(), "commit on a dead disk must fail");
+    assert!(db.wal.is_halted(), "failed flush must halt the hub");
+
+    // Within the threshold window (40 ms stall + 10 ms sampling, plus
+    // slack for the capture itself) an incident directory must appear.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let incident = loop {
+        if let Ok(rd) = std::fs::read_dir(&incident_root) {
+            if let Some(dir) = rd
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .find(|p| p.file_name().is_some_and(|n| n.to_string_lossy().contains("wal_")))
+            {
+                break dir;
+            }
+        }
+        assert!(Instant::now() < deadline, "no WAL incident recorded within 10 s");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    // The record and both evidence artifacts must be present and sane.
+    let record = std::fs::read_to_string(incident.join("incident.json")).unwrap();
+    assert!(
+        record.contains("\"kind\":\"wal_flush_stall\"")
+            || record.contains("\"kind\":\"wal_halted\""),
+        "unexpected incident kind: {record}"
+    );
+    assert!(record.contains("\"artifacts\":"), "{record}");
+    let trace = std::fs::read_to_string(incident.join("trace.json")).unwrap();
+    assert!(trace.contains("\"traceEvents\""), "flight-recorder snapshot missing/invalid");
+    let stats = std::fs::read_to_string(incident.join("stats.json")).unwrap();
+    assert!(stats.contains("\"wal\""), "stats dump missing/invalid");
+
+    // The incident is also visible as a counter on the scrape path.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while db.stats().counter("watchdog_incidents") == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(db.stats().counter("watchdog_incidents") >= 1);
+    db.shutdown();
+}

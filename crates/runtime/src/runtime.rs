@@ -75,6 +75,12 @@ pub struct RuntimeStats {
     /// Cumulative wall time each worker spent per scheduler state,
     /// indexed by worker.
     pub worker_state_ns: Vec<WorkerTimeInState>,
+    /// Cumulative poll count per worker — the watchdog's progress
+    /// heartbeat: a worker with occupied slots whose poll count stops
+    /// advancing is wedged.
+    pub worker_polls: Vec<u64>,
+    /// Seated-slot gauge per worker (same data `occupied_slots` sums).
+    pub worker_occupied: Vec<u64>,
 }
 
 /// Cumulative per-worker wall time split by what the worker was doing:
@@ -238,12 +244,16 @@ impl Runtime {
         // slightly stale aggregate is fine — nothing synchronizes on it.
         for s in &self.shared.stats {
             out.tasks_completed += s.tasks_completed.load(Ordering::Relaxed);
-            out.polls += s.polls.load(Ordering::Relaxed);
+            let polls = s.polls.load(Ordering::Relaxed);
+            out.polls += polls;
+            out.worker_polls.push(polls);
             out.parks += s.parks.load(Ordering::Relaxed);
             out.tasks_pulled_global += s.pulled_global.load(Ordering::Relaxed);
             out.tasks_pulled_local += s.pulled_local.load(Ordering::Relaxed);
             out.urgent_pull_stalls += s.urgent_pull_stalls.load(Ordering::Relaxed);
-            out.occupied_slots += s.occupied.load(Ordering::Relaxed);
+            let occupied = s.occupied.load(Ordering::Relaxed);
+            out.occupied_slots += occupied;
+            out.worker_occupied.push(occupied);
             // ORDERING: as above — independent statistic reads.
             out.worker_state_ns.push(WorkerTimeInState {
                 running_ns: s.state_ns[ST_RUNNING].load(Ordering::Relaxed),

@@ -440,7 +440,18 @@ impl BufferPool {
     /// itself and for blocking faults. Callers over budget back off and
     /// retry — the budget frees as loads are installed or abandoned.
     pub fn fault_budget_available(&self) -> bool {
-        self.faults_inflight.load(Ordering::Relaxed) < (self.frames_per_partition / 2).max(2)
+        self.faults_inflight.load(Ordering::Relaxed) < self.fault_budget_limit()
+    }
+
+    /// Gauge: asynchronous page faults currently in flight (telemetry).
+    pub fn faults_inflight(&self) -> usize {
+        // ORDERING: diagnostic read of a statistics gauge.
+        self.faults_inflight.load(Ordering::Relaxed)
+    }
+
+    /// The in-flight fault cap [`Self::fault_budget_available`] enforces.
+    pub fn fault_budget_limit(&self) -> usize {
+        (self.frames_per_partition / 2).max(2)
     }
 
     /// Give back one in-flight fault budget slot (ticket drop).

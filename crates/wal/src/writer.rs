@@ -223,6 +223,10 @@ impl WalWriter {
         }
     }
 
+    pub fn appended_lsn(&self) -> u64 {
+        self.appended_lsn.load(Ordering::Acquire)
+    }
+
     pub fn flushed_lsn(&self) -> u64 {
         self.flushed_lsn.load(Ordering::Acquire)
     }
@@ -303,6 +307,19 @@ pub struct WalHub {
     /// Notified after every flush round; remote-dependency commits park
     /// here instead of polling `durable_gsn`.
     round_done: Notify,
+    /// Watchdog probe: tracks how long the flushed-LSN horizon has been
+    /// stuck behind the appended horizon. Off the commit/flush paths —
+    /// only the telemetry/watchdog samplers lock it.
+    horizon_probe: Mutex<HorizonProbe>,
+}
+
+/// State for [`WalHub::flush_horizon_age_ns`].
+#[derive(Default)]
+struct HorizonProbe {
+    /// Sum of flushed LSNs across writers at the last observation.
+    last_flushed: u64,
+    /// When the horizon was last seen advancing (or fully caught up).
+    since: Option<Instant>,
 }
 
 impl WalHub {
@@ -355,6 +372,7 @@ impl WalHub {
             flusher: Mutex::new(None),
             doorbell: Doorbell::default(),
             round_done: Notify::new(),
+            horizon_probe: Mutex::new(HorizonProbe::default()),
         });
         let h = Arc::clone(&hub);
         *hub.flusher.lock() = Some(
@@ -633,6 +651,39 @@ impl WalHub {
     }
 
     /// Total bytes physically flushed across writers.
+    /// Records appended but not yet physically flushed, summed across
+    /// writers (LSNs are per-slot record sequence numbers).
+    pub fn backlog_records(&self) -> u64 {
+        self.writers.iter().map(|w| w.appended_lsn().saturating_sub(w.flushed_lsn())).sum()
+    }
+
+    /// How long the flush horizon has been stuck, in nanoseconds.
+    ///
+    /// Returns 0 while the flushed horizon keeps up with (or advances
+    /// toward) the appended horizon; once there is a backlog and the
+    /// flushed-LSN sum stops moving between observations, the age grows
+    /// until the flusher makes progress again. Telemetry/watchdog
+    /// sampling path only — the probe is stateful, so concurrent callers
+    /// share one clock (fine: both want the same answer).
+    pub fn flush_horizon_age_ns(&self) -> u64 {
+        let flushed: u64 = self.writers.iter().map(|w| w.flushed_lsn()).sum();
+        let mut probe = self.horizon_probe.lock();
+        if self.backlog_records() == 0 {
+            // Fully caught up: nothing pending, nothing stuck.
+            probe.last_flushed = flushed;
+            probe.since = None;
+            return 0;
+        }
+        if flushed > probe.last_flushed || probe.since.is_none() {
+            // Progress since last look (or first look at a backlog):
+            // restart the stall clock.
+            probe.last_flushed = flushed;
+            probe.since = Some(Instant::now());
+            return 0;
+        }
+        probe.since.map_or(0, |s| s.elapsed().as_nanos() as u64)
+    }
+
     pub fn total_bytes_flushed(&self) -> u64 {
         self.writers.iter().map(|w| w.bytes_flushed()).sum()
     }
@@ -769,6 +820,31 @@ mod tests {
         // Either the background flusher or this call drains the buffer.
         h.flush_all().unwrap();
         assert!(h.total_bytes_flushed() > 0);
+        h.shutdown();
+    }
+
+    #[test]
+    fn flush_horizon_age_tracks_stuck_backlog() {
+        // A 5 s group-commit window keeps the background flusher asleep
+        // for the whole test, so the backlog we append stays unflushed
+        // until we drain it explicitly.
+        let dir = phoebe_common::KernelConfig::for_tests().data_dir;
+        let h = WalHub::new(&dir, 1, 2, Duration::from_secs(5), true, Arc::new(Metrics::new(1)))
+            .unwrap();
+        assert_eq!(h.backlog_records(), 0);
+        assert_eq!(h.flush_horizon_age_ns(), 0, "caught up: no age");
+
+        h.log_op(0, xid(1), 1, RecordBody::Begin);
+        h.log_op(0, xid(1), 1, RecordBody::Abort);
+        assert_eq!(h.backlog_records(), 2);
+        assert_eq!(h.flush_horizon_age_ns(), 0, "first sight of a backlog starts the clock");
+        std::thread::sleep(Duration::from_millis(20));
+        let age = h.flush_horizon_age_ns();
+        assert!(age >= 10_000_000, "stuck horizon must age, got {age} ns");
+
+        h.flush_all().unwrap();
+        assert_eq!(h.backlog_records(), 0);
+        assert_eq!(h.flush_horizon_age_ns(), 0, "flushing resets the age");
         h.shutdown();
     }
 
