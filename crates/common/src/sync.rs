@@ -17,11 +17,24 @@
 //! protocol code should follow it so the loom suites keep covering the
 //! kernel's synchronization surface.
 
+pub mod lockdep;
+
+pub use lockdep::{
+    Rank, RankedMutex, RankedMutexGuard, RankedReadGuard, RankedRwLock, RankedWriteGuard,
+};
+
 #[cfg(not(loom))]
 pub use parking_lot::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 #[cfg(loom)]
 pub use loom::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+// Condvars are not modeled by the loom shim; the type is still exported so
+// condvar-owning structs (timer, AIO completions, join handles) compile
+// under `--cfg loom`. Waiting on one from a loom model is a bug — the
+// ranked-guard wait methods panic there.
+#[cfg(loom)]
+pub use parking_lot::Condvar;
 
 pub use std::sync::Arc;
 

@@ -1,0 +1,82 @@
+//! Loom models for the lockdep wait-for graph
+//! (`phoebe_common::sync::lockdep::graph`).
+//!
+//! The per-thread held-rank stack needs no model (it is thread-local by
+//! construction); the cross-thread state is the wait-for edge set, and
+//! these models check it is race-free: concurrent `record_edge` calls
+//! never corrupt the set, never let a cycle slip in, and never lose an
+//! acyclic edge.
+//!
+//! Run with `scripts/loom.sh` or
+//! `RUSTFLAGS="--cfg loom" cargo test -p phoebe-common --features lockdep --test loom_lockdep`.
+#![cfg(all(loom, feature = "lockdep"))]
+
+use loom::sync::Arc;
+use phoebe_common::sync::lockdep::graph::WaitForGraph;
+use std::panic::Location;
+
+fn site() -> &'static Location<'static> {
+    Location::caller()
+}
+
+/// Two threads racing to record opposite edges (the classic A→B / B→A
+/// inversion seen from two threads): in every interleaving exactly one
+/// edge lands and the other is rejected as a cycle — they can never both
+/// insert.
+#[test]
+fn opposing_edges_never_both_insert() {
+    loom::model(|| {
+        let g = Arc::new(WaitForGraph::new());
+        let t = {
+            let g = Arc::clone(&g);
+            loom::thread::spawn(move || g.record_edge(1, 2, site()).is_ok())
+        };
+        let here_ok = g.record_edge(2, 1, site()).is_ok();
+        let there_ok = t.join().unwrap();
+        assert!(
+            here_ok != there_ok,
+            "exactly one of the opposing edges must land (got here={here_ok}, there={there_ok})"
+        );
+        assert_eq!(g.edge_count(), 1);
+    });
+}
+
+/// Two threads recording disjoint chain links A→B and B→C: both always
+/// land regardless of interleaving, and the closing link C→A is then
+/// rejected with the full chain — the three-lock cycle is caught no
+/// matter which thread published its edge first.
+#[test]
+fn concurrent_chain_links_all_land_and_closing_edge_is_rejected() {
+    loom::model(|| {
+        let g = Arc::new(WaitForGraph::new());
+        let t = {
+            let g = Arc::clone(&g);
+            loom::thread::spawn(move || g.record_edge(1, 2, site()))
+        };
+        g.record_edge(2, 3, site()).expect("disjoint edge must insert");
+        t.join().unwrap().expect("disjoint edge must insert");
+        assert_eq!(g.edge_count(), 2);
+
+        let err = g.record_edge(3, 1, site()).expect_err("closing edge must be rejected");
+        let chain: Vec<u32> = err.chain.iter().map(|(c, _)| *c).collect();
+        assert_eq!(chain, [1, 2, 3], "chain reports the existing path to → … → from");
+        assert_eq!(g.edge_count(), 2, "rejected edge must not be inserted");
+    });
+}
+
+/// Idempotence under contention: both threads record the *same* edge;
+/// both succeed and the set holds it once.
+#[test]
+fn duplicate_edges_dedupe_under_contention() {
+    loom::model(|| {
+        let g = Arc::new(WaitForGraph::new());
+        let t = {
+            let g = Arc::clone(&g);
+            loom::thread::spawn(move || g.record_edge(1, 2, site()))
+        };
+        g.record_edge(1, 2, site()).expect("same edge is idempotent");
+        t.join().unwrap().expect("same edge is idempotent");
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_pairs(), [(1, 2)]);
+    });
+}

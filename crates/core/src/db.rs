@@ -4,13 +4,13 @@
 use crate::catalog::{IndexDef, IndexEntry, TableEntry};
 use crate::manifest::{self, ManifestEntry};
 use crate::txn_api::Transaction;
-use parking_lot::{Mutex, RwLock};
 use phoebe_common::error::{PhoebeError, Result};
 use phoebe_common::fault::{FaultFs, OsFs, SimFs};
 use phoebe_common::hist::LatencySite;
 use phoebe_common::ids::{TableId, Timestamp};
 use phoebe_common::metrics::{Component, Counter, Metrics};
 use phoebe_common::snapshot::SnapshotList;
+use phoebe_common::sync::{Rank, RankedMutex, RankedRwLock};
 use phoebe_common::telemetry::TelemetryServer;
 use phoebe_common::trace::{EventKind, Tracer};
 use phoebe_common::{KernelConfig, TelemetryConfig, TraceConfig, WatchdogConfig};
@@ -67,12 +67,12 @@ pub struct Database {
     /// `table_by_id` runs per UNDO log during rollback and GC, so it must
     /// not serialize on a catalog lock.
     catalog: SnapshotList<Arc<TableEntry>>,
-    by_name: RwLock<HashMap<String, usize>>,
+    by_name: RankedRwLock<HashMap<String, usize>>,
     /// DDL operations in creation order — the source text of the on-disk
     /// catalog manifest (see [`crate::manifest`]). Creation order matters:
     /// it is what assigns table/index ids, and ids are how WAL records
     /// name relations at replay.
-    ddl_log: Mutex<Vec<ManifestEntry>>,
+    ddl_log: RankedMutex<Vec<ManifestEntry>>,
     /// The seeded torture disk when `cfg.fault` is set; `None` in
     /// production. Exposed via [`Database::fault_sim`] so crash tests can
     /// arm and trigger the simulated power cut.
@@ -83,23 +83,23 @@ pub struct Database {
     tracer: Arc<Tracer>,
     /// Where shutdown exports the trace, when a path was configured.
     /// Taken (once) by the first shutdown/drop.
-    trace_path: Mutex<Option<PathBuf>>,
+    trace_path: RankedMutex<Option<PathBuf>>,
     /// What `open` replayed from the previous incarnation's WAL.
     recovery: RecoveryInfo,
     next_table_id: AtomicU32,
-    external_free: Mutex<Vec<usize>>,
+    external_free: RankedMutex<Vec<usize>>,
     txns_since_gc: Vec<AtomicU64>,
-    runtime: RwLock<Option<Arc<Runtime>>>,
+    runtime: RankedRwLock<Option<Arc<Runtime>>>,
     /// Stop flags of live [`crate::stats::StatsReporter`] co-routines;
     /// raised before the runtime drains so reporters never wedge shutdown.
-    reporter_stops: Mutex<Vec<Arc<std::sync::atomic::AtomicBool>>>,
+    reporter_stops: RankedMutex<Vec<Arc<std::sync::atomic::AtomicBool>>>,
     /// The live telemetry HTTP server, when `cfg.telemetry` or
     /// `PHOEBE_TELEMETRY` enabled it. Stopped first at shutdown so no
     /// scrape runs against a dying kernel.
-    telemetry: Mutex<Option<TelemetryServer>>,
+    telemetry: RankedMutex<Option<TelemetryServer>>,
     /// The stall watchdog, when `cfg.watchdog` or `PHOEBE_WATCHDOG`
     /// enabled it.
-    watchdog: Mutex<Option<crate::watchdog::WatchdogHandle>>,
+    watchdog: RankedMutex<Option<crate::watchdog::WatchdogHandle>>,
 }
 
 struct HubBarrier(Arc<WalHub>);
@@ -287,19 +287,23 @@ impl Database {
             twins,
             gc,
             catalog: SnapshotList::default(),
-            by_name: RwLock::new(HashMap::new()),
-            ddl_log: Mutex::new(Vec::new()),
+            by_name: RankedRwLock::new(Rank::Db, "db.by_name", HashMap::new()),
+            ddl_log: RankedMutex::new(Rank::Db, "db.ddl_log", Vec::new()),
             sim,
             tracer,
-            trace_path: Mutex::new(trace_path),
+            trace_path: RankedMutex::new(Rank::Db, "db.trace_path", trace_path),
             recovery,
             next_table_id: AtomicU32::new(1),
-            external_free: Mutex::new((cfg.total_slots()..total_slots).rev().collect()),
+            external_free: RankedMutex::new(
+                Rank::Db,
+                "db.external_free",
+                (cfg.total_slots()..total_slots).rev().collect(),
+            ),
             txns_since_gc: (0..cfg.workers).map(|_| AtomicU64::new(0)).collect(),
-            runtime: RwLock::new(None),
-            reporter_stops: Mutex::new(Vec::new()),
-            telemetry: Mutex::new(None),
-            watchdog: Mutex::new(None),
+            runtime: RankedRwLock::new(Rank::Db, "db.runtime", None),
+            reporter_stops: RankedMutex::new(Rank::Db, "db.reporter_stops", Vec::new()),
+            telemetry: RankedMutex::new(Rank::Db, "db.telemetry", None),
+            watchdog: RankedMutex::new(Rank::Db, "db.watchdog", None),
             clock: phoebe_txn::GlobalClock::new(),
             metrics,
             pool,
@@ -406,7 +410,7 @@ impl Database {
         self.runtime.read().clone()
     }
 
-    pub(crate) fn reporter_stops(&self) -> &Mutex<Vec<Arc<std::sync::atomic::AtomicBool>>> {
+    pub(crate) fn reporter_stops(&self) -> &RankedMutex<Vec<Arc<std::sync::atomic::AtomicBool>>> {
         &self.reporter_stops
     }
 

@@ -9,22 +9,30 @@
 //! generation, and completes once the generation has advanced, so a
 //! notification that races ahead of the waiter's first poll is never lost.
 
-use parking_lot::Mutex;
+use phoebe_common::sync::{Rank, RankedMutex};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::task::{Context, Poll, Waker};
 
 /// A multi-waiter notification cell.
-#[derive(Default)]
 pub struct Notify {
     generation: AtomicU64,
-    waiters: Mutex<Vec<Waker>>,
+    waiters: RankedMutex<Vec<Waker>>,
+}
+
+impl Default for Notify {
+    fn default() -> Self {
+        Notify::new()
+    }
 }
 
 impl Notify {
     pub fn new() -> Self {
-        Notify::default()
+        Notify {
+            generation: AtomicU64::new(0),
+            waiters: RankedMutex::new(Rank::Notify, "notify.waiters", Vec::new()),
+        }
     }
 
     /// Wake every current waiter. Waiters that subscribe after this call

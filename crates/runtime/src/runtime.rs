@@ -3,7 +3,7 @@
 use crate::task::{enter_slot, waker_for, Completer, JoinHandle, Task, WakeState};
 use crate::yield_point::{take_last_urgency, Urgency};
 use crossbeam::deque::{Injector, Steal};
-use parking_lot::{Mutex, RwLock};
+use phoebe_common::sync::{Rank, RankedMutex, RankedRwLock};
 use phoebe_common::trace::{EventKind, Tracer};
 use std::collections::VecDeque;
 use std::future::Future;
@@ -120,9 +120,9 @@ struct WorkerStats {
 struct Shared {
     cfg: RuntimeConfig,
     injector: Injector<Task>,
-    locals: Vec<Mutex<VecDeque<Task>>>,
-    worker_threads: RwLock<Vec<std::thread::Thread>>,
-    hook: RwLock<Option<Arc<dyn WorkerHook>>>,
+    locals: Vec<RankedMutex<VecDeque<Task>>>,
+    worker_threads: RankedRwLock<Vec<std::thread::Thread>>,
+    hook: RankedRwLock<Option<Arc<dyn WorkerHook>>>,
     shutdown: AtomicBool,
     stats: Vec<WorkerStats>,
 }
@@ -145,7 +145,7 @@ impl Shared {
 /// seated in task slots and run to completion on one worker.
 pub struct Runtime {
     shared: Arc<Shared>,
-    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    threads: RankedMutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Runtime {
@@ -153,15 +153,26 @@ impl Runtime {
         assert!(cfg.workers > 0, "need at least one worker");
         assert!(cfg.slots_per_worker > 0, "need at least one task slot");
         let shared = Arc::new(Shared {
-            locals: (0..cfg.workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-            worker_threads: RwLock::new(Vec::with_capacity(cfg.workers)),
+            locals: (0..cfg.workers)
+                .map(|_| {
+                    RankedMutex::new(Rank::RuntimeQueue, "runtime.local_queue", VecDeque::new())
+                })
+                .collect(),
+            worker_threads: RankedRwLock::new(
+                Rank::RuntimeShared,
+                "runtime.worker_threads",
+                Vec::with_capacity(cfg.workers),
+            ),
             injector: Injector::new(),
-            hook: RwLock::new(None),
+            hook: RankedRwLock::new(Rank::RuntimeShared, "runtime.hook", None),
             shutdown: AtomicBool::new(false),
             stats: (0..cfg.workers).map(|_| WorkerStats::default()).collect(),
             cfg,
         });
-        let rt = Arc::new(Runtime { shared: shared.clone(), threads: Mutex::new(Vec::new()) });
+        let rt = Arc::new(Runtime {
+            shared: shared.clone(),
+            threads: RankedMutex::new(Rank::RuntimeShared, "runtime.thread_handles", Vec::new()),
+        });
         let mut threads = rt.threads.lock();
         for w in 0..shared.cfg.workers {
             let sh = shared.clone();
@@ -340,7 +351,11 @@ fn worker_main(shared: Arc<Shared>, worker: usize) {
     };
 
     loop {
-        if let Some(hook) = shared.hook.read().clone() {
+        // Clone the hook out so its guard is not held across the tick —
+        // hooks reach into pool/db state whose locks rank below the
+        // runtime's.
+        let hook = shared.hook.read().clone();
+        if let Some(hook) = hook {
             hook.tick(worker);
         }
         charge(ST_IO, &mut mark);

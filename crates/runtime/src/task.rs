@@ -3,8 +3,8 @@
 //! slot am I running on?" without threading a context parameter through
 //! every call.
 
-use parking_lot::{Condvar, Mutex};
 use phoebe_common::ids::{SlotId, WorkerId};
+use phoebe_common::sync::{Condvar, Rank, RankedMutex};
 use std::cell::Cell;
 use std::future::Future;
 use std::pin::Pin;
@@ -106,7 +106,7 @@ pub(crate) fn waker_for(state: &Arc<WakeState>) -> Waker {
 }
 
 struct JoinState<T> {
-    result: Mutex<Option<std::thread::Result<T>>>,
+    result: RankedMutex<Option<std::thread::Result<T>>>,
     cv: Condvar,
     done: AtomicBool,
 }
@@ -120,7 +120,7 @@ pub struct JoinHandle<T> {
 impl<T> JoinHandle<T> {
     pub(crate) fn pair() -> (JoinHandle<T>, Completer<T>) {
         let state = Arc::new(JoinState {
-            result: Mutex::new(None),
+            result: RankedMutex::new(Rank::JoinTask, "task.join_result", None),
             cv: Condvar::new(),
             done: AtomicBool::new(false),
         });
@@ -133,7 +133,7 @@ impl<T> JoinHandle<T> {
     pub fn join(self) -> T {
         let mut guard = self.state.result.lock();
         while guard.is_none() {
-            self.state.cv.wait(&mut guard);
+            guard.wait(&self.state.cv);
         }
         match guard.take().expect("join result present") {
             Ok(v) => v,

@@ -9,7 +9,7 @@
 //! unpark the owning workers. Used by the kernel's `StatsReporter` for
 //! its periodic ticks.
 
-use parking_lot::{Condvar, Mutex};
+use phoebe_common::sync::{Condvar, Rank, RankedMutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::future::Future;
@@ -51,7 +51,7 @@ struct TimerState {
 }
 
 struct Timer {
-    state: Mutex<TimerState>,
+    state: RankedMutex<TimerState>,
     cv: Condvar,
 }
 
@@ -60,7 +60,7 @@ impl Timer {
         static TIMER: OnceLock<&'static Timer> = OnceLock::new();
         TIMER.get_or_init(|| {
             let timer: &'static Timer = Box::leak(Box::new(Timer {
-                state: Mutex::new(TimerState::default()),
+                state: RankedMutex::new(Rank::Timer, "timer.state", TimerState::default()),
                 cv: Condvar::new(),
             }));
             std::thread::Builder::new()
@@ -89,7 +89,7 @@ impl Timer {
                     let now = Instant::now();
                     match s.heap.peek() {
                         None => {
-                            self.cv.wait(&mut s);
+                            s.wait(&self.cv);
                         }
                         Some(Reverse(e)) if e.deadline <= now => {
                             while let Some(Reverse(e)) = s.heap.peek() {
@@ -102,7 +102,7 @@ impl Timer {
                         }
                         Some(Reverse(e)) => {
                             let wait = e.deadline - now;
-                            self.cv.wait_for(&mut s, wait);
+                            s.wait_for(&self.cv, wait);
                         }
                     }
                 }

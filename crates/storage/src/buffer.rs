@@ -22,12 +22,12 @@ use crate::latch::HybridLatch;
 use crate::node::Page;
 use crate::pagefile::PageFile;
 use crate::swip::{FrameId, Swip, SwipState};
-use parking_lot::{Mutex, RwLock};
 use phoebe_common::config::PAGE_SIZE;
 use phoebe_common::error::{PhoebeError, Result};
 use phoebe_common::hist::LatencySite;
 use phoebe_common::ids::PageId;
 use phoebe_common::metrics::{Component, Counter, Metrics};
+use phoebe_common::sync::{Rank, RankedMutex, RankedRwLock};
 use std::collections::VecDeque;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -136,8 +136,8 @@ pub trait WalBarrier: Send + Sync + 'static {
 }
 
 struct Partition {
-    free: Mutex<Vec<FrameId>>,
-    cooling: Mutex<VecDeque<FrameId>>,
+    free: RankedMutex<Vec<FrameId>>,
+    cooling: RankedMutex<VecDeque<FrameId>>,
     clock: AtomicUsize,
 }
 
@@ -147,13 +147,13 @@ pub struct BufferPool {
     partitions: Vec<Partition>,
     frames_per_partition: usize,
     page_file: PageFile,
-    barrier: RwLock<Option<Arc<dyn WalBarrier>>>,
+    barrier: RankedRwLock<Option<Arc<dyn WalBarrier>>>,
     metrics: Arc<Metrics>,
     start: Instant,
     /// Lazily-started background loader for asynchronous page faults
     /// (interleaved batch descents, see [`crate::fault_service`]). The
     /// sender drops with the pool, which ends the loader thread.
-    fault_tx: Mutex<Option<std::sync::mpsc::Sender<crate::fault_service::FaultRequest>>>,
+    fault_tx: RankedMutex<Option<std::sync::mpsc::Sender<crate::fault_service::FaultRequest>>>,
     /// Asynchronous faults currently holding (or about to hold) a frame.
     /// Loaded-but-not-yet-installed frames are parentless — eviction
     /// cannot reclaim them — so a wide batch kicking one fault per key
@@ -202,8 +202,16 @@ impl BufferPool {
         });
         let parts = (0..partitions)
             .map(|p| Partition {
-                free: Mutex::new((p * fpp..(p + 1) * fpp).map(|f| f as FrameId).collect()),
-                cooling: Mutex::new(VecDeque::new()),
+                free: RankedMutex::new(
+                    Rank::BufferPartition,
+                    "buffer.partition_free",
+                    (p * fpp..(p + 1) * fpp).map(|f| f as FrameId).collect(),
+                ),
+                cooling: RankedMutex::new(
+                    Rank::BufferPartition,
+                    "buffer.partition_cooling",
+                    VecDeque::new(),
+                ),
                 clock: AtomicUsize::new(p * fpp),
             })
             .collect();
@@ -213,10 +221,10 @@ impl BufferPool {
             frames_per_partition: fpp,
             page_file: PageFile::create_with(fs, &dir.join("data_pages.db"))?,
             faults_inflight: AtomicUsize::new(0),
-            barrier: RwLock::new(None),
+            barrier: RankedRwLock::new(Rank::BufferPool, "buffer.wal_barrier", None),
             metrics,
             start: Instant::now(),
-            fault_tx: Mutex::new(None),
+            fault_tx: RankedMutex::new(Rank::BufferPool, "buffer.fault_tx", None),
             fault_epochs: (0..FAULT_EPOCH_SHARDS).map(|_| AtomicU64::new(0)).collect(),
         }))
     }
@@ -414,6 +422,10 @@ impl BufferPool {
         let mut tx = self.fault_tx.lock();
         let sender = tx.get_or_insert_with(|| {
             let (s, r) = std::sync::mpsc::channel();
+            // Unranked on purpose: serializes the mpsc receiver between
+            // loader threads, only ever held while blocked in recv(),
+            // never around another kernel lock.
+            // LINT-ALLOW(lock-order): std mutex over an mpsc receiver only.
             let r = std::sync::Arc::new(std::sync::Mutex::new(r));
             let loaders =
                 std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).clamp(2, 4);
@@ -422,6 +434,7 @@ impl BufferPool {
                 let r = std::sync::Arc::clone(&r);
                 std::thread::Builder::new()
                     .name(format!("phoebe-fault-{i}"))
+                    // LINT-ALLOW(lock-order): loader_loop runs on the spawned thread — the fault_tx guard live here is not held there.
                     .spawn(move || crate::fault_service::loader_loop(weak, r))
                     .expect("spawn fault loader");
             }

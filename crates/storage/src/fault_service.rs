@@ -28,7 +28,7 @@ use crate::swip::FrameId;
 use phoebe_common::error::Result;
 use phoebe_common::ids::PageId;
 use phoebe_common::sync::atomic::{AtomicBool, Ordering};
-use phoebe_common::sync::Mutex;
+use phoebe_common::sync::{Rank, RankedMutex};
 use std::sync::{Arc, Weak};
 
 /// Completion state of one in-flight asynchronous page fault.
@@ -36,7 +36,7 @@ pub struct FaultTicket {
     /// Flipped (release) after `result` is published; polled (acquire) by
     /// the suspended cursor.
     done: AtomicBool,
-    result: Mutex<Option<Result<FrameId>>>,
+    result: RankedMutex<Option<Result<FrameId>>>,
     /// Owner pool, for releasing an unconsumed frame on drop. Empty in
     /// protocol-only tests (loom).
     pool: Weak<BufferPool>,
@@ -51,7 +51,7 @@ impl FaultTicket {
     pub fn new(pool: Weak<BufferPool>) -> Arc<FaultTicket> {
         Arc::new(FaultTicket {
             done: AtomicBool::new(false),
-            result: Mutex::new(None),
+            result: RankedMutex::new(Rank::FaultService, "fault.ticket_result", None),
             pool,
             counted: false,
         })
@@ -62,7 +62,7 @@ impl FaultTicket {
     pub(crate) fn counted(pool: Weak<BufferPool>) -> Arc<FaultTicket> {
         Arc::new(FaultTicket {
             done: AtomicBool::new(false),
-            result: Mutex::new(None),
+            result: RankedMutex::new(Rank::FaultService, "fault.ticket_result", None),
             pool,
             counted: true,
         })
@@ -107,7 +107,10 @@ impl Drop for FaultTicket {
         // Last handle: the loader is finished with its clone, so a
         // present result can no longer be consumed — hand the loaded
         // frame back instead of leaking it.
-        if let Some(Ok(fid)) = self.result.lock().take() {
+        // Take the result out before touching the pool: `release` acquires
+        // the frame latch, which ranks below the ticket lock.
+        let abandoned = self.result.lock().take();
+        if let Some(Ok(fid)) = abandoned {
             if let Some(pool) = self.pool.upgrade() {
                 // The swizzle install never ran, so the parent's child slot
                 // still holds a cold swip referencing this frame's disk

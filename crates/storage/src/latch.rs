@@ -23,7 +23,7 @@
 
 use phoebe_common::sync::atomic::{fence, AtomicU64, Ordering};
 use phoebe_common::sync::cell::UnsafeCell;
-use phoebe_common::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use phoebe_common::sync::{Rank, RankedReadGuard, RankedRwLock, RankedWriteGuard};
 
 /// A version returned by [`HybridLatch::optimistic_version`]; used for
 /// lock-coupling validation across parent/child hops.
@@ -33,7 +33,7 @@ pub struct LatchVersion(u64);
 /// Version-counter latch with optimistic, shared and exclusive modes.
 pub struct HybridLatch<T> {
     version: AtomicU64,
-    rw: RwLock<()>,
+    rw: RankedRwLock<()>,
     data: UnsafeCell<T>,
 }
 
@@ -49,12 +49,13 @@ impl<T> HybridLatch<T> {
     pub fn new(value: T) -> Self {
         HybridLatch {
             version: AtomicU64::new(0),
-            rw: RwLock::new(()),
+            rw: RankedRwLock::new(Rank::FrameMeta, "latch.frame", ()),
             data: UnsafeCell::new(value),
         }
     }
 
     /// Acquire the latch exclusively (blocking).
+    #[track_caller]
     pub fn write(&self) -> WriteGuard<'_, T> {
         let guard = self.rw.write();
         let v = self.version.fetch_add(1, Ordering::AcqRel);
@@ -63,6 +64,7 @@ impl<T> HybridLatch<T> {
     }
 
     /// Try to acquire exclusively without blocking.
+    #[track_caller]
     pub fn try_write(&self) -> Option<WriteGuard<'_, T>> {
         let guard = self.rw.try_write()?;
         self.version.fetch_add(1, Ordering::AcqRel);
@@ -70,12 +72,14 @@ impl<T> HybridLatch<T> {
     }
 
     /// Acquire the latch in shared mode (blocking).
+    #[track_caller]
     pub fn read(&self) -> ReadGuard<'_, T> {
         let guard = self.rw.read();
         ReadGuard { latch: self, _guard: guard }
     }
 
     /// Try to acquire in shared mode without blocking.
+    #[track_caller]
     pub fn try_read(&self) -> Option<ReadGuard<'_, T>> {
         let guard = self.rw.try_read()?;
         Some(ReadGuard { latch: self, _guard: guard })
@@ -153,7 +157,7 @@ impl<T> HybridLatch<T> {
 /// Exclusive guard; bumps the version to odd for its lifetime.
 pub struct WriteGuard<'a, T> {
     latch: &'a HybridLatch<T>,
-    _guard: RwLockWriteGuard<'a, ()>,
+    _guard: RankedWriteGuard<'a, ()>,
 }
 
 impl<T> std::ops::Deref for WriteGuard<'_, T> {
@@ -194,7 +198,7 @@ impl<T> Drop for WriteGuard<'_, T> {
 /// Shared guard.
 pub struct ReadGuard<'a, T> {
     latch: &'a HybridLatch<T>,
-    _guard: RwLockReadGuard<'a, ()>,
+    _guard: RankedReadGuard<'a, ()>,
 }
 
 impl<T> std::ops::Deref for ReadGuard<'_, T> {

@@ -4,11 +4,11 @@
 //! a page image into a slot; re-swizzling reads it back. Slots are recycled
 //! through a free list when pages are destroyed (e.g. after freezing).
 
-use parking_lot::Mutex;
 use phoebe_common::config::PAGE_SIZE;
 use phoebe_common::error::Result;
 use phoebe_common::fault::{FaultFile, FaultFs, OsFs};
 use phoebe_common::ids::PageId;
+use phoebe_common::sync::{Rank, RankedMutex};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -17,7 +17,7 @@ use std::sync::Arc;
 pub struct PageFile {
     file: Arc<dyn FaultFile>,
     next: AtomicU64,
-    free: Mutex<Vec<PageId>>,
+    free: RankedMutex<Vec<PageId>>,
     reads: AtomicU64,
     writes: AtomicU64,
 }
@@ -36,7 +36,7 @@ impl PageFile {
         Ok(PageFile {
             file,
             next: AtomicU64::new(0),
-            free: Mutex::new(Vec::new()),
+            free: RankedMutex::new(Rank::PageFile, "pagefile.free", Vec::new()),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
         })

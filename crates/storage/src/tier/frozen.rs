@@ -15,9 +15,9 @@
 
 use super::codec;
 use crate::schema::{ColType, Value};
-use parking_lot::{Mutex, RwLock};
 use phoebe_common::error::{PhoebeError, Result};
 use phoebe_common::ids::RowId;
+use phoebe_common::sync::{Rank, RankedMutex, RankedRwLock};
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
@@ -48,8 +48,8 @@ pub struct BlockStats {
 pub struct FrozenStore {
     file: File,
     append_at: AtomicU64,
-    directory: RwLock<Vec<BlockMeta>>,
-    tombstones: Mutex<HashSet<u64>>,
+    directory: RankedRwLock<Vec<BlockMeta>>,
+    tombstones: RankedMutex<HashSet<u64>>,
     max_frozen_row_id: AtomicU64,
     types: Vec<ColType>,
 }
@@ -67,8 +67,8 @@ impl FrozenStore {
         Ok(FrozenStore {
             file,
             append_at: AtomicU64::new(0),
-            directory: RwLock::new(Vec::new()),
-            tombstones: Mutex::new(HashSet::new()),
+            directory: RankedRwLock::new(Rank::FrozenTier, "frozen.directory", Vec::new()),
+            tombstones: RankedMutex::new(Rank::FrozenTier, "frozen.tombstones", HashSet::new()),
             max_frozen_row_id: AtomicU64::new(NOTHING_FROZEN),
             types,
         })

@@ -19,6 +19,7 @@
 use crate::clock::Snapshot;
 use phoebe_common::error::{PhoebeError, Result};
 use phoebe_common::ids::{RowId, TableId, Timestamp, Xid};
+use phoebe_common::sync::{Rank, RankedMutex};
 use phoebe_runtime::{yield_now, Notify, Urgency};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -168,16 +169,24 @@ impl TupleLockSlot {
 /// information is stored in a dedicated memory block, referenced by a
 /// pointer in the B-Tree root node"). Shared mode for DML, exclusive for
 /// structural operations (truncate/freeze reorganizations).
-#[derive(Default)]
 pub struct TableLock {
     /// Negative = exclusive held; positive = shared count.
-    state: parking_lot::Mutex<i64>,
+    state: RankedMutex<i64>,
     waiters: Notify,
+}
+
+impl Default for TableLock {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TableLock {
     pub fn new() -> Self {
-        Self::default()
+        TableLock {
+            state: RankedMutex::new(Rank::TableLock, "locks.table_state", 0),
+            waiters: Notify::new(),
+        }
     }
 
     pub fn try_shared(&self) -> bool {

@@ -22,7 +22,7 @@
 use crate::undo::UndoLog;
 use phoebe_common::ids::{RowId, TableId, Timestamp};
 use phoebe_common::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use phoebe_common::sync::{Arc, Mutex};
+use phoebe_common::sync::{Arc, Rank, RankedMutex};
 use std::collections::HashMap;
 
 /// Page identity: the relation and the leaf's first row id.
@@ -48,12 +48,15 @@ const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
 /// read can see a spurious 1, never a spurious 0 for a present key).
 struct EntryShard {
     summary: AtomicU64,
-    map: Mutex<HashMap<u64, Arc<UndoLog>>>,
+    map: RankedMutex<HashMap<u64, Arc<UndoLog>>>,
 }
 
 impl EntryShard {
     fn new() -> Self {
-        EntryShard { summary: AtomicU64::new(0), map: Mutex::new(HashMap::new()) }
+        EntryShard {
+            summary: AtomicU64::new(0),
+            map: RankedMutex::new(Rank::TwinShard, "twin.entry_shard", HashMap::new()),
+        }
     }
 }
 
@@ -204,7 +207,7 @@ const SHARDS: usize = 2;
 /// of the page keys present, so "page never written" reads skip the lock.
 struct RegistryShard {
     summary: AtomicU64,
-    map: Mutex<HashMap<TwinKey, Arc<TwinTable>>>,
+    map: RankedMutex<HashMap<TwinKey, Arc<TwinTable>>>,
 }
 
 /// Sharded registry resolving page identities to twin tables.
@@ -233,7 +236,7 @@ impl TwinRegistry {
         let mut shards = Vec::with_capacity(SHARDS);
         shards.resize_with(SHARDS, || RegistryShard {
             summary: AtomicU64::new(0),
-            map: Mutex::new(HashMap::new()),
+            map: RankedMutex::new(Rank::TwinRegistry, "twin.registry_shard", HashMap::new()),
         });
         TwinRegistry { shards: shards.into_boxed_slice() }
     }

@@ -20,8 +20,8 @@
 //! manner").
 
 use crate::locks::TxnHandle;
-use parking_lot::Mutex;
 use phoebe_common::ids::{RowId, TableId, Timestamp, Xid};
+use phoebe_common::sync::{Rank, RankedMutex};
 use phoebe_storage::schema::Value;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -56,7 +56,7 @@ pub struct UndoLog {
     /// Writer XID (raw) until commit, then the commit timestamp.
     ets: AtomicU64,
     /// Older version of the same tuple.
-    next: Mutex<Option<Arc<UndoLog>>>,
+    next: RankedMutex<Option<Arc<UndoLog>>>,
     /// Cleared when GC reclaims the log (or the writer aborts).
     valid: AtomicBool,
     /// The writer's transaction-ID lock, reachable by anyone who finds this
@@ -101,7 +101,7 @@ impl UndoLog {
             op,
             sts: AtomicU64::new(sts),
             ets: AtomicU64::new(xid.raw()),
-            next: Mutex::new(prev),
+            next: RankedMutex::new(Rank::UndoLink, "undo.next", prev),
             valid: AtomicBool::new(true),
             writer,
         })
@@ -158,17 +158,25 @@ impl std::fmt::Debug for UndoLog {
 /// Per-task-slot UNDO storage (§6.2 "UNDO logs generated by the same
 /// transaction are stored together" + §7.1 "UNDO logs are managed and
 /// garbage is collected by the same worker thread that generates them").
-#[derive(Default)]
 pub struct UndoArena {
-    queue: Mutex<VecDeque<Arc<UndoLog>>>,
+    queue: RankedMutex<VecDeque<Arc<UndoLog>>>,
     /// Commit timestamp of the most recently reclaimed log on this slot —
     /// feeds the max-frozen-XID watermark (§7.3).
     last_reclaimed_cts: AtomicU64,
 }
 
+impl Default for UndoArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl UndoArena {
     pub fn new() -> Self {
-        Self::default()
+        UndoArena {
+            queue: RankedMutex::new(Rank::UndoArena, "undo.arena_queue", VecDeque::new()),
+            last_reclaimed_cts: AtomicU64::new(0),
+        }
     }
 
     /// Append a freshly created log (creation order = commit order on a

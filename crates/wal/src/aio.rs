@@ -10,9 +10,9 @@
 //! preserved.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
 use phoebe_common::error::Result;
 use phoebe_common::fault::FaultFile;
+use phoebe_common::sync::{Condvar, Rank, RankedMutex};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -29,13 +29,16 @@ pub enum AioRequest {
 
 /// Completion handle: one per submission.
 pub struct Completion {
-    state: Mutex<Option<io::Result<usize>>>,
+    state: RankedMutex<Option<io::Result<usize>>>,
     cv: Condvar,
 }
 
 impl Completion {
     fn new() -> Arc<Self> {
-        Arc::new(Completion { state: Mutex::new(None), cv: Condvar::new() })
+        Arc::new(Completion {
+            state: RankedMutex::new(Rank::Aio, "aio.completion", None),
+            cv: Condvar::new(),
+        })
     }
 
     fn complete(&self, result: io::Result<usize>) {
@@ -52,7 +55,7 @@ impl Completion {
     pub fn wait(&self) -> io::Result<usize> {
         let mut s = self.state.lock();
         while s.is_none() {
-            self.cv.wait(&mut s);
+            s.wait(&self.cv);
         }
         s.take().expect("completion present")
     }
@@ -69,8 +72,8 @@ struct Submission {
 
 /// A pool of I/O threads draining a submission queue.
 pub struct AioPool {
-    tx: Mutex<Option<Sender<Submission>>>,
-    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    tx: RankedMutex<Option<Sender<Submission>>>,
+    threads: RankedMutex<Vec<std::thread::JoinHandle<()>>>,
     submitted: AtomicU64,
     completed: Arc<AtomicU64>,
 }
@@ -104,8 +107,8 @@ impl AioPool {
             );
         }
         Arc::new(AioPool {
-            tx: Mutex::new(Some(tx)),
-            threads: Mutex::new(threads),
+            tx: RankedMutex::new(Rank::Aio, "aio.pool_tx", Some(tx)),
+            threads: RankedMutex::new(Rank::Aio, "aio.pool_threads", threads),
             submitted: AtomicU64::new(0),
             completed,
         })

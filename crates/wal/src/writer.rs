@@ -19,12 +19,12 @@
 
 use crate::aio::{AioPool, AioRequest};
 use crate::record::{RecordBody, WalRecord};
-use parking_lot::Mutex;
 use phoebe_common::error::{PhoebeError, Result};
 use phoebe_common::fault::{FaultFile, FaultFs, OsFs};
 use phoebe_common::hist::LatencySite;
 use phoebe_common::ids::{Gsn, Lsn, Timestamp, Xid};
 use phoebe_common::metrics::{Component, Counter, Metrics};
+use phoebe_common::sync::{Condvar, Rank, RankedMutex};
 use phoebe_common::trace::EventKind;
 use phoebe_runtime::Notify;
 use std::path::Path;
@@ -41,39 +41,45 @@ use std::time::{Duration, Instant};
 /// load the flusher lingers briefly after each wake so concurrent
 /// commits still batch into one fsync.
 ///
-/// Built on `std::sync` rather than `parking_lot` because the flusher
-/// must block *with a timeout*, which wants a real condvar.
-#[derive(Default)]
+/// The counter lives under a ranked mutex; the flusher's timed block goes
+/// through the ranked guard's condvar projection.
 struct Doorbell {
-    rings: std::sync::Mutex<u64>,
-    cv: std::sync::Condvar,
+    rings: RankedMutex<u64>,
+    cv: Condvar,
+}
+
+impl Default for Doorbell {
+    fn default() -> Self {
+        Doorbell {
+            rings: RankedMutex::new(Rank::WalDoorbell, "wal.doorbell", 0),
+            cv: Condvar::new(),
+        }
+    }
 }
 
 impl Doorbell {
     /// Wake the flusher: a commit (or barrier) wants durability now.
     fn ring(&self) {
-        *self.rings.lock().unwrap() += 1;
+        *self.rings.lock() += 1;
         self.cv.notify_one();
     }
 
     /// Current ring count (a "have I seen everything" cursor).
     fn rings(&self) -> u64 {
-        *self.rings.lock().unwrap()
+        *self.rings.lock()
     }
 
     /// Block until the ring count advances past `seen` or `timeout`
     /// elapses. Returns the latest count.
     fn wait(&self, seen: u64, timeout: Duration) -> u64 {
-        let mut rings = self.rings.lock().unwrap();
+        let mut rings = self.rings.lock();
         let deadline = Instant::now() + timeout;
         while *rings == seen {
             let now = Instant::now();
             if now >= deadline {
                 break;
             }
-            let (g, t) = self.cv.wait_timeout(rings, deadline - now).unwrap();
-            rings = g;
-            if t.timed_out() {
+            if rings.wait_for(&self.cv, deadline - now).timed_out() {
                 break;
             }
         }
@@ -85,7 +91,7 @@ impl Doorbell {
 pub struct WalWriter {
     pub slot: usize,
     file: Arc<dyn FaultFile>,
-    buf: Mutex<Vec<u8>>,
+    buf: RankedMutex<Vec<u8>>,
     next_lsn: AtomicU64,
     appended_lsn: AtomicU64,
     appended_gsn: AtomicU64,
@@ -116,7 +122,7 @@ impl WalWriter {
         Ok(Arc::new(WalWriter {
             slot,
             file,
-            buf: Mutex::new(Vec::with_capacity(16 * 1024)),
+            buf: RankedMutex::new(Rank::WalSlot, "wal.slot_buf", Vec::with_capacity(16 * 1024)),
             next_lsn: AtomicU64::new(1),
             appended_lsn: AtomicU64::new(0),
             appended_gsn: AtomicU64::new(0),
@@ -301,7 +307,7 @@ pub struct WalHub {
     /// Raised when a log write or fsync fails: the hub stops acknowledging
     /// durability and every waiter errors with [`PhoebeError::WalHalted`].
     halted: Arc<AtomicBool>,
-    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    flusher: RankedMutex<Option<std::thread::JoinHandle<()>>>,
     /// Commit-side wakeup for the flusher thread.
     doorbell: Doorbell,
     /// Notified after every flush round; remote-dependency commits park
@@ -310,7 +316,7 @@ pub struct WalHub {
     /// Watchdog probe: tracks how long the flushed-LSN horizon has been
     /// stuck behind the appended horizon. Off the commit/flush paths —
     /// only the telemetry/watchdog samplers lock it.
-    horizon_probe: Mutex<HorizonProbe>,
+    horizon_probe: RankedMutex<HorizonProbe>,
 }
 
 /// State for [`WalHub::flush_horizon_age_ns`].
@@ -369,10 +375,14 @@ impl WalHub {
             sync,
             shutdown: Arc::new(AtomicBool::new(false)),
             halted,
-            flusher: Mutex::new(None),
+            flusher: RankedMutex::new(Rank::WalHub, "wal.hub_flusher", None),
             doorbell: Doorbell::default(),
             round_done: Notify::new(),
-            horizon_probe: Mutex::new(HorizonProbe::default()),
+            horizon_probe: RankedMutex::new(
+                Rank::WalHub,
+                "wal.hub_horizon",
+                HorizonProbe::default(),
+            ),
         });
         let h = Arc::clone(&hub);
         *hub.flusher.lock() = Some(

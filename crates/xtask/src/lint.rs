@@ -35,6 +35,17 @@ pub struct Violation {
     pub msg: String,
 }
 
+/// Result of linting one file: the violations that survived waivers,
+/// plus which waivers actually suppressed something (for the
+/// stale-waiver sweep in `main`).
+#[derive(Debug, Default)]
+pub struct FileLint {
+    pub violations: Vec<Violation>,
+    /// (1-based waiver line, waiver rule tag) of each `LINT-ALLOW` that
+    /// suppressed at least one violation in this pass.
+    pub used_waivers: Vec<(usize, &'static str)>,
+}
+
 /// Per-file lint configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct Options {
@@ -46,15 +57,15 @@ pub struct Options {
 
 /// A source line split into its code and comment halves, with string and
 /// char literal contents blanked out of the code half.
-struct ScanLine {
-    code: String,
-    comment: String,
+pub(crate) struct ScanLine {
+    pub(crate) code: String,
+    pub(crate) comment: String,
 }
 
 /// Split source into per-line (code, comment) halves with a char-level
 /// state machine that tracks strings, raw strings, char literals, and
 /// (nested) block comments across line boundaries.
-fn scan(source: &str) -> Vec<ScanLine> {
+pub(crate) fn scan(source: &str) -> Vec<ScanLine> {
     #[derive(PartialEq)]
     enum St {
         Normal,
@@ -176,7 +187,7 @@ fn scan(source: &str) -> Vec<ScanLine> {
 }
 
 /// Does `code` contain `word` bounded by non-identifier characters?
-fn has_word(code: &str, word: &str) -> bool {
+pub(crate) fn has_word(code: &str, word: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = code[start..].find(word) {
         let at = start + pos;
@@ -192,10 +203,38 @@ fn has_word(code: &str, word: &str) -> bool {
     false
 }
 
-/// Is this line's waiver (same line or line above) naming `rule`?
-fn waived(lines: &[ScanLine], idx: usize, rule: &str) -> bool {
+/// Is this line's waiver (same line or line above) naming `rule`? Returns
+/// the 1-based line of the waiver comment, so its use can be recorded for
+/// the stale-waiver sweep.
+pub(crate) fn waived(lines: &[ScanLine], idx: usize, rule: &str) -> Option<usize> {
     let tag = format!("LINT-ALLOW({rule})");
-    lines[idx].comment.contains(&tag) || (idx > 0 && lines[idx - 1].comment.contains(&tag))
+    if lines[idx].comment.contains(&tag) {
+        Some(idx + 1)
+    } else if idx > 0 && lines[idx - 1].comment.contains(&tag) {
+        Some(idx)
+    } else {
+        None
+    }
+}
+
+/// Every `LINT-ALLOW(<rule>)` waiver in the file, as (1-based line, rule
+/// tag). Waivers live in comments only; the scanner has already stripped
+/// string literals, so fixture strings never count.
+pub fn waiver_inventory(source: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in scan(source).iter().enumerate() {
+        let mut rest = line.comment.as_str();
+        while let Some(pos) = rest.find("LINT-ALLOW(") {
+            rest = &rest[pos + "LINT-ALLOW(".len()..];
+            if let Some(end) = rest.find(')') {
+                out.push((idx + 1, rest[..end].to_string()));
+                rest = &rest[end + 1..];
+            } else {
+                break;
+            }
+        }
+    }
+    out
 }
 
 /// A `SAFETY:` justification for line `idx`: same line, or in the
@@ -251,9 +290,9 @@ const GUARD_CALLS: [&str; 7] = [
 ];
 
 /// Lint one file. `path` is only used in messages.
-pub fn lint_file(path: &str, source: &str, opts: Options) -> Vec<Violation> {
+pub fn lint_file(path: &str, source: &str, opts: Options) -> FileLint {
     let lines = scan(source);
-    let mut out = Vec::new();
+    let mut out = FileLint::default();
 
     // Guard-across-await state: (binding name, brace depth at declaration).
     let mut depth: i64 = 0;
@@ -264,35 +303,39 @@ pub fn lint_file(path: &str, source: &str, opts: Options) -> Vec<Violation> {
         let code = line.code.as_str();
 
         // Rule 1: SAFETY comments on unsafe.
-        if has_word(code, "unsafe")
-            && !safety_documented(&lines, idx)
-            && !waived(&lines, idx, "safety")
-        {
-            out.push(Violation {
-                line: n,
-                rule: "safety-comment",
-                msg: format!(
-                    "{path}:{n}: `unsafe` without a `// SAFETY:` comment on the same line \
-                     or directly above"
-                ),
-            });
+        if has_word(code, "unsafe") && !safety_documented(&lines, idx) {
+            if let Some(w) = waived(&lines, idx, "safety") {
+                out.used_waivers.push((w, "safety"));
+            } else {
+                out.violations.push(Violation {
+                    line: n,
+                    rule: "safety-comment",
+                    msg: format!(
+                        "{path}:{n}: `unsafe` without a `// SAFETY:` comment on the same line \
+                         or directly above"
+                    ),
+                });
+            }
         }
 
         // Rule 2: ORDERING comments on Relaxed.
         if !opts.relaxed_allowed
             && code.contains("Ordering::Relaxed")
             && !ordering_documented(&lines, idx)
-            && !waived(&lines, idx, "ordering")
         {
-            out.push(Violation {
-                line: n,
-                rule: "ordering-comment",
-                msg: format!(
-                    "{path}:{n}: `Ordering::Relaxed` without an `// ORDERING:` comment \
-                     within the preceding {ORDERING_WINDOW} lines (or add the file to \
-                     the allowlist if it is pure counters)"
-                ),
-            });
+            if let Some(w) = waived(&lines, idx, "ordering") {
+                out.used_waivers.push((w, "ordering"));
+            } else {
+                out.violations.push(Violation {
+                    line: n,
+                    rule: "ordering-comment",
+                    msg: format!(
+                        "{path}:{n}: `Ordering::Relaxed` without an `// ORDERING:` comment \
+                         within the preceding {ORDERING_WINDOW} lines (or add the file to \
+                         the allowlist if it is pure counters)"
+                    ),
+                });
+            }
         }
 
         // Rule 3: no guard held across .await.
@@ -309,16 +352,20 @@ pub fn lint_file(path: &str, source: &str, opts: Options) -> Vec<Violation> {
             if let Some(name) = guard_binding(code) {
                 guards.push((name, depth));
             }
-            if code.contains(".await") && !waived(&lines, idx, "guard-await") {
-                for (name, _) in &guards {
-                    out.push(Violation {
-                        line: n,
-                        rule: "guard-across-await",
-                        msg: format!(
-                            "{path}:{n}: lock/latch guard `{name}` is live across this \
-                             `.await` — a parked coroutine must never hold a latch"
-                        ),
-                    });
+            if code.contains(".await") && !guards.is_empty() {
+                if let Some(w) = waived(&lines, idx, "guard-await") {
+                    out.used_waivers.push((w, "guard-await"));
+                } else {
+                    for (name, _) in &guards {
+                        out.violations.push(Violation {
+                            line: n,
+                            rule: "guard-across-await",
+                            msg: format!(
+                                "{path}:{n}: lock/latch guard `{name}` is live across this \
+                                 `.await` — a parked coroutine must never hold a latch"
+                            ),
+                        });
+                    }
                 }
             }
             // Track depth after the line; pop guards whose scope closed.
@@ -340,7 +387,7 @@ pub fn lint_file(path: &str, source: &str, opts: Options) -> Vec<Violation> {
 /// If `code` declares a `let <name> = ...<guard call>...;` binding,
 /// return the binding name. Temporaries (`*l.write() = x`) drop at the
 /// end of the statement and are not tracked.
-fn guard_binding(code: &str) -> Option<String> {
+pub(crate) fn guard_binding(code: &str) -> Option<String> {
     if !GUARD_CALLS.iter().any(|g| code.contains(g)) {
         return None;
     }
@@ -360,7 +407,7 @@ mod tests {
     const BOTH: Options = Options { relaxed_allowed: false, check_guard_await: true };
 
     fn rules(src: &str) -> Vec<&'static str> {
-        lint_file("t.rs", src, BOTH).into_iter().map(|v| v.rule).collect()
+        lint_file("t.rs", src, BOTH).violations.into_iter().map(|v| v.rule).collect()
     }
 
     #[test]
@@ -410,7 +457,7 @@ fn f(n: &AtomicU64) {
     fn relaxed_allowlist_skips_rule() {
         let src = "fn f(n: &AtomicU64) -> u64 { n.load(Ordering::Relaxed) }\n";
         let opts = Options { relaxed_allowed: true, check_guard_await: true };
-        assert!(lint_file("t.rs", src, opts).is_empty());
+        assert!(lint_file("t.rs", src, opts).violations.is_empty());
     }
 
     #[test]
@@ -440,7 +487,7 @@ async fn f(m: &Mutex<u64>) {
     fn guard_await_rule_disabled_outside_latched_crates() {
         let src = "async fn f(m: &Mutex<u64>) {\n    let g = m.lock();\n    step().await;\n}\n";
         let opts = Options { relaxed_allowed: false, check_guard_await: false };
-        assert!(lint_file("t.rs", src, opts).is_empty());
+        assert!(lint_file("t.rs", src, opts).violations.is_empty());
     }
 
     #[test]
@@ -458,5 +505,44 @@ async fn f(m: &Mutex<u64>) {
     fn raw_strings_and_lifetimes_do_not_confuse_the_scanner() {
         let src = "fn f<'a>(x: &'a str) -> &'a str {\n    let _ = r#\"unsafe { Ordering::Relaxed }\"#;\n    x\n}\n";
         assert_eq!(rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn suppressing_waivers_are_reported_used_with_their_line() {
+        // Waiver above the site: reported at its own line (2), not the site's.
+        let src = "fn f(p: *const u8) -> u8 {\n    // LINT-ALLOW(safety): fixture\n    unsafe { *p }\n}\n";
+        let r = lint_file("t.rs", src, BOTH);
+        assert!(r.violations.is_empty());
+        assert_eq!(r.used_waivers, [(2, "safety")]);
+        // Waiver on the same line as the site.
+        let src = "fn f(n: &AtomicU64) {\n    n.load(Ordering::Relaxed); // LINT-ALLOW(ordering): fixture\n}\n";
+        let r = lint_file("t.rs", src, BOTH);
+        assert_eq!(r.used_waivers, [(2, "ordering")]);
+    }
+
+    #[test]
+    fn waiver_that_suppresses_nothing_is_not_reported_used() {
+        // The unsafe is SAFETY-documented, so the waiver never fires.
+        let src = "// SAFETY: fine.\n// LINT-ALLOW(safety): stale\nunsafe impl Send for X {}\n";
+        let r = lint_file("t.rs", src, BOTH);
+        assert!(r.violations.is_empty());
+        assert!(r.used_waivers.is_empty());
+        // An await with no guard live does not consume a guard-await waiver.
+        let src = "async fn f() {\n    step().await; // LINT-ALLOW(guard-await): stale\n}\n";
+        let r = lint_file("t.rs", src, BOTH);
+        assert!(r.used_waivers.is_empty());
+    }
+
+    #[test]
+    fn waiver_inventory_finds_comment_waivers_only() {
+        let src = "\
+// LINT-ALLOW(ordering): cluster justification
+fn f() {
+    let _ = \"LINT-ALLOW(safety): inside a string, not a waiver\";
+    g(); // LINT-ALLOW(lock-order): reason
+}
+";
+        let inv = waiver_inventory(src);
+        assert_eq!(inv, [(1, "ordering".to_string()), (4, "lock-order".to_string())]);
     }
 }

@@ -3,16 +3,27 @@
 //!
 //! `lint-kernel` walks every `crates/*/src/**/*.rs` file (excluding this
 //! tool itself) and enforces the kernel concurrency invariants documented
-//! in [`lint`]; see DESIGN.md "Concurrency correctness". Exit status is
-//! non-zero when any violation is found, so CI can gate on it.
+//! in [`lint`] and [`lockorder`]; see DESIGN.md "Concurrency correctness"
+//! and "Lock ordering". Exit status is non-zero when any violation is
+//! found, so CI can gate on it. The discovered lock order is written to
+//! `target/lockorder.dot` (a CI artifact).
 
 mod lint;
+mod lockorder;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates where no lock/latch guard may be held across an `.await`.
-const LATCHED_CRATES: [&str; 4] = ["storage", "txn", "runtime", "wal"];
+const LATCHED_CRATES: [&str; 5] = ["storage", "txn", "runtime", "wal", "core"];
+
+/// Crates whose locks must be ranked and rank-ordered (the kernel proper;
+/// `common` hosts the lockdep machinery itself, `baseline`/`tpcc` are
+/// harnesses outside the kernel locking discipline).
+const LOCK_ORDER_CRATES: [&str; 5] = ["storage", "txn", "runtime", "wal", "core"];
+
+/// Rule tags a `LINT-ALLOW(<rule>)` waiver may name.
+const KNOWN_WAIVER_RULES: [&str; 4] = ["safety", "ordering", "guard-await", "lock-order"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -85,12 +96,18 @@ fn lint_kernel() -> ExitCode {
 
     let mut total = 0usize;
     let mut scanned = 0usize;
+    // (rel path, source) of every scanned file; the lock-order subset feeds
+    // the interprocedural pass below.
+    let mut sources: Vec<(String, String)> = Vec::new();
+    // Waivers that suppressed something, keyed (rel path, line, rule tag).
+    let mut used_waivers: Vec<(String, usize, String)> = Vec::new();
+
     for file in &files {
         let rel = file.strip_prefix(&root).unwrap_or(file).to_string_lossy().replace('\\', "/");
-        let crate_name = rel.split('/').nth(1).unwrap_or("");
+        let crate_name = rel.split('/').nth(1).unwrap_or("").to_string();
         let opts = lint::Options {
             relaxed_allowed: allow.iter().any(|a| a == &rel),
-            check_guard_await: LATCHED_CRATES.contains(&crate_name),
+            check_guard_await: LATCHED_CRATES.contains(&crate_name.as_str()),
         };
         let source = match std::fs::read_to_string(file) {
             Ok(s) => s,
@@ -101,14 +118,69 @@ fn lint_kernel() -> ExitCode {
             }
         };
         scanned += 1;
-        for v in lint::lint_file(&rel, &source, opts) {
+        let result = lint::lint_file(&rel, &source, opts);
+        for v in result.violations {
             eprintln!("[{}] {}", v.rule, v.msg);
             total += 1;
         }
+        for (line, rule) in result.used_waivers {
+            used_waivers.push((rel.clone(), line, rule.to_string()));
+        }
+        sources.push((rel, source));
+    }
+
+    // The interprocedural lock-order pass, over the kernel crates only.
+    let kernel: Vec<(String, String)> = sources
+        .iter()
+        .filter(|(rel, _)| rel.split('/').nth(1).is_some_and(|c| LOCK_ORDER_CRATES.contains(&c)))
+        .cloned()
+        .collect();
+    let order = lockorder::analyze(&kernel);
+    for (_, v) in &order.violations {
+        eprintln!("[{}] {}", v.rule, v.msg);
+        total += 1;
+    }
+    for (rel, line) in &order.used_waivers {
+        used_waivers.push((rel.clone(), *line, "lock-order".to_string()));
+    }
+
+    // Stale-waiver sweep: every LINT-ALLOW must name a known rule and have
+    // suppressed at least one violation this run — a waiver that no longer
+    // fires is dead weight hiding future regressions.
+    for (rel, source) in &sources {
+        for (line, rule) in lint::waiver_inventory(source) {
+            if !KNOWN_WAIVER_RULES.contains(&rule.as_str()) {
+                eprintln!(
+                    "[stale-waiver] {rel}:{line}: LINT-ALLOW({rule}) names an unknown rule \
+                     (known: {})",
+                    KNOWN_WAIVER_RULES.join(", ")
+                );
+                total += 1;
+            } else if !used_waivers.iter().any(|(r, l, t)| r == rel && *l == line && *t == rule) {
+                eprintln!(
+                    "[stale-waiver] {rel}:{line}: LINT-ALLOW({rule}) no longer suppresses \
+                     anything — remove it"
+                );
+                total += 1;
+            }
+        }
+    }
+
+    // The discovered order, as a build artifact.
+    let dot_path = root.join("target/lockorder.dot");
+    if let Err(e) = std::fs::create_dir_all(root.join("target"))
+        .and_then(|()| std::fs::write(&dot_path, &order.dot))
+    {
+        eprintln!("writing {}: {e}", dot_path.display());
+        total += 1;
     }
 
     if total == 0 {
-        println!("lint-kernel: {scanned} files clean");
+        println!(
+            "lint-kernel: {scanned} files clean; lock-order: {} classes ranked, graph at {}",
+            order.classes.len(),
+            dot_path.display()
+        );
         ExitCode::SUCCESS
     } else {
         eprintln!("lint-kernel: {total} violation(s) in {scanned} files");

@@ -15,6 +15,8 @@ cd "$(dirname "$0")/.."
 
 export RUSTFLAGS="--cfg loom ${RUSTFLAGS:-}"
 
-cargo test -p phoebe-common --test loom_trace_ring --test loom_snapshot "$@"
+# lockdep is on so the loom_lockdep suite (wait-for graph models) exists;
+# the wrappers themselves are tracking-free pass-throughs under loom.
+cargo test -p phoebe-common --features lockdep --test loom_trace_ring --test loom_snapshot --test loom_lockdep "$@"
 cargo test -p phoebe-storage --test loom_latch --test loom_fault_ticket "$@"
 cargo test -p phoebe-txn --test loom_twin "$@"
